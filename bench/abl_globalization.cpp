@@ -1,0 +1,151 @@
+// Ablation A2 — variable placement: registers/stack (bare) vs
+// globalized device heap (generic-mode OpenMP) vs groupprivate shared
+// memory (the paper's extension), on a stencil microkernel.
+//
+// This isolates the §4.2.6 mechanism: the same tile buffer placed three
+// ways, identical results, very different modeled cost.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/ompx.h"
+
+namespace {
+
+constexpr int kRadius = 4;
+constexpr int kBlock = 128;
+constexpr std::int64_t kN = 1 << 16;
+
+struct Placement {
+  const char* name;
+  double modeled_ms;
+  long long checksum;
+};
+
+Placement run_shared(simt::Device& dev, const std::vector<int>& in,
+                     std::vector<int>& out) {
+  dev.clear_launch_log();
+  const int* din = in.data();
+  int* dout = out.data();
+  ompx::LaunchSpec spec;
+  spec.num_teams = {static_cast<unsigned>(kN / kBlock)};
+  spec.thread_limit = {kBlock};
+  spec.name = "tile_groupprivate";
+  spec.cost.global_bytes_per_thread = 8.5;
+  spec.cost.shared_bytes_per_thread = (2 * kRadius + 2) * 4.0;
+  spec.device = &dev;
+  ompx::launch(spec, [=] {
+    int* tile = ompx::groupprivate<int>(kBlock + 2 * kRadius);
+    const std::int64_t g = ompx::global_thread_id();
+    const int l = ompx_thread_id_x() + kRadius;
+    tile[l] = din[g + kRadius];
+    if (ompx_thread_id_x() < kRadius) {
+      tile[l - kRadius] = din[g];
+      tile[l + kBlock] = din[g + kRadius + kBlock];
+    }
+    ompx_sync_thread_block();
+    int acc = 0;
+    for (int o = -kRadius; o <= kRadius; ++o) acc += tile[l + o];
+    dout[g] = acc;
+  });
+  return {"groupprivate (shared)", dev.last_launch().time.total_ms,
+          std::accumulate(out.begin(), out.end(), 0LL)};
+}
+
+Placement run_globalized(simt::Device& dev, const std::vector<int>& in,
+                         std::vector<int>& out) {
+  dev.clear_launch_log();
+  omp::TargetClauses c;
+  c.device = &dev;
+  c.num_teams = static_cast<int>(kN / kBlock);
+  c.thread_limit = kBlock;
+  c.name = "tile_globalized";
+  c.cost.global_bytes_per_thread = 8.5 + (2 * kRadius + 2) * 4.0;
+  const int* din = in.data();
+  int* dout = out.data();
+  omp::target_teams_generic(c, [&](omp::DeviceEnv&) {
+    return [=](omp::TeamCtx& team) {
+      int* tile = static_cast<int*>(
+          team.globalized((kBlock + 2 * kRadius) * sizeof(int)));
+      const std::int64_t base =
+          static_cast<std::int64_t>(team.team()) * kBlock;
+      team.parallel(0, [=](int tid) {
+        const std::int64_t g = base + tid;
+        const int l = tid + kRadius;
+        tile[l] = din[g + kRadius];
+        if (tid < kRadius) {
+          tile[l - kRadius] = din[g];
+          tile[l + kBlock] = din[g + kRadius + kBlock];
+        }
+      });
+      team.parallel(0, [=](int tid) {
+        const std::int64_t g = base + tid;
+        const int l = tid + kRadius;
+        int acc = 0;
+        for (int o = -kRadius; o <= kRadius; ++o) acc += tile[l + o];
+        dout[g] = acc;
+      });
+    };
+  });
+  return {"globalized (device heap, generic mode)",
+          dev.last_launch().time.total_ms,
+          std::accumulate(out.begin(), out.end(), 0LL)};
+}
+
+Placement run_private(simt::Device& dev, const std::vector<int>& in,
+                      std::vector<int>& out) {
+  // No staging at all: every thread reads its window from global memory
+  // (the register/L1 path — what a compiler does when it can demote).
+  dev.clear_launch_log();
+  const int* din = in.data();
+  int* dout = out.data();
+  ompx::LaunchSpec spec;
+  spec.num_teams = {static_cast<unsigned>(kN / kBlock)};
+  spec.thread_limit = {kBlock};
+  spec.mode = simt::ExecMode::kDirect;
+  spec.name = "tile_private";
+  spec.cost.global_bytes_per_thread = 8.5 + (2 * kRadius) * 4.0 * 0.3;
+  spec.device = &dev;
+  ompx::launch(spec, [=] {
+    const std::int64_t g = ompx::global_thread_id();
+    int acc = 0;
+    for (int o = -kRadius; o <= kRadius; ++o)
+      acc += din[g + kRadius + o];
+    dout[g] = acc;
+  });
+  return {"private / demoted (global reads, cached)",
+          dev.last_launch().time.total_ms,
+          std::accumulate(out.begin(), out.end(), 0LL)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A2 — tile placement: shared vs globalized vs "
+              "private ===\n(1-D stencil microkernel, n=%lld, sim-a100)\n\n",
+              static_cast<long long>(kN));
+  simt::Device& dev = simt::sim_a100();
+  std::vector<int> in(kN + 2 * kRadius);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<int>(i % 13);
+  std::vector<int> out(kN, 0);
+
+  const Placement shared = run_shared(dev, in, out);
+  const Placement heap = run_globalized(dev, in, out);
+  const Placement priv = run_private(dev, in, out);
+
+  std::printf("%-42s %12s %10s\n", "placement", "modeled-us", "vs-shared");
+  for (const Placement& p : {shared, priv, heap}) {
+    std::printf("%-42s %12.3f %9.2fx  (checksum %lld)\n", p.name,
+                p.modeled_ms * 1000.0, p.modeled_ms / shared.modeled_ms,
+                p.checksum);
+  }
+  if (shared.checksum != heap.checksum || shared.checksum != priv.checksum) {
+    std::printf("\nERROR: placements disagree!\n");
+    return 1;
+  }
+  std::printf("\nAll placements compute identical results; globalization "
+              "pays heap traffic\nplus the generic state machine — exactly "
+              "what groupprivate avoids (§2.5, §4.2.6).\n");
+  return 0;
+}

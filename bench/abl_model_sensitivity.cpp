@@ -1,0 +1,84 @@
+// Ablation A6 — calibration robustness.
+//
+// EXPERIMENTS.md flags every calibrated constant in the performance
+// model. This ablation perturbs the most influential ones (generic
+// state-machine handshake cost, per-launch dispatch cost, runtime init)
+// by 0.5x / 2x and re-derives the paper's two most mechanism-sensitive
+// findings — the Stencil-1D omp collapse (§4.2.6) and the Adam omp
+// slowdown (§4.2.5) — on private devices with scaled EventCosts. The
+// orderings must survive every perturbation; only magnitudes move.
+#include <cstdio>
+#include <memory>
+
+#include "apps/adam/adam.h"
+#include "apps/stencil1d/stencil1d.h"
+#include "core/ompx.h"
+
+namespace {
+
+struct Ratios {
+  double stencil_omp_over_ompx;
+  double adam_omp_over_ompx;
+};
+
+Ratios measure(double scale) {
+  // A private sim-a100-shaped device with scaled per-event costs. The
+  // apps only dispatch on vendor, so they run unmodified.
+  auto dev = std::make_unique<simt::Device>([] {
+    simt::DeviceConfig c = simt::make_sim_a100_config();
+    c.name = "sensitivity";
+    return c;
+  }());
+  simt::EventCosts& ec = dev->costs();
+  ec.handshake_generic_ns *= scale;
+  ec.handshake_ns *= scale;
+  ec.launch_us *= scale;
+  ec.runtime_init_us *= scale;
+  ec.dispatch_ns *= scale;
+  ec.barrier_ns *= scale;
+
+  Ratios r{};
+  {
+    apps::stencil1d::Options o;
+    o.n = 1 << 17;
+    o.iterations = 2;
+    const auto ompx = apps::stencil1d::run(apps::Version::kOmpx, *dev, o);
+    const auto omp = apps::stencil1d::run(apps::Version::kOmp, *dev, o);
+    r.stencil_omp_over_ompx = omp.kernel_ms / ompx.kernel_ms;
+  }
+  {
+    apps::adam::Options o;
+    o.steps = 10;
+    const auto ompx = apps::adam::run(apps::Version::kOmpx, *dev, o);
+    const auto omp = apps::adam::run(apps::Version::kOmp, *dev, o);
+    r.adam_omp_over_ompx = omp.kernel_ms / ompx.kernel_ms;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A6 — sensitivity of figure shapes to calibrated "
+              "event costs ===\n");
+  std::printf("(per-event costs scaled together; orderings must survive)\n\n");
+  std::printf("%10s %26s %24s\n", "scale", "stencil omp/ompx (>>1?)",
+              "adam omp/ompx (>1?)");
+  bool ok = true;
+  for (double scale : {0.5, 1.0, 2.0}) {
+    const Ratios r = measure(scale);
+    std::printf("%9.2fx %25.1fx %23.2fx\n", scale, r.stencil_omp_over_ompx,
+                r.adam_omp_over_ompx);
+    ok &= r.stencil_omp_over_ompx > 10.0;  // still orders of magnitude
+    ok &= r.adam_omp_over_ompx > 2.0;      // still clearly slower
+  }
+  if (!ok) {
+    std::printf("\nERROR: an ordering flipped under perturbation\n");
+    return 1;
+  }
+  std::printf("\nBoth findings are driven by measured mechanism counts "
+              "(handshakes, globalized\ntraffic, concurrency starvation); "
+              "the calibrated constants scale magnitudes\nbut cannot flip "
+              "the orderings.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation A4 — multi-dimensional num_teams/thread_limit (paper §3.2)
+// vs manual 1-D flattening: identical results, identical modeled cost,
+// but the 3-D form ports dim3-based CUDA code by text replacement.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/ompx.h"
+
+namespace {
+
+constexpr unsigned kNx = 64, kNy = 32, kNz = 16;
+constexpr unsigned kBx = 8, kBy = 8, kBz = 4;
+
+simt::KernelCost cost3d() {
+  simt::KernelCost c;
+  c.flops_per_thread = 6;
+  c.global_bytes_per_thread = 8;
+  return c;
+}
+
+double run_3d(simt::Device& dev, std::vector<float>& out) {
+  dev.clear_launch_log();
+  float* p = out.data();
+  ompx::LaunchSpec spec;
+  spec.num_teams = {kNx / kBx, kNy / kBy, kNz / kBz};  // §3.2 syntax
+  spec.thread_limit = {kBx, kBy, kBz};
+  spec.mode = simt::ExecMode::kDirect;
+  spec.name = "multidim_3d";
+  spec.cost = cost3d();
+  spec.device = &dev;
+  ompx::launch(spec, [=] {
+    const unsigned x = ompx_block_id_x() * kBx + ompx_thread_id_x();
+    const unsigned y = ompx_block_id_y() * kBy + ompx_thread_id_y();
+    const unsigned z = ompx_block_id_z() * kBz + ompx_thread_id_z();
+    p[(z * kNy + y) * kNx + x] =
+        static_cast<float>(x) + 2.0f * y + 3.0f * z;
+  });
+  return dev.last_launch().time.total_ms;
+}
+
+double run_flat(simt::Device& dev, std::vector<float>& out) {
+  dev.clear_launch_log();
+  float* p = out.data();
+  const unsigned total = kNx * kNy * kNz;
+  const unsigned block = kBx * kBy * kBz;
+  ompx::LaunchSpec spec;
+  spec.num_teams = {total / block};
+  spec.thread_limit = {block};
+  spec.mode = simt::ExecMode::kDirect;
+  spec.name = "multidim_flat";
+  spec.cost = cost3d();
+  spec.device = &dev;
+  ompx::launch(spec, [=] {
+    // The pre-extension workaround (§2.8): translate the workload into
+    // one dimension and reconstruct the coordinates by hand.
+    const std::int64_t i = ompx::global_thread_id();
+    const unsigned x = static_cast<unsigned>(i % kNx);
+    const unsigned y = static_cast<unsigned>((i / kNx) % kNy);
+    const unsigned z = static_cast<unsigned>(i / (kNx * kNy));
+    p[(z * kNy + y) * kNx + x] =
+        static_cast<float>(x) + 2.0f * y + 3.0f * z;
+  });
+  return dev.last_launch().time.total_ms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A4 — multi-dimensional launch vs manual "
+              "flattening ===\n(domain %ux%ux%u, block %ux%ux%u)\n\n",
+              kNx, kNy, kNz, kBx, kBy, kBz);
+  simt::Device& dev = simt::sim_a100();
+  std::vector<float> a(kNx * kNy * kNz, -1.0f), b(kNx * kNy * kNz, -2.0f);
+  const double t3 = run_3d(dev, a);
+  const double tf = run_flat(dev, b);
+  const double sum3 = std::accumulate(a.begin(), a.end(), 0.0);
+  const double sumf = std::accumulate(b.begin(), b.end(), 0.0);
+  std::printf("%-28s %10.3f us  (sum %.0f)\n", "num_teams(x,y,z) 3-D", t3 * 1e3,
+              sum3);
+  std::printf("%-28s %10.3f us  (sum %.0f)\n", "manual 1-D flattening",
+              tf * 1e3, sumf);
+  if (a != b) {
+    std::printf("\nERROR: results differ\n");
+    return 1;
+  }
+  std::printf("\nIdentical results and cost; the 3-D form is what lets dim3 "
+              "CUDA launches port\nby text replacement (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Figure 7: hardware and software configuration of the two
+// systems — here, the two simulated device configurations standing in
+// for them (the substitution DESIGN.md documents).
+#include <cstdio>
+
+#include "simt/device.h"
+
+namespace {
+void print_device(const simt::DeviceConfig& c, const char* paper_gpu,
+                  const char* paper_sdk) {
+  std::printf("%-22s: %s (simulating %s)\n", "GPU", c.name.c_str(), paper_gpu);
+  std::printf("%-22s: %s\n", "SDK (paper)", paper_sdk);
+  std::printf("%-22s: %u\n", "warp/wavefront size", c.warp_size);
+  std::printf("%-22s: %u\n", "SMs / CUs", c.num_sms);
+  std::printf("%-22s: %u\n", "max threads/block", c.max_threads_per_block);
+  std::printf("%-22s: %u\n", "max threads/SM", c.max_threads_per_sm);
+  std::printf("%-22s: %u\n", "registers/SM", c.regs_per_sm);
+  std::printf("%-22s: %llu KiB\n", "shared mem (LDS)/SM",
+              static_cast<unsigned long long>(c.smem_per_sm / 1024));
+  std::printf("%-22s: %.0f GiB\n", "global memory",
+              static_cast<double>(c.global_mem_bytes) / (1ull << 30));
+  std::printf("%-22s: %.2f GHz\n", "clock", c.clock_ghz);
+  std::printf("%-22s: %.0f GB/s\n", "memory bandwidth", c.mem_bw_gbps);
+  std::printf("%-22s: %.1f TFLOP/s (FMA)\n", "peak compute",
+              c.peak_gflops() / 1000.0);
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7 — Hardware and software configuration ===\n\n");
+  std::printf("--- AMD system ---\n");
+  print_device(simt::sim_mi250().config(), "AMD MI250 (one GCD)",
+               "ROCm 5.5 / CPU: AMD EPYC 7532 / 256 GB");
+  std::printf("--- NVIDIA system ---\n");
+  print_device(simt::sim_a100().config(), "NVIDIA A100 (40 GB)",
+               "CUDA 11.8 / CPU: AMD EPYC 7532 / 512 GB");
+  std::printf("Prototype compiler stand-in: calibrated CompilerProfiles per "
+              "program version\n(the paper's prototype is based on LLVM 18; "
+              "see EXPERIMENTS.md).\n");
+  return 0;
+}

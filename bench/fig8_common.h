@@ -1,0 +1,68 @@
+// Shared printer for the Figure 8 sub-plots: one benchmark, two
+// systems, four bars, paper-style.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/harness.h"
+
+namespace bench {
+
+struct Fig8Spec {
+  const char* app_name;          ///< registry name
+  const char* nv_subfig;         ///< e.g. "8a"
+  const char* amd_subfig;        ///< e.g. "8g"
+  const char* expected_shape;    ///< the paper's finding, quoted
+};
+
+inline const apps::AppDesc& find_app(const char* name) {
+  for (const auto& a : apps::registry())
+    if (a.name == name) return a;
+  std::fprintf(stderr, "unknown app %s\n", name);
+  std::abort();
+}
+
+inline void run_fig8(const Fig8Spec& spec) {
+  const apps::AppDesc& app = find_app(spec.app_name);
+  std::printf("=== Figure %s / %s — %s ===\n", spec.nv_subfig, spec.amd_subfig,
+              app.name.c_str());
+  std::printf("description : %s\n", app.description.c_str());
+  std::printf("paper CLI   : %s\n", app.paper_cli.c_str());
+  std::printf("this run    : %s (scaled for CPU-hosted simulation)\n",
+              app.scaled_params.c_str());
+  std::printf("paper shape : %s\n\n", spec.expected_shape);
+
+  const apps::Version versions[] = {
+      apps::Version::kOmpx, apps::Version::kOmp, apps::Version::kNative,
+      apps::Version::kNativeVendor};
+
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const bool nv = dev->config().vendor == simt::Vendor::kNvidia;
+    std::printf("-- %s (Fig. %s) --\n", dev->config().name.c_str(),
+                nv ? spec.nv_subfig : spec.amd_subfig);
+    double baseline = 0.0;  // the native-clang bar is the paper's baseline
+    std::vector<apps::RunResult> rows;
+    for (apps::Version v : versions)
+      rows.push_back(apps::run_cell(app, v, *dev));
+    for (const auto& r : rows)
+      if (r.version == "cuda" || r.version == "hip") baseline = r.kernel_ms;
+    std::printf("  %-10s %12s %10s  %s\n", "version", "modeled-ms",
+                "vs-native", "verification");
+    for (const auto& r : rows) {
+      if (!r.valid) {
+        std::printf("  %-10s %12s %10s  INVALID (%s)\n", r.version.c_str(),
+                    "-", "-", r.note.empty() ? "excluded" : r.note.c_str());
+        continue;
+      }
+      std::printf("  %-10s %12.4f %9.2fx  ok (checksum %016llx)\n",
+                  r.version.c_str(), r.kernel_ms,
+                  baseline > 0 ? r.kernel_ms / baseline : 0.0,
+                  static_cast<unsigned long long>(r.checksum));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,11 @@
+// Regenerates Figure 8a (NVIDIA) and 8g (AMD): XSBench.
+#include "fig8_common.h"
+
+int main() {
+  bench::run_fig8({
+      "XSBench", "8a", "8g",
+      "ompx consistently outperforms the native versions compiled with "
+      "both LLVM/Clang and the vendor compiler on both systems; the omp "
+      "version is excluded for reporting an invalid checksum (§4.2.1)"});
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Host-side microbenchmarks of the SIMT engine itself (google-benchmark,
+// real wall time): fiber switch cost, barrier rendezvous, warp
+// collectives, direct-vs-cooperative launch overhead, stream dispatch.
+// These justify the engine design choices DESIGN.md documents (custom
+// asm context switch, direct mode, stack pooling).
+#include <benchmark/benchmark.h>
+
+#include "core/ompx.h"
+#include "simt/simt.h"
+
+namespace {
+
+void BM_FiberCreateResume(benchmark::State& state) {
+  simt::FiberStackPool pool;
+  for (auto _ : state) {
+    simt::Fiber f(pool, [] {});
+    f.resume();
+  }
+}
+BENCHMARK(BM_FiberCreateResume);
+
+void BM_FiberSwitchPingPong(benchmark::State& state) {
+  simt::FiberStackPool pool;
+  bool stop = false;
+  simt::Fiber f(pool, [&] {
+    while (!stop) simt::Fiber::current()->yield();
+  });
+  for (auto _ : state) f.resume();  // one switch in, one out
+  stop = true;
+  f.resume();
+}
+BENCHMARK(BM_FiberSwitchPingPong);
+
+void BM_DirectLaunchPerThread(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {static_cast<unsigned>(state.range(0))};
+  p.block = {256};
+  p.mode = simt::ExecMode::kDirect;
+  p.name = "bm_direct";
+  for (auto _ : state) dev.launch_sync(p, [] {});
+  state.SetItemsProcessed(state.iterations() * p.grid.count() *
+                          p.block.count());
+}
+BENCHMARK(BM_DirectLaunchPerThread)->Arg(16)->Arg(256);
+
+void BM_CooperativeLaunchPerThread(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {static_cast<unsigned>(state.range(0))};
+  p.block = {256};
+  p.name = "bm_coop";
+  for (auto _ : state) dev.launch_sync(p, [] {});
+  state.SetItemsProcessed(state.iterations() * p.grid.count() *
+                          p.block.count());
+}
+BENCHMARK(BM_CooperativeLaunchPerThread)->Arg(16)->Arg(256);
+
+void BM_BlockBarrier(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  const int barriers = 16;
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {static_cast<unsigned>(state.range(0))};
+  p.name = "bm_barrier";
+  for (auto _ : state) {
+    dev.launch_sync(p, [&] {
+      auto& t = simt::this_thread();
+      for (int i = 0; i < barriers; ++i) t.block->sync_threads(t);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * barriers);
+}
+BENCHMARK(BM_BlockBarrier)->Arg(32)->Arg(256);
+
+void BM_WarpShuffle(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  const int rounds = 64;
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {32};
+  p.name = "bm_shfl";
+  for (auto _ : state) {
+    dev.launch_sync(p, [&] {
+      auto& t = simt::this_thread();
+      std::uint64_t v = t.lane;
+      for (int i = 0; i < rounds; ++i)
+        v = t.warp->collective(t, simt::WarpOp::kShflXor, v, 1, ~0ull);
+      benchmark::DoNotOptimize(v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_WarpShuffle);
+
+void BM_StreamDispatch(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {1};
+  p.mode = simt::ExecMode::kDirect;
+  p.name = "bm_stream";
+  simt::Stream& s = dev.default_stream();
+  for (auto _ : state) {
+    s.launch(p, [] {});
+    s.synchronize();
+  }
+}
+BENCHMARK(BM_StreamDispatch);
+
+void BM_MappingEnterExit(benchmark::State& state) {
+  simt::Device dev(simt::make_sim_a100_config());
+  omp::MappingTable table(dev);
+  std::vector<char> host(1 << 16);
+  for (auto _ : state) {
+    table.enter(omp::map_tofrom(host.data(), host.size()));
+    table.exit(omp::map_tofrom(host.data(), host.size()));
+  }
+}
+BENCHMARK(BM_MappingEnterExit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

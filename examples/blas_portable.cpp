@@ -1,0 +1,80 @@
+// The vendor-library wrapper layer (paper §3.6): one code path calling
+// ompx::blas, dispatched to the simulated cuBLAS on the CUDA-shaped
+// device and the simulated rocBLAS on the HIP-shaped device.
+//
+// Solves a small least-squares problem via the normal equations
+// (A^T A x = A^T b, one Jacobi-ish refinement loop) using only wrapper
+// calls — gemm, gemv, axpy, dot, nrm2 — so every entry point runs.
+//
+// Build & run:  ./blas_portable
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "blas/ompx_blas.h"
+
+namespace {
+
+constexpr int kM = 64;  // rows
+constexpr int kN = 16;  // cols
+
+double run_on(simt::Device& dev) {
+  std::printf("-- %s (%s) --\n", dev.config().name.c_str(),
+              dev.config().vendor == simt::Vendor::kNvidia
+                  ? "dispatching to nvblas, the simulated cuBLAS"
+                  : "dispatching to rocblas_sim, the simulated rocBLAS");
+
+  // Column-major A (m x n), b, all deterministic.
+  std::vector<double> a(static_cast<std::size_t>(kM) * kN);
+  std::vector<double> b(kM);
+  for (int j = 0; j < kN; ++j)
+    for (int i = 0; i < kM; ++i)
+      a[i + static_cast<std::size_t>(j) * kM] =
+          1.0 / (1.0 + i + j) + (i == j ? 1.0 : 0.0);
+  for (int i = 0; i < kM; ++i) b[i] = 1.0 + 0.01 * i;
+
+  ompx::blas::Handle h(dev);
+
+  // G = A^T A  (n x n), c = A^T b.
+  std::vector<double> g(static_cast<std::size_t>(kN) * kN, 0.0);
+  std::vector<double> c(kN, 0.0);
+  h.gemm(ompx::blas::Op::kT, ompx::blas::Op::kN, kN, kN, kM, 1.0, a.data(),
+         kM, a.data(), kM, 0.0, g.data(), kN);
+  h.gemv(ompx::blas::Op::kT, kM, kN, 1.0, a.data(), kM, b.data(), 0.0,
+         c.data());
+
+  // Richardson iteration: x += w * (c - G x).
+  std::vector<double> x(kN, 0.0), r(kN, 0.0);
+  const double w = 0.5 / h.nrm2(kN * kN, g.data());
+  double resid = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    // r = c - G x
+    r = c;
+    h.gemv(ompx::blas::Op::kN, kN, kN, -1.0, g.data(), kN, x.data(), 1.0,
+           r.data());
+    h.axpy(kN, w, r.data(), x.data());
+    resid = h.nrm2(kN, r.data());
+    if (resid < 1e-12) break;
+  }
+
+  const double xtc = h.dot(kN, x.data(), c.data());
+  std::printf("   residual ||c - Gx|| = %.3e,  x.c = %.12f\n", resid, xtc);
+  return xtc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("blas_portable: normal-equations solve through the ompx BLAS "
+              "wrapper (§3.6)\n\n");
+  const double nv = run_on(simt::sim_a100());
+  const double amd = run_on(simt::sim_mi250());
+  if (std::abs(nv - amd) > 1e-9) {
+    std::fprintf(stderr, "vendor backends disagree: %.15f vs %.15f\n", nv, amd);
+    return EXIT_FAILURE;
+  }
+  std::printf("\nidentical numerics from both vendor backends — the wrapper "
+              "layer hides the\nvendor APIs (scalar-by-pointer cuBLAS vs "
+              "scalar-by-value rocBLAS) entirely.\n");
+  return EXIT_SUCCESS;
+}

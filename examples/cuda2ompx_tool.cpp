@@ -1,0 +1,49 @@
+// cuda2ompx command-line tool — the code-rewriting integration the
+// paper's §6 lists as future work, built on src/rewrite.
+//
+//   ./cuda2ompx_tool < kernel.cu > kernel_ompx.cpp
+//   ./cuda2ompx_tool --no-launches < kernel.cu
+//
+// Reads CUDA source on stdin, writes ompx source on stdout, and prints
+// a rewrite report (counts + anything left for a human) on stderr.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rewrite/cuda2ompx.h"
+
+int main(int argc, char** argv) {
+  rewrite::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-launches") == 0)
+      opt.rewrite_launches = false;
+    else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--no-launches] < cuda.cu > ompx.cpp\n",
+                   argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::ostringstream in;
+  in << std::cin.rdbuf();
+
+  rewrite::Report report;
+  const std::string out = rewrite::cuda_to_ompx(in.str(), &report, opt);
+  std::cout << out;
+
+  std::fprintf(stderr, "cuda2ompx: %d replacements\n", report.replacements);
+  for (const auto& n : report.notes)
+    std::fprintf(stderr, "  %s\n", n.c_str());
+  if (!report.unported.empty()) {
+    std::fprintf(stderr, "needs a human:\n");
+    for (const auto& u : report.unported)
+      std::fprintf(stderr, "  ! %s\n", u.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// 2-D heat diffusion with multi-dimensional teams (paper §3.2).
+//
+// A Jacobi sweep over a 2-D grid written exactly like a dim3-based CUDA
+// kernel: num_teams(gx, gy), thread_limit(16, 16), 2-D indexing through
+// the ompx APIs, and a groupprivate tile staged per team. Compares the
+// result against a host reference and reports the modeled time split.
+//
+// Build & run:  ./heat2d [nx ny steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ompx.h"
+
+namespace {
+
+constexpr int kTile = 16;
+
+/// One Jacobi step on the host (reference).
+void host_step(const std::vector<float>& in, std::vector<float>& out, int nx,
+               int ny) {
+  for (int y = 1; y < ny - 1; ++y)
+    for (int x = 1; x < nx - 1; ++x)
+      out[y * nx + x] = 0.25f * (in[y * nx + x - 1] + in[y * nx + x + 1] +
+                                 in[(y - 1) * nx + x] + in[(y + 1) * nx + x]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nx = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int ny = argc > 2 ? std::atoi(argv[2]) : 256;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (nx % kTile != 0 || ny % kTile != 0) {
+    std::fprintf(stderr, "nx and ny must be multiples of %d\n", kTile);
+    return EXIT_FAILURE;
+  }
+
+  // Hot spot in the middle, cold boundary.
+  std::vector<float> host(static_cast<std::size_t>(nx) * ny, 0.0f);
+  for (int y = ny / 4; y < 3 * ny / 4; ++y)
+    for (int x = nx / 4; x < 3 * nx / 4; ++x) host[y * nx + x] = 100.0f;
+
+  simt::Device& dev = ompx::default_device();
+  auto* a = ompx::malloc_n<float>(host.size());
+  auto* b = ompx::malloc_n<float>(host.size());
+  ompx_memcpy(a, host.data(), host.size() * sizeof(float));
+  ompx_memcpy(b, host.data(), host.size() * sizeof(float));
+  dev.clear_launch_log();
+
+  ompx::LaunchSpec spec;
+  spec.num_teams = {static_cast<unsigned>(nx / kTile),
+                    static_cast<unsigned>(ny / kTile)};   // 2-D grid (§3.2)
+  spec.thread_limit = {kTile, kTile};                     // 2-D block
+  spec.name = "heat2d_jacobi";
+  spec.cost.flops_per_thread = 4;
+  spec.cost.global_bytes_per_thread = 8;  // tile-staged reads + 1 write
+  spec.cost.shared_bytes_per_thread = 5 * 4;
+
+  float* src = a;
+  float* dst = b;
+  for (int s = 0; s < steps; ++s) {
+    const float* in = src;
+    float* out = dst;
+    ompx::launch(spec, [=] {
+      // (kTile+2)^2 tile with halo, staged by the 16x16 team.
+      float* tile = ompx::groupprivate<float>((kTile + 2) * (kTile + 2));
+      const int tx = ompx_thread_id_x(), ty = ompx_thread_id_y();
+      const int gx = ompx_block_id_x() * kTile + tx;
+      const int gy = ompx_block_id_y() * kTile + ty;
+      auto tile_at = [&](int lx, int ly) -> float& {
+        return tile[(ly + 1) * (kTile + 2) + (lx + 1)];
+      };
+      auto src_at = [&](int x, int y) {
+        x = std::min(std::max(x, 0), nx - 1);
+        y = std::min(std::max(y, 0), ny - 1);
+        return in[y * nx + x];
+      };
+      tile_at(tx, ty) = src_at(gx, gy);
+      if (tx == 0) tile_at(-1, ty) = src_at(gx - 1, gy);
+      if (tx == kTile - 1) tile_at(kTile, ty) = src_at(gx + 1, gy);
+      if (ty == 0) tile_at(tx, -1) = src_at(gx, gy - 1);
+      if (ty == kTile - 1) tile_at(tx, kTile) = src_at(gx, gy + 1);
+      ompx_sync_thread_block();
+      if (gx > 0 && gx < nx - 1 && gy > 0 && gy < ny - 1)
+        out[gy * nx + gx] =
+            0.25f * (tile_at(tx - 1, ty) + tile_at(tx + 1, ty) +
+                     tile_at(tx, ty - 1) + tile_at(tx, ty + 1));
+    });
+    std::swap(src, dst);
+  }
+
+  std::vector<float> result(host.size());
+  ompx_memcpy(result.data(), src, result.size() * sizeof(float));
+
+  // Host reference.
+  std::vector<float> ra = host, rb = host;
+  for (int s = 0; s < steps; ++s) {
+    host_step(ra, rb, nx, ny);
+    std::swap(ra, rb);
+  }
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < result.size(); ++i)
+    max_err = std::max(max_err, std::fabs(static_cast<double>(result[i]) -
+                                          ra[i]));
+  const auto rec = dev.last_launch();
+  std::printf("heat2d: %dx%d grid, %d Jacobi steps on %s — max |err| = %.3g\n",
+              nx, ny, steps, dev.config().name.c_str(), max_err);
+  std::printf("per-step modeled: %.3f us (memory %.3f, shared %.3f, "
+              "overhead %.3f; occupancy %.0f%%)\n",
+              rec.time.total_ms * 1e3, rec.time.memory_ms * 1e3,
+              rec.time.shared_ms * 1e3, rec.time.overhead_ms * 1e3,
+              rec.time.occupancy * 100.0);
+  ompx_free(a);
+  ompx_free(b);
+  return max_err < 1e-4 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,109 @@
+// CLI runner for the six ported HeCBench applications — the
+// reproduction's equivalent of invoking each benchmark binary.
+//
+//   ./run_benchmark                                 # list apps
+//   ./run_benchmark XSBench                         # all versions, both devices
+//   ./run_benchmark Adam ompx sim-mi250             # one cell
+//   ./run_benchmark Adam ompx sim-a100 10000 200 100  # paper CLI (scaled)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/cli.h"
+#include "apps/harness.h"
+
+namespace {
+
+void list_apps() {
+  std::printf("available benchmarks:\n");
+  for (const auto& a : apps::registry())
+    std::printf("  %-12s %s (paper CLI: %s)\n", a.name.c_str(),
+                a.description.c_str(), a.paper_cli.c_str());
+  std::printf("\nversions: ompx omp native native-vendor\n");
+  std::printf("devices : sim-a100 sim-mi250\n");
+}
+
+bool parse_version(const std::string& s, apps::Version* out) {
+  if (s == "ompx") *out = apps::Version::kOmpx;
+  else if (s == "omp") *out = apps::Version::kOmp;
+  else if (s == "native" || s == "cuda" || s == "hip")
+    *out = apps::Version::kNative;
+  else if (s == "native-vendor" || s == "cuda-nvcc" || s == "hip-hipcc")
+    *out = apps::Version::kNativeVendor;
+  else return false;
+  return true;
+}
+
+void print_row(const apps::RunResult& r) {
+  if (r.valid) {
+    std::printf("  %-10s %-10s kernel %10.4f ms  wall %8.1f ms  ok "
+                "(checksum %016llx)\n",
+                r.device.c_str(), r.version.c_str(), r.kernel_ms, r.wall_ms,
+                static_cast<unsigned long long>(r.checksum));
+  } else {
+    std::printf("  %-10s %-10s kernel %10s     wall %8.1f ms  INVALID %s\n",
+                r.device.c_str(), r.version.c_str(), "-", r.wall_ms,
+                r.note.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    list_apps();
+    return 0;
+  }
+  const apps::AppDesc* app = nullptr;
+  for (const auto& a : apps::registry())
+    if (a.name == argv[1]) app = &a;
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n\n", argv[1]);
+    list_apps();
+    return 1;
+  }
+
+  std::printf("%s — %s\nscaled parameters: %s\n\n", app->name.c_str(),
+              app->description.c_str(), app->scaled_params.c_str());
+
+  if (argc >= 4) {
+    apps::Version v;
+    if (!parse_version(argv[2], &v)) {
+      std::fprintf(stderr, "unknown version '%s'\n", argv[2]);
+      return 1;
+    }
+    simt::Device& dev = simt::device_by_name(argv[3]);
+    if (argc > 4) {
+      // Remaining arguments are the benchmark's own (paper) CLI,
+      // parsed per app and scaled for the CPU-hosted engine.
+      const apps::cli::Args extra(argv + 4, argv + argc);
+      apps::RunResult r;
+      if (app->name == "XSBench")
+        r = apps::xsbench::run(v, dev, apps::cli::parse_xsbench(extra));
+      else if (app->name == "RSBench")
+        r = apps::rsbench::run(v, dev, apps::cli::parse_rsbench(extra));
+      else if (app->name == "SU3")
+        r = apps::su3::run(v, dev, apps::cli::parse_su3(extra));
+      else if (app->name == "AIDW")
+        r = apps::aidw::run(v, dev, apps::cli::parse_aidw(extra));
+      else if (app->name == "Adam")
+        r = apps::adam::run(v, dev, apps::cli::parse_adam(extra));
+      else
+        r = apps::stencil1d::run(v, dev, apps::cli::parse_stencil1d(extra));
+      r.version = apps::bar_label(v, dev);
+      r.device = dev.config().name;
+      print_row(r);
+      return r.valid || v == apps::Version::kOmp ? 0 : 2;
+    }
+    print_row(apps::run_cell(*app, v, dev));
+    return 0;
+  }
+
+  for (simt::Device* dev : simt::device_registry())
+    for (apps::Version v :
+         {apps::Version::kOmpx, apps::Version::kOmp, apps::Version::kNative,
+          apps::Version::kNativeVendor})
+      print_row(apps::run_cell(*app, v, *dev));
+  return 0;
+}

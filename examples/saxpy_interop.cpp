@@ -1,0 +1,102 @@
+// Streams and the extended depend clause (paper §3.5, Figure 5).
+//
+// Four independent SAXPY pipelines, each dispatched into its own
+// stream through an interop object:
+//
+//   omp_interop_t obj = omp_interop_none;
+//   #pragma omp interop init(targetsync: obj)
+//   #pragma omp target teams ompx_bare nowait depend(interopobj: obj)
+//   { ... }
+//   #pragma omp taskwait depend(interopobj: obj)
+//
+// Build & run:  ./saxpy_interop
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ompx.h"
+
+namespace {
+
+constexpr int kPipelines = 4;
+constexpr int kN = 1 << 16;
+constexpr int kSteps = 6;
+
+}  // namespace
+
+int main() {
+  simt::Device& dev = ompx::default_device();
+
+  // One interop object (= one stream) per pipeline:
+  //   #pragma omp interop init(targetsync: obj) — §3.5 / OpenMP 5.1.
+  std::vector<omp::Interop> objs;
+  for (int p = 0; p < kPipelines; ++p)
+    objs.push_back(omp::interop_init_targetsync(dev));
+
+  // Device data per pipeline.
+  std::vector<float*> xs(kPipelines), ys(kPipelines);
+  std::vector<float> host(kN, 1.0f);
+  for (int p = 0; p < kPipelines; ++p) {
+    xs[p] = ompx::malloc_n<float>(kN);
+    ys[p] = ompx::malloc_n<float>(kN);
+    ompx_memcpy(xs[p], host.data(), kN * sizeof(float));
+    ompx_memcpy(ys[p], host.data(), kN * sizeof(float));
+  }
+
+  const double t0 = dev.modeled_now_ms();
+
+  // Each pipeline chains kSteps dependent SAXPY kernels in its stream;
+  // the four streams are independent and overlap on the device.
+  for (int step = 0; step < kSteps; ++step) {
+    for (int p = 0; p < kPipelines; ++p) {
+      ompx::LaunchSpec spec;
+      spec.num_teams = {kN / 256};
+      spec.thread_limit = {256};
+      spec.nowait = true;                 // nowait
+      spec.depend_interop = &objs[p];     // depend(interopobj: obj)
+      spec.mode = simt::ExecMode::kDirect;
+      spec.name = "saxpy";
+      spec.cost.global_bytes_per_thread = 12;
+      spec.cost.flops_per_thread = 2;
+      float* x = xs[p];
+      float* y = ys[p];
+      const float a = 0.5f + 0.25f * static_cast<float>(p);
+      ompx::launch(spec, [=] {
+        const std::int64_t i = ompx::global_thread_id();
+        y[i] = a * x[i] + y[i];
+      });
+    }
+  }
+
+  // #pragma omp taskwait depend(interopobj: obj) — per-stream sync.
+  for (auto& obj : objs) ompx::taskwait(obj);
+  const double elapsed = dev.modeled_now_ms() - t0;
+
+  // Verify: y = 1 + steps * a (x stays 1).
+  for (int p = 0; p < kPipelines; ++p) {
+    std::vector<float> out(kN);
+    ompx_memcpy(out.data(), ys[p], kN * sizeof(float));
+    const float expect = 1.0f + kSteps * (0.5f + 0.25f * static_cast<float>(p));
+    for (int i = 0; i < kN; ++i) {
+      if (out[i] != expect) {
+        std::fprintf(stderr, "pipeline %d MISMATCH: %f != %f\n", p, out[i],
+                     expect);
+        return EXIT_FAILURE;
+      }
+    }
+  }
+
+  std::printf("saxpy_interop: OK — %d pipelines x %d kernels overlapped "
+              "across %d interop streams\n",
+              kPipelines, kSteps, kPipelines);
+  std::printf("modeled device time %.3f ms (a single stream would serialize "
+              "to ~%.3f ms)\n",
+              elapsed, elapsed * kPipelines);
+
+  for (int p = 0; p < kPipelines; ++p) {
+    ompx_free(xs[p]);
+    ompx_free(ys[p]);
+    omp::interop_destroy(objs[p]);
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,46 @@
+// Paper-CLI parsing for the six benchmark ports.
+//
+// Each HeCBench application has its own command line (Figure 6). These
+// parsers accept those exact argument vectors and map them onto the
+// port's Options. With `scaled = true` (the default) the parsed problem
+// is divided down by each app's documented scale factor so it runs in
+// seconds on the CPU-hosted engine; `scaled = false` keeps paper-scale
+// values (functional, but minutes-to-hours of simulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/adam/adam.h"
+#include "apps/aidw/aidw.h"
+#include "apps/rsbench/rsbench.h"
+#include "apps/stencil1d/stencil1d.h"
+#include "apps/su3/su3.h"
+#include "apps/xsbench/xsbench.h"
+
+namespace apps::cli {
+
+using Args = std::vector<std::string>;
+
+/// XSBench: `-m event [-l lookups] [-g gridpoints] [-s small|large]`.
+/// Only the event-based method is supported (the paper's `-m event`).
+xsbench::Options parse_xsbench(const Args& args, bool scaled = true);
+
+/// RSBench: `-m event [-l lookups] [-p poles] [-w windows]`.
+rsbench::Options parse_rsbench(const Args& args, bool scaled = true);
+
+/// SU3: `-i iterations -l lattice_dim -t threads [-v level] [-w warmups]`
+/// (sites = lattice_dim^4; the paper's `-l 32 -t 128`).
+su3::Options parse_su3(const Args& args, bool scaled = true);
+
+/// AIDW: `<dnum_k> <check> <inum_k>` — data/interpolated point counts in
+/// thousands (the paper's `100 0 100`), check flag ignored.
+aidw::Options parse_aidw(const Args& args, bool scaled = true);
+
+/// Adam: `<n> <timesteps> <repeat>` (the paper's `10000 200 100`).
+adam::Options parse_adam(const Args& args, bool scaled = true);
+
+/// Stencil-1D: `<n> <iterations>` (the paper's `134217728 1000`).
+stencil1d::Options parse_stencil1d(const Args& args, bool scaled = true);
+
+}  // namespace apps::cli

@@ -1,0 +1,76 @@
+// Shared benchmark-application harness.
+//
+// Every HeCBench port in apps/ exposes the same surface: a set of
+// program versions (the paper's four bars), a deterministic workload,
+// kernel-time measurement via the engine's launch log, and the
+// benchmark's own verification. The harness runs a (version, device)
+// pair and returns the row a figure printer consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/simt.h"
+
+namespace apps {
+
+/// The paper's four program versions (Figure 8's four bars).
+enum class Version {
+  kOmpx,          ///< OpenMP kernel language (this work)
+  kOmp,           ///< classic OpenMP target offloading
+  kNative,        ///< CUDA/HIP compiled with LLVM/Clang
+  kNativeVendor,  ///< CUDA/HIP compiled with nvcc/hipcc
+};
+
+const char* version_name(Version v);
+/// The per-device bar label the paper uses ("cuda" vs "hip", ...).
+std::string bar_label(Version v, const simt::Device& dev);
+
+/// One benchmark run's outcome.
+struct RunResult {
+  std::string app;
+  std::string version;   ///< bar label
+  std::string device;
+  double kernel_ms = 0.0;     ///< modeled device time the app reports
+  double wall_ms = 0.0;       ///< host wall time of the simulation
+  std::uint64_t checksum = 0; ///< the benchmark's verification value
+  bool valid = false;         ///< checksum matched the reference
+  std::string note;
+};
+
+/// An application registered with the harness.
+struct AppDesc {
+  std::string name;
+  std::string description;    ///< Fig. 6 row
+  std::string paper_cli;      ///< Fig. 6 command line
+  std::string scaled_params;  ///< what this reproduction runs
+  /// Runs one version on one device and fills kernel_ms/checksum.
+  std::function<RunResult(Version, simt::Device&)> run;
+};
+
+/// Registry of the six ported benchmarks (order matches Fig. 6/8).
+const std::vector<AppDesc>& registry();
+
+/// Executes one (app, version, device) cell with log bookkeeping and
+/// wall-time measurement around the app's own run function.
+RunResult run_cell(const AppDesc& app, Version v, simt::Device& dev);
+
+/// Utility: sum of modeled kernel time currently in the device log.
+double modeled_kernel_ms(simt::Device& dev);
+
+/// Deterministic 64-bit mix (splitmix64) used by app RNGs and hashes.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0,1) from a seed (deterministic across versions).
+constexpr double uniform01(std::uint64_t seed) {
+  return static_cast<double>(mix64(seed) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace apps

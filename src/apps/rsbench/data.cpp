@@ -1,0 +1,163 @@
+#include <cmath>
+
+#include "apps/rsbench/rsbench.h"
+
+namespace apps::rsbench {
+
+SimulationData make_data(const Options& opt) {
+  SimulationData d;
+  d.opt = opt;
+  const int nn = opt.n_nuclides;
+
+  d.poles.resize(static_cast<std::size_t>(nn) * opt.n_poles);
+  for (int n = 0; n < nn; ++n) {
+    for (int p = 0; p < opt.n_poles; ++p) {
+      const std::uint64_t s = mix64(n * 1000003ull + p);
+      Pole& pl = d.poles[static_cast<std::size_t>(n) * opt.n_poles + p];
+      // Pole energies ascend through (0,1) so window -> pole ranges are
+      // physically ordered, as RSBench's generator arranges.
+      const double e = (p + uniform01(s)) / opt.n_poles;
+      pl.mp_ea = {e, 0.01 + 0.05 * uniform01(mix64(s))};
+      pl.mp_rt = {uniform01(s ^ 0x1111) - 0.5, uniform01(s ^ 0x2222) - 0.5};
+      pl.mp_ra = {uniform01(s ^ 0x3333) - 0.5, uniform01(s ^ 0x4444) - 0.5};
+      pl.mp_rf = {uniform01(s ^ 0x5555) - 0.5, uniform01(s ^ 0x6666) - 0.5};
+      pl.l_value = static_cast<short>(mix64(s ^ 0x7777) % 4);
+    }
+  }
+
+  d.windows.resize(static_cast<std::size_t>(nn) * opt.n_windows);
+  const int ppw = opt.n_poles / opt.n_windows;
+  for (int n = 0; n < nn; ++n) {
+    for (int w = 0; w < opt.n_windows; ++w) {
+      const std::uint64_t s = mix64(n * 7919ull + w);
+      Window& win = d.windows[static_cast<std::size_t>(n) * opt.n_windows + w];
+      win.t_fit = uniform01(s) * 0.1;
+      win.a_fit = uniform01(mix64(s)) * 0.1;
+      win.f_fit = uniform01(mix64(mix64(s))) * 0.1;
+      win.start = w * ppw;
+      win.end = (w + 1) * ppw;
+    }
+  }
+
+  d.pseudo_k0rs.resize(static_cast<std::size_t>(nn) * 4);
+  for (int n = 0; n < nn; ++n)
+    for (int l = 0; l < 4; ++l)
+      d.pseudo_k0rs[static_cast<std::size_t>(n) * 4 + l] =
+          0.5 + uniform01(mix64(n * 31 + l));
+
+  // Materials: same composition scheme as XSBench (fuel material
+  // densest, sampled half the time).
+  d.num_nucs.resize(opt.n_mats);
+  d.mats.assign(static_cast<std::size_t>(opt.n_mats) * opt.max_nucs_per_mat, 0);
+  d.concs.assign(static_cast<std::size_t>(opt.n_mats) * opt.max_nucs_per_mat,
+                 0.0);
+  for (int m = 0; m < opt.n_mats; ++m) {
+    const int count =
+        m == 0 ? opt.max_nucs_per_mat
+               : 2 + static_cast<int>(uniform01(mix64(m)) *
+                                      (opt.max_nucs_per_mat - 2));
+    d.num_nucs[m] = count;
+    for (int i = 0; i < count; ++i) {
+      d.mats[static_cast<std::size_t>(m) * opt.max_nucs_per_mat + i] =
+          static_cast<int>(mix64(m * 131ull + i) % nn);
+      d.concs[static_cast<std::size_t>(m) * opt.max_nucs_per_mat + i] =
+          0.1 + uniform01(mix64(m * 257ull + i));
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// RSBench's calculate_sig_T: the per-nuclide phase factors, one per
+/// angular momentum channel. This is the scratch array whose placement
+/// (registers / local memory / shared) differentiates the versions.
+void calculate_sig_t(int nuc, double energy, const double* pseudo_k0rs,
+                     std::complex<double>* sig_t_factors) {
+  for (int l = 0; l < 4; ++l) {
+    const double phi_raw = pseudo_k0rs[nuc * 4 + l] * std::sqrt(energy);
+    double phi = phi_raw;
+    if (l == 1)
+      phi -= std::atan(phi);
+    else if (l == 2)
+      phi -= std::atan(3.0 * phi / (3.0 - phi * phi));
+    else if (l == 3)
+      phi -= std::atan(phi * (15.0 - phi * phi) / (15.0 - 6.0 * phi * phi));
+    phi *= 2.0;
+    sig_t_factors[l] = {std::cos(phi), -std::sin(phi)};
+  }
+}
+
+/// RSBench's fast_nuclear_W stand-in: the Faddeeva-style kernel applied
+/// per pole (the hot complex arithmetic).
+std::complex<double> faddeeva_like(std::complex<double> z) {
+  // Pade-like rational form: cheap but non-trivial complex math.
+  const std::complex<double> i(0.0, 1.0);
+  const std::complex<double> z2 = z * z;
+  return (i * z + 0.5) / (z2 - z + std::complex<double>(0.75, 0.1));
+}
+
+}  // namespace
+
+int lookup_one(std::uint64_t seed, const Pole* poles, const Window* windows,
+               const double* pseudo_k0rs, const int* num_nucs, const int* mats,
+               const double* concs, const Options& opt,
+               std::complex<double>* sig_t_factors) {
+  const double m_sample = uniform01(seed);
+  const int mat =
+      m_sample < 0.5
+          ? 0
+          : 1 + static_cast<int>(uniform01(mix64(seed)) * (opt.n_mats - 1)) %
+                    (opt.n_mats - 1);
+  const double e = 1e-6 + uniform01(seed ^ 0xabcdef123456ull) * 0.9999;
+
+  double macro[4] = {0, 0, 0, 0};
+  const int nn = num_nucs[mat];
+  for (int idx = 0; idx < nn; ++idx) {
+    const int nuc = mats[mat * opt.max_nucs_per_mat + idx];
+    const double conc = concs[mat * opt.max_nucs_per_mat + idx];
+
+    calculate_sig_t(nuc, e, pseudo_k0rs, sig_t_factors);
+
+    const int w = static_cast<int>(e * opt.n_windows) % opt.n_windows;
+    const Window& win =
+        windows[static_cast<std::size_t>(nuc) * opt.n_windows + w];
+    double sig_t = win.t_fit * e, sig_a = win.a_fit * e, sig_f = win.f_fit * e;
+
+    const double sqrt_e = std::sqrt(e);
+    for (int p = win.start; p < win.end; ++p) {
+      const Pole& pl = poles[static_cast<std::size_t>(nuc) * opt.n_poles + p];
+      const std::complex<double> z = (pl.mp_ea - sqrt_e) * 20.0;
+      const std::complex<double> fad = faddeeva_like(z);
+      const std::complex<double> psi = fad * sig_t_factors[pl.l_value];
+      sig_t += (pl.mp_rt * psi).real();
+      sig_a += (pl.mp_ra * psi).real();
+      sig_f += (pl.mp_rf * psi).real();
+    }
+    macro[0] += conc * sig_t;
+    macro[1] += conc * sig_a;
+    macro[2] += conc * sig_f;
+    macro[3] += conc * (sig_t - sig_a);  // elastic
+  }
+
+  int arg = 0;
+  for (int c = 1; c < 4; ++c)
+    if (macro[c] > macro[arg]) arg = c;
+  return arg;
+}
+
+std::uint64_t reference_hash(const SimulationData& d) {
+  std::uint64_t h = 0;
+  std::complex<double> scratch[4];
+  for (std::int64_t i = 0; i < d.opt.lookups; ++i) {
+    const int v = lookup_one(static_cast<std::uint64_t>(i), d.poles.data(),
+                             d.windows.data(), d.pseudo_k0rs.data(),
+                             d.num_nucs.data(), d.mats.data(), d.concs.data(),
+                             d.opt, scratch);
+    h ^= mix64(static_cast<std::uint64_t>(i) ^
+               (static_cast<std::uint64_t>(v) + 1));
+  }
+  return h;
+}
+
+}  // namespace apps::rsbench

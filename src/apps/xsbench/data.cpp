@@ -1,0 +1,103 @@
+#include "apps/xsbench/xsbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apps::xsbench {
+
+SimulationData make_data(const Options& opt) {
+  SimulationData d;
+  d.opt = opt;
+  const int nn = opt.n_nuclides, gp = opt.n_gridpoints;
+
+  // Per-nuclide ascending energy grids with nuclide-dependent spacing
+  // (XSBench's grids differ per nuclide so the binary searches diverge).
+  d.energy.resize(static_cast<std::size_t>(nn) * gp);
+  d.xs.resize(static_cast<std::size_t>(nn) * gp * 5);
+  for (int n = 0; n < nn; ++n) {
+    double e = 1e-11;  // MeV floor
+    for (int g = 0; g < gp; ++g) {
+      e += uniform01(mix64(n) ^ static_cast<std::uint64_t>(g)) / gp + 1e-9;
+      d.energy[static_cast<std::size_t>(n) * gp + g] = e;
+      for (int c = 0; c < 5; ++c)
+        d.xs[(static_cast<std::size_t>(n) * gp + g) * 5 + c] =
+            uniform01(mix64(n * 7919) ^ mix64(g * 31 + c));
+    }
+  }
+
+  // Materials: first material is densest (the "fuel" pattern).
+  d.num_nucs.resize(opt.n_mats);
+  d.mats.assign(static_cast<std::size_t>(opt.n_mats) * opt.max_nucs_per_mat, 0);
+  d.concs.assign(static_cast<std::size_t>(opt.n_mats) * opt.max_nucs_per_mat, 0.0);
+  for (int m = 0; m < opt.n_mats; ++m) {
+    const int count =
+        m == 0 ? opt.max_nucs_per_mat
+               : 2 + static_cast<int>(uniform01(mix64(m)) *
+                                      (opt.max_nucs_per_mat - 2));
+    d.num_nucs[m] = std::min(count, opt.max_nucs_per_mat);
+    for (int i = 0; i < d.num_nucs[m]; ++i) {
+      d.mats[static_cast<std::size_t>(m) * opt.max_nucs_per_mat + i] =
+          static_cast<int>(uniform01(mix64(m * 131 + i)) * nn) % nn;
+      d.concs[static_cast<std::size_t>(m) * opt.max_nucs_per_mat + i] =
+          0.1 + uniform01(mix64(m * 257 + i));
+    }
+  }
+  return d;
+}
+
+int lookup_one(std::uint64_t seed, const double* energy, const double* xs,
+               const int* num_nucs, const int* mats, const double* concs,
+               int n_gridpoints, int max_nucs, int n_mats) {
+  // Sample the particle: material biased toward material 0 (fuel gets
+  // ~50% of lookups in XSBench) and a uniform energy.
+  const double m_sample = uniform01(seed);
+  const int mat = m_sample < 0.5
+                      ? 0
+                      : 1 + static_cast<int>(uniform01(mix64(seed)) *
+                                             (n_mats - 1)) % (n_mats - 1);
+  const double e = uniform01(seed ^ 0xabcdef123456ull);
+
+  double macro[5] = {0, 0, 0, 0, 0};
+  const int nn = num_nucs[mat];
+  for (int i = 0; i < nn; ++i) {
+    const int nuc = mats[mat * max_nucs + i];
+    const double conc = concs[mat * max_nucs + i];
+    const double* grid = energy + static_cast<std::size_t>(nuc) * n_gridpoints;
+    // Binary search for the bracketing gridpoints. The nuclide grids
+    // span slightly different ranges; clamp into [0, gp-2].
+    const double target = e * grid[n_gridpoints - 1];
+    int lo = 0, hi = n_gridpoints - 1;
+    while (hi - lo > 1) {
+      const int mid = (lo + hi) / 2;
+      if (grid[mid] < target) lo = mid;
+      else hi = mid;
+    }
+    const double e0 = grid[lo], e1 = grid[lo + 1];
+    const double f = e1 > e0 ? (target - e0) / (e1 - e0) : 0.0;
+    const double* x0 =
+        xs + (static_cast<std::size_t>(nuc) * n_gridpoints + lo) * 5;
+    const double* x1 = x0 + 5;
+    for (int c = 0; c < 5; ++c)
+      macro[c] += conc * (x0[c] + f * (x1[c] - x0[c]));
+  }
+
+  int arg = 0;
+  for (int c = 1; c < 5; ++c)
+    if (macro[c] > macro[arg]) arg = c;
+  return arg;
+}
+
+std::uint64_t reference_hash(const SimulationData& d) {
+  std::uint64_t h = 0;
+  for (std::int64_t i = 0; i < d.opt.lookups; ++i) {
+    const int v = lookup_one(static_cast<std::uint64_t>(i), d.energy.data(),
+                             d.xs.data(), d.num_nucs.data(), d.mats.data(),
+                             d.concs.data(), d.opt.n_gridpoints,
+                             d.opt.max_nucs_per_mat, d.opt.n_mats);
+    h ^= mix64(static_cast<std::uint64_t>(i) ^
+               (static_cast<std::uint64_t>(v) + 1));
+  }
+  return h;
+}
+
+}  // namespace apps::xsbench

@@ -1,0 +1,133 @@
+#include "blas/ompx_blas.h"
+
+#include <string>
+
+namespace ompx::blas {
+
+namespace {
+void check(nvblas::Status s, const char* what) {
+  if (s != nvblas::kSuccess)
+    throw std::runtime_error(std::string(what) + ": " +
+                             nvblas::status_string(s));
+}
+void check(rocblas::Status s, const char* what) {
+  if (s != rocblas::Status::kSuccess)
+    throw std::runtime_error(std::string(what) + ": " +
+                             rocblas::status_string(s));
+}
+nvblas::Operation to_nv(Op o) { return o == Op::kN ? nvblas::kOpN : nvblas::kOpT; }
+rocblas::Operation to_roc(Op o) {
+  return o == Op::kN ? rocblas::Operation::kNone : rocblas::Operation::kTranspose;
+}
+}  // namespace
+
+Handle::Handle(simt::Device& dev) : dev_(dev) {
+  // The compile-time offload-target dispatch of the paper, resolved
+  // here per handle from the device's vendor.
+  switch (dev.config().vendor) {
+    case simt::Vendor::kNvidia:
+      check(nvblas::create(&nv_), "nvblas::create");
+      break;
+    case simt::Vendor::kAmd:
+      check(rocblas::create_handle(&roc_), "rocblas::create_handle");
+      break;
+  }
+}
+
+Handle::~Handle() {
+  if (nv_ != nullptr) nvblas::destroy(nv_);
+  if (roc_ != nullptr) rocblas::destroy_handle(roc_);
+}
+
+void Handle::set_stream(simt::Stream* stream) {
+  if (nv_ != nullptr) check(nvblas::set_stream(nv_, stream), "set_stream");
+  if (roc_ != nullptr) check(rocblas::set_stream(roc_, stream), "set_stream");
+}
+
+void Handle::axpy(int n, double alpha, const double* x, double* y) {
+  if (nv_ != nullptr)
+    check(nvblas::daxpy(nv_, n, &alpha, x, 1, y, 1), "daxpy");
+  else
+    check(rocblas::daxpy(roc_, n, alpha, x, 1, y, 1), "daxpy");
+}
+
+void Handle::axpy(int n, float alpha, const float* x, float* y) {
+  if (nv_ != nullptr)
+    check(nvblas::saxpy(nv_, n, &alpha, x, 1, y, 1), "saxpy");
+  else
+    check(rocblas::saxpy(roc_, n, alpha, x, 1, y, 1), "saxpy");
+}
+
+float Handle::dot(int n, const float* x, const float* y) {
+  float r = 0.0f;
+  if (nv_ != nullptr)
+    check(nvblas::sdot(nv_, n, x, 1, y, 1, &r), "sdot");
+  else
+    check(rocblas::sdot(roc_, n, x, 1, y, 1, &r), "sdot");
+  return r;
+}
+
+double Handle::dot(int n, const double* x, const double* y) {
+  double r = 0.0;
+  if (nv_ != nullptr)
+    check(nvblas::ddot(nv_, n, x, 1, y, 1, &r), "ddot");
+  else
+    check(rocblas::ddot(roc_, n, x, 1, y, 1, &r), "ddot");
+  return r;
+}
+
+void Handle::scal(int n, double alpha, double* x) {
+  if (nv_ != nullptr)
+    check(nvblas::dscal(nv_, n, &alpha, x, 1), "dscal");
+  else
+    check(rocblas::dscal(roc_, n, alpha, x, 1), "dscal");
+}
+
+double Handle::nrm2(int n, const double* x) {
+  double r = 0.0;
+  if (nv_ != nullptr)
+    check(nvblas::dnrm2(nv_, n, x, 1, &r), "dnrm2");
+  else
+    check(rocblas::dnrm2(roc_, n, x, 1, &r), "dnrm2");
+  return r;
+}
+
+void Handle::gemm(Op transa, Op transb, int m, int n, int k, double alpha,
+                  const double* a, int lda, const double* b, int ldb,
+                  double beta, double* c, int ldc) {
+  if (nv_ != nullptr)
+    check(nvblas::dgemm(nv_, to_nv(transa), to_nv(transb), m, n, k, &alpha, a,
+                        lda, b, ldb, &beta, c, ldc),
+          "dgemm");
+  else
+    check(rocblas::dgemm(roc_, to_roc(transa), to_roc(transb), m, n, k, alpha,
+                         a, lda, b, ldb, beta, c, ldc),
+          "dgemm");
+}
+
+void Handle::gemm(Op transa, Op transb, int m, int n, int k, float alpha,
+                  const float* a, int lda, const float* b, int ldb,
+                  float beta, float* c, int ldc) {
+  if (nv_ != nullptr)
+    check(nvblas::sgemm(nv_, to_nv(transa), to_nv(transb), m, n, k, &alpha, a,
+                        lda, b, ldb, &beta, c, ldc),
+          "sgemm");
+  else
+    check(rocblas::sgemm(roc_, to_roc(transa), to_roc(transb), m, n, k, alpha,
+                         a, lda, b, ldb, beta, c, ldc),
+          "sgemm");
+}
+
+void Handle::gemv(Op trans, int m, int n, double alpha, const double* a,
+                  int lda, const double* x, double beta, double* y) {
+  if (nv_ != nullptr)
+    check(nvblas::dgemv(nv_, to_nv(trans), m, n, &alpha, a, lda, x, 1, &beta,
+                        y, 1),
+          "dgemv");
+  else
+    check(rocblas::dgemv(roc_, to_roc(trans), m, n, alpha, a, lda, x, 1, beta,
+                         y, 1),
+          "dgemv");
+}
+
+}  // namespace ompx::blas

@@ -1,0 +1,61 @@
+// ompx::blas — the lightweight vendor-library wrapper layer (paper
+// §3.6).
+//
+// Function signatures follow the vendor libraries' shape so code ports
+// by text replacement (cublasDaxpy -> ompx::blas::daxpy); under the
+// hood each call dispatches to the appropriate vendor library for the
+// offloading target: nvblas on CUDA-shaped devices, rocblas on
+// HIP-shaped devices. In the paper the target is fixed at compile time;
+// in this library build the dispatch keys off the handle's device,
+// which is resolved once at handle creation.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "blas/vendor_nv.h"
+#include "blas/vendor_roc.h"
+#include "simt/simt.h"
+
+namespace ompx::blas {
+
+enum class Op { kN, kT };
+
+/// Wrapper handle: owns the appropriate vendor handle for `dev`.
+class Handle {
+ public:
+  explicit Handle(simt::Device& dev);
+  ~Handle();
+
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  [[nodiscard]] simt::Device& device() const { return dev_; }
+  [[nodiscard]] bool is_nvidia() const { return nv_ != nullptr; }
+  void set_stream(simt::Stream* stream);
+
+  // The BLAS surface (double + single precision; the subset the
+  // paper's wrapper sketch needs). Errors become exceptions carrying
+  // the vendor status text.
+  void axpy(int n, double alpha, const double* x, double* y);
+  void axpy(int n, float alpha, const float* x, float* y);
+  double dot(int n, const double* x, const double* y);
+  float dot(int n, const float* x, const float* y);
+  void scal(int n, double alpha, double* x);
+  double nrm2(int n, const double* x);
+  void gemm(Op transa, Op transb, int m, int n, int k, double alpha,
+            const double* a, int lda, const double* b, int ldb, double beta,
+            double* c, int ldc);
+  void gemm(Op transa, Op transb, int m, int n, int k, float alpha,
+            const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc);
+  void gemv(Op trans, int m, int n, double alpha, const double* a, int lda,
+            const double* x, double beta, double* y);
+
+ private:
+  simt::Device& dev_;
+  nvblas::Handle nv_ = nullptr;
+  rocblas::Handle roc_ = nullptr;
+};
+
+}  // namespace ompx::blas

@@ -1,0 +1,11 @@
+// Umbrella header for the ompx kernel-language extension layer — the
+// public API of this library (the paper's contribution).
+//
+// See README.md for the pragma <-> API mapping table and quickstart.
+#pragma once
+
+#include "core/ompx_buffer.h"
+#include "core/ompx_device.h"
+#include "core/ompx_host.h"
+#include "core/ompx_launch.h"
+#include "omp/omp.h"

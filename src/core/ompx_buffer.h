@@ -1,0 +1,100 @@
+// ompx::DeviceBuffer<T> — RAII ownership of a device allocation with
+// typed transfer helpers. Not part of the paper's proposed extension
+// (which is C-API-shaped); this is the thin C++ convenience layer a
+// production library would ship on top of ompx_malloc/ompx_memcpy, and
+// what the examples use to keep host code free of manual free() calls.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/ompx_host.h"
+#include "core/ompx_launch.h"
+
+namespace ompx {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  /// Allocates `count` Ts on `dev` (default: the current default device).
+  explicit DeviceBuffer(std::size_t count, simt::Device* dev = nullptr)
+      : dev_(dev != nullptr ? dev : &default_device()), count_(count) {
+    if (count_ > 0)
+      ptr_ = static_cast<T*>(malloc_on(*dev_, count_ * sizeof(T)));
+  }
+
+  /// Allocates and uploads in one step.
+  explicit DeviceBuffer(const std::vector<T>& host, simt::Device* dev = nullptr)
+      : DeviceBuffer(host.size(), dev) {
+    upload(host);
+  }
+
+  ~DeviceBuffer() { reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+
+  /// Raw device pointer (valid to capture into kernel bodies).
+  [[nodiscard]] T* data() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] simt::Device& device() const {
+    if (dev_ == nullptr) throw std::logic_error("empty DeviceBuffer");
+    return *dev_;
+  }
+
+  /// Host -> device; the host span must match the buffer size.
+  void upload(const std::vector<T>& host) {
+    if (host.size() != count_)
+      throw std::invalid_argument("DeviceBuffer::upload: size mismatch");
+    if (count_ > 0)
+      memcpy_on(*dev_, ptr_, host.data(), bytes());
+  }
+
+  /// Device -> host into a fresh vector.
+  [[nodiscard]] std::vector<T> download() const {
+    std::vector<T> host(count_);
+    if (count_ > 0)
+      memcpy_on(*dev_, host.data(), ptr_, bytes());
+    return host;
+  }
+
+  /// Byte-fill (ompx_memset semantics).
+  void fill_bytes(int value) {
+    if (count_ > 0) memset_on(*dev_, ptr_, value, bytes());
+  }
+
+  /// Releases the allocation early.
+  void reset() {
+    if (ptr_ != nullptr) free_on(*dev_, ptr_);
+    ptr_ = nullptr;
+    count_ = 0;
+  }
+
+ private:
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(dev_, other.dev_);
+    std::swap(ptr_, other.ptr_);
+    std::swap(count_, other.count_);
+  }
+
+  simt::Device* dev_ = nullptr;
+  T* ptr_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ompx

@@ -1,0 +1,70 @@
+#include "core/ompx_device.h"
+
+// C API implementations delegate to the C++ forms; they exist so C
+// translation units (and Fortran bindings, per §3.3) can link against
+// plain symbols.
+
+extern "C" {
+
+int ompx_thread_id_x() { return ompx::thread_id(ompx::dim_x); }
+int ompx_thread_id_y() { return ompx::thread_id(ompx::dim_y); }
+int ompx_thread_id_z() { return ompx::thread_id(ompx::dim_z); }
+int ompx_block_id_x() { return ompx::block_id(ompx::dim_x); }
+int ompx_block_id_y() { return ompx::block_id(ompx::dim_y); }
+int ompx_block_id_z() { return ompx::block_id(ompx::dim_z); }
+int ompx_block_dim_x() { return ompx::block_dim(ompx::dim_x); }
+int ompx_block_dim_y() { return ompx::block_dim(ompx::dim_y); }
+int ompx_block_dim_z() { return ompx::block_dim(ompx::dim_z); }
+int ompx_grid_dim_x() { return ompx::grid_dim(ompx::dim_x); }
+int ompx_grid_dim_y() { return ompx::grid_dim(ompx::dim_y); }
+int ompx_grid_dim_z() { return ompx::grid_dim(ompx::dim_z); }
+
+int ompx_lane_id() { return ompx::lane_id(); }
+int ompx_warp_size() { return ompx::warp_size(); }
+
+void ompx_sync_thread_block() { ompx::sync_thread_block(); }
+void ompx_sync_warp(std::uint64_t mask) { ompx::sync_warp(mask); }
+
+int ompx_shfl_sync_i(std::uint64_t mask, int var, int src_lane) {
+  return ompx::shfl_sync(mask, var, src_lane);
+}
+int ompx_shfl_up_sync_i(std::uint64_t mask, int var, unsigned delta) {
+  return ompx::shfl_up_sync(mask, var, delta);
+}
+int ompx_shfl_down_sync_i(std::uint64_t mask, int var, unsigned delta) {
+  return ompx::shfl_down_sync(mask, var, delta);
+}
+int ompx_shfl_xor_sync_i(std::uint64_t mask, int var, int lane_mask) {
+  return ompx::shfl_xor_sync(mask, var, lane_mask);
+}
+double ompx_shfl_sync_d(std::uint64_t mask, double var, int src_lane) {
+  return ompx::shfl_sync(mask, var, src_lane);
+}
+double ompx_shfl_down_sync_d(std::uint64_t mask, double var, unsigned delta) {
+  return ompx::shfl_down_sync(mask, var, delta);
+}
+float ompx_shfl_down_sync_f(std::uint64_t mask, float var, unsigned delta) {
+  return ompx::shfl_down_sync(mask, var, delta);
+}
+
+int ompx_reduce_add_sync_i(std::uint64_t mask, int value) {
+  return ompx::reduce_add_sync(mask, value);
+}
+int ompx_reduce_min_sync_i(std::uint64_t mask, int value) {
+  return ompx::reduce_min_sync(mask, value);
+}
+int ompx_reduce_max_sync_i(std::uint64_t mask, int value) {
+  return ompx::reduce_max_sync(mask, value);
+}
+
+std::uint64_t ompx_ballot_sync(std::uint64_t mask, int predicate) {
+  return ompx::ballot_sync(mask, predicate);
+}
+int ompx_any_sync(std::uint64_t mask, int predicate) {
+  return ompx::any_sync(mask, predicate) ? 1 : 0;
+}
+int ompx_all_sync(std::uint64_t mask, int predicate) {
+  return ompx::all_sync(mask, predicate) ? 1 : 0;
+}
+
+}  // extern "C"

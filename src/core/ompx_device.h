@@ -1,0 +1,243 @@
+// ompx device APIs (paper §3.3): thread indexing, synchronization, and
+// warp-level primitives, in both C-style (`ompx_` prefix) and C++-style
+// (`ompx::` namespace) forms, exactly as the extension proposes.
+//
+//   CUDA                          C API                     C++ API
+//   threadIdx.x                   ompx_thread_id_x()        ompx::thread_id(ompx::dim_x)
+//   blockIdx.y                    ompx_block_id_y()         ompx::block_id(ompx::dim_y)
+//   blockDim.z                    ompx_block_dim_z()        ompx::block_dim(ompx::dim_z)
+//   gridDim.x                     ompx_grid_dim_x()         ompx::grid_dim(ompx::dim_x)
+//   __syncthreads()               ompx_sync_thread_block()  ompx::sync_thread_block()
+//   __syncwarp(mask)              ompx_sync_warp(mask)      ompx::sync_warp(mask)
+//   __shfl_sync(m,v,s)            ompx_shfl_sync(m,v,s)     ompx::shfl_sync(m,v,s)
+//   __shfl_down_sync(m,v,d)       ompx_shfl_down_sync(...)  ompx::shfl_down_sync(...)
+//
+// All of these are valid only inside a target region (kernel body).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "simt/simt.h"
+
+// ----------------------------------------------------------- C APIs
+
+extern "C" {
+
+int ompx_thread_id_x();
+int ompx_thread_id_y();
+int ompx_thread_id_z();
+int ompx_block_id_x();
+int ompx_block_id_y();
+int ompx_block_id_z();
+int ompx_block_dim_x();
+int ompx_block_dim_y();
+int ompx_block_dim_z();
+int ompx_grid_dim_x();
+int ompx_grid_dim_y();
+int ompx_grid_dim_z();
+
+/// Lane id within the warp and the device's warp size (32 on
+/// CUDA-shaped devices, 64 on HIP-shaped).
+int ompx_lane_id();
+int ompx_warp_size();
+
+/// Block-level barrier (__syncthreads).
+void ompx_sync_thread_block();
+/// Warp-level barrier (__syncwarp).
+void ompx_sync_warp(std::uint64_t mask);
+
+/// Warp shuffles; float/double variants bit-cast through the engine.
+int ompx_shfl_sync_i(std::uint64_t mask, int var, int src_lane);
+int ompx_shfl_up_sync_i(std::uint64_t mask, int var, unsigned delta);
+int ompx_shfl_down_sync_i(std::uint64_t mask, int var, unsigned delta);
+int ompx_shfl_xor_sync_i(std::uint64_t mask, int var, int lane_mask);
+double ompx_shfl_sync_d(std::uint64_t mask, double var, int src_lane);
+double ompx_shfl_down_sync_d(std::uint64_t mask, double var, unsigned delta);
+float ompx_shfl_down_sync_f(std::uint64_t mask, float var, unsigned delta);
+
+/// Warp reduces (integral payloads).
+int ompx_reduce_add_sync_i(std::uint64_t mask, int value);
+int ompx_reduce_min_sync_i(std::uint64_t mask, int value);
+int ompx_reduce_max_sync_i(std::uint64_t mask, int value);
+
+/// Warp votes.
+std::uint64_t ompx_ballot_sync(std::uint64_t mask, int predicate);
+int ompx_any_sync(std::uint64_t mask, int predicate);
+int ompx_all_sync(std::uint64_t mask, int predicate);
+
+}  // extern "C"
+
+// ---------------------------------------------------------- C++ APIs
+
+namespace ompx {
+
+enum Dim : int { dim_x = 0, dim_y = 1, dim_z = 2 };
+
+namespace detail {
+inline std::uint32_t pick(const simt::Dim3& d, Dim dim) {
+  switch (dim) {
+    case dim_x: return d.x;
+    case dim_y: return d.y;
+    case dim_z: return d.z;
+  }
+  return 0;
+}
+}  // namespace detail
+
+inline int thread_id(Dim d = dim_x) {
+  return static_cast<int>(detail::pick(simt::this_thread().thread_idx, d));
+}
+inline int block_id(Dim d = dim_x) {
+  return static_cast<int>(detail::pick(simt::this_thread().block_idx, d));
+}
+inline int block_dim(Dim d = dim_x) {
+  return static_cast<int>(detail::pick(simt::this_thread().block_dim, d));
+}
+inline int grid_dim(Dim d = dim_x) {
+  return static_cast<int>(detail::pick(simt::this_thread().grid_dim, d));
+}
+inline int lane_id() { return static_cast<int>(simt::this_thread().lane); }
+inline int warp_size() {
+  return static_cast<int>(simt::this_thread().device->config().warp_size);
+}
+
+/// Flattened global thread id along x (the ubiquitous
+/// blockIdx.x * blockDim.x + threadIdx.x).
+inline std::int64_t global_thread_id(Dim d = dim_x) {
+  const auto& t = simt::this_thread();
+  switch (d) {
+    case dim_x:
+      return static_cast<std::int64_t>(t.block_idx.x) * t.block_dim.x +
+             t.thread_idx.x;
+    case dim_y:
+      return static_cast<std::int64_t>(t.block_idx.y) * t.block_dim.y +
+             t.thread_idx.y;
+    case dim_z:
+      return static_cast<std::int64_t>(t.block_idx.z) * t.block_dim.z +
+             t.thread_idx.z;
+  }
+  return 0;
+}
+
+inline void sync_thread_block() {
+  auto& t = simt::this_thread();
+  t.block->sync_threads(t);
+}
+inline void sync_warp(std::uint64_t mask = ~0ull) {
+  auto& t = simt::this_thread();
+  t.warp->collective(t, simt::WarpOp::kSync, 0, 0, mask);
+}
+
+namespace detail {
+template <typename T>
+std::uint64_t bits_of(T v) {
+  static_assert(sizeof(T) <= 8);
+  std::uint64_t b = 0;
+  __builtin_memcpy(&b, &v, sizeof(T));
+  return b;
+}
+template <typename T>
+T of_bits(std::uint64_t b) {
+  T v;
+  __builtin_memcpy(&v, &b, sizeof(T));
+  return v;
+}
+template <typename T>
+T collect(simt::WarpOp op, T var, unsigned param, std::uint64_t mask) {
+  auto& t = simt::this_thread();
+  return of_bits<T>(t.warp->collective(t, op, bits_of(var), param, mask));
+}
+}  // namespace detail
+
+template <typename T>
+T shfl_sync(std::uint64_t mask, T var, int src_lane) {
+  return detail::collect(simt::WarpOp::kShflIdx, var,
+                         static_cast<unsigned>(src_lane), mask);
+}
+template <typename T>
+T shfl_up_sync(std::uint64_t mask, T var, unsigned delta) {
+  return detail::collect(simt::WarpOp::kShflUp, var, delta, mask);
+}
+template <typename T>
+T shfl_down_sync(std::uint64_t mask, T var, unsigned delta) {
+  return detail::collect(simt::WarpOp::kShflDown, var, delta, mask);
+}
+template <typename T>
+T shfl_xor_sync(std::uint64_t mask, T var, int lane_mask) {
+  return detail::collect(simt::WarpOp::kShflXor, var,
+                         static_cast<unsigned>(lane_mask), mask);
+}
+
+/// Warp reduces (the natural companions to ompx_shfl_*; CUDA's
+/// __reduce_*_sync). Integral payloads.
+template <typename T>
+T reduce_add_sync(std::uint64_t mask, T value) {
+  static_assert(std::is_integral_v<T>);
+  auto& t = simt::this_thread();
+  return static_cast<T>(t.warp->collective(
+      t, simt::WarpOp::kReduceAdd,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(value)), 0, mask));
+}
+template <typename T>
+T reduce_min_sync(std::uint64_t mask, T value) {
+  static_assert(std::is_integral_v<T>);
+  auto& t = simt::this_thread();
+  return static_cast<T>(t.warp->collective(
+      t, simt::WarpOp::kReduceMin,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(value)), 0, mask));
+}
+template <typename T>
+T reduce_max_sync(std::uint64_t mask, T value) {
+  static_assert(std::is_integral_v<T>);
+  auto& t = simt::this_thread();
+  return static_cast<T>(t.warp->collective(
+      t, simt::WarpOp::kReduceMax,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(value)), 0, mask));
+}
+
+inline std::uint64_t ballot_sync(std::uint64_t mask, int predicate) {
+  auto& t = simt::this_thread();
+  return t.warp->collective(t, simt::WarpOp::kBallot,
+                            static_cast<std::uint64_t>(predicate != 0), 0,
+                            mask);
+}
+inline bool any_sync(std::uint64_t mask, int predicate) {
+  auto& t = simt::this_thread();
+  return t.warp->collective(t, simt::WarpOp::kAny,
+                            static_cast<std::uint64_t>(predicate != 0), 0,
+                            mask) != 0;
+}
+inline bool all_sync(std::uint64_t mask, int predicate) {
+  auto& t = simt::this_thread();
+  return t.warp->collective(t, simt::WarpOp::kAll,
+                            static_cast<std::uint64_t>(predicate != 0), 0,
+                            mask) != 0;
+}
+
+/// Device-scope atomics.
+template <typename T>
+T atomic_add(T* addr, T v) { return simt::atomic_add(addr, v); }
+template <typename T>
+T atomic_max(T* addr, T v) { return simt::atomic_max(addr, v); }
+template <typename T>
+T atomic_min(T* addr, T v) { return simt::atomic_min(addr, v); }
+
+/// groupprivate(team: var) — the proposed directive for shared-memory
+/// variables (paper §2.5 footnote 2 and Figure 4). The library form
+/// allocates `count` Ts in the team's shared memory; every thread of
+/// the team receives the same pointer.
+template <typename T>
+T* groupprivate(std::size_t count = 1) {
+  auto& t = simt::this_thread();
+  return static_cast<T*>(
+      t.block->shared_alloc(t, count * sizeof(T), alignof(T)));
+}
+
+/// The dynamic shared segment sized by LaunchSpec::dynamic_groupprivate.
+template <typename T>
+T* dynamic_groupprivate() {
+  return static_cast<T*>(simt::this_thread().block->dynamic_shared());
+}
+
+}  // namespace ompx

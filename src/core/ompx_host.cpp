@@ -1,0 +1,154 @@
+#include "core/ompx_host.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "simt/device.h"
+#include "simt/stream.h"
+#include "simt/memory.h"
+
+namespace ompx {
+
+void* malloc_on(simt::Device& dev, std::size_t bytes) {
+  return dev.memory().allocate(bytes);
+}
+
+void free_on(simt::Device& dev, void* ptr) { dev.memory().deallocate(ptr); }
+
+void memcpy_on(simt::Device& dev, void* dst, const void* src,
+               std::size_t bytes) {
+  const bool dst_dev = dev.memory().contains(dst);
+  const bool src_dev = dev.memory().contains(src);
+  simt::CopyKind kind;
+  if (dst_dev && src_dev)
+    kind = simt::CopyKind::kDeviceToDevice;
+  else if (dst_dev)
+    kind = simt::CopyKind::kHostToDevice;
+  else if (src_dev)
+    kind = simt::CopyKind::kDeviceToHost;
+  else
+    kind = simt::CopyKind::kHostToHost;
+  dev.memory().copy(dst, src, bytes, kind);
+  if (dst_dev != src_dev) dev.add_transfer(bytes);
+}
+
+void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes) {
+  dev.memory().set(ptr, value, bytes);
+}
+
+void device_synchronize(simt::Device& dev) { dev.synchronize(); }
+
+bool is_device_ptr(simt::Device& dev, const void* ptr) {
+  return dev.memory().contains(ptr);
+}
+
+}  // namespace ompx
+
+extern "C" {
+
+void* ompx_malloc(std::size_t bytes) {
+  return ompx::malloc_on(ompx::default_device(), bytes);
+}
+
+void ompx_free(void* ptr) { ompx::free_on(ompx::default_device(), ptr); }
+
+void ompx_memcpy(void* dst, const void* src, std::size_t bytes) {
+  ompx::memcpy_on(ompx::default_device(), dst, src, bytes);
+}
+
+void ompx_memset(void* ptr, int value, std::size_t bytes) {
+  ompx::memset_on(ompx::default_device(), ptr, value, bytes);
+}
+
+void ompx_device_synchronize() {
+  ompx::device_synchronize(ompx::default_device());
+}
+
+int ompx_get_num_devices() {
+  return static_cast<int>(simt::device_registry().size());
+}
+
+int ompx_get_device() {
+  simt::Device* cur = &ompx::default_device();
+  const auto& reg = simt::device_registry();
+  for (std::size_t i = 0; i < reg.size(); ++i)
+    if (reg[i] == cur) return static_cast<int>(i);
+  return -1;  // a non-registry device is current
+}
+
+void ompx_set_device(int index) {
+  const auto& reg = simt::device_registry();
+  if (index < 0 || index >= static_cast<int>(reg.size()))
+    throw std::invalid_argument("ompx_set_device: bad device index " +
+                                std::to_string(index));
+  ompx::set_default_device(*reg[static_cast<std::size_t>(index)]);
+}
+
+ompx_stream_t ompx_stream_create() {
+  return ompx::default_device().create_stream();
+}
+
+void ompx_stream_synchronize(ompx_stream_t stream) {
+  if (stream == nullptr)
+    throw std::invalid_argument("ompx_stream_synchronize: null stream");
+  static_cast<simt::Stream*>(stream)->synchronize();
+}
+
+void ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
+                       ompx_stream_t stream) {
+  if (stream == nullptr)
+    throw std::invalid_argument("ompx_memcpy_async: null stream");
+  auto* s = static_cast<simt::Stream*>(stream);
+  auto& mem = s->device().memory();
+  const bool dst_dev = mem.contains(dst);
+  const bool src_dev = mem.contains(src);
+  simt::CopyKind kind;
+  if (dst_dev && src_dev)
+    kind = simt::CopyKind::kDeviceToDevice;
+  else if (dst_dev)
+    kind = simt::CopyKind::kHostToDevice;
+  else if (src_dev)
+    kind = simt::CopyKind::kDeviceToHost;
+  else
+    kind = simt::CopyKind::kHostToHost;
+  s->memcpy_async(dst, src, bytes, kind);
+}
+
+void ompx_memset_async(void* ptr, int value, std::size_t bytes,
+                       ompx_stream_t stream) {
+  if (stream == nullptr)
+    throw std::invalid_argument("ompx_memset_async: null stream");
+  static_cast<simt::Stream*>(stream)->memset_async(ptr, value, bytes);
+}
+
+ompx_event_t ompx_event_create() {
+  return ompx::default_device().create_event();
+}
+
+void ompx_event_record(ompx_event_t event, ompx_stream_t stream) {
+  if (event == nullptr || stream == nullptr)
+    throw std::invalid_argument("ompx_event_record: null handle");
+  static_cast<simt::Stream*>(stream)->record(
+      *static_cast<simt::Event*>(event));
+}
+
+void ompx_event_synchronize(ompx_event_t event) {
+  if (event == nullptr)
+    throw std::invalid_argument("ompx_event_synchronize: null event");
+  static_cast<simt::Event*>(event)->synchronize();
+}
+
+void ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event) {
+  if (event == nullptr || stream == nullptr)
+    throw std::invalid_argument("ompx_stream_wait_event: null handle");
+  static_cast<simt::Stream*>(stream)->wait(*static_cast<simt::Event*>(event));
+}
+
+float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop) {
+  if (start == nullptr || stop == nullptr)
+    throw std::invalid_argument("ompx_event_elapsed_ms: null event");
+  return static_cast<float>(static_cast<simt::Event*>(stop)->modeled_ms() -
+                            static_cast<simt::Event*>(start)->modeled_ms());
+}
+
+}  // extern "C"

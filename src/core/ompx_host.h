@@ -1,0 +1,79 @@
+// ompx host APIs (paper §3.4): direct device interactions mirroring the
+// kernel-language runtime APIs, adapted from the user-facing APIs of
+// Doerfert et al. (PACT'22, "Breaking the Vendor Lock").
+//
+//   CUDA                      ompx
+//   cudaMalloc(&p, n)         p = ompx_malloc(n)
+//   cudaFree(p)               ompx_free(p)
+//   cudaMemcpy(d, s, n, k)    ompx_memcpy(d, s, n)   (direction inferred)
+//   cudaMemset(p, v, n)       ompx_memset(p, v, n)
+//   cudaDeviceSynchronize()   ompx_device_synchronize()
+//
+// C++ forms live in namespace ompx and accept an explicit device.
+#pragma once
+
+#include <cstddef>
+
+#include "core/ompx_launch.h"
+#include "simt/simt.h"
+
+extern "C" {
+
+/// Allocates on the current default ompx device.
+void* ompx_malloc(std::size_t bytes);
+void ompx_free(void* ptr);
+/// Copies with the direction inferred from which pointers are device
+/// pointers (like cudaMemcpyDefault).
+void ompx_memcpy(void* dst, const void* src, std::size_t bytes);
+void ompx_memset(void* ptr, int value, std::size_t bytes);
+void ompx_device_synchronize();
+
+/// Device management (omp_get_num_devices / omp_set_default_device
+/// shaped, but for the ompx default device).
+int ompx_get_num_devices();
+int ompx_get_device();
+void ompx_set_device(int index);
+
+/// Streams and events, mirroring the CUDA runtime's handles. A stream
+/// here is the same object an interop `targetsync` carries, so these
+/// compose with depend(interopobj:) launches (§3.5).
+typedef void* ompx_stream_t;
+typedef void* ompx_event_t;
+
+ompx_stream_t ompx_stream_create();
+void ompx_stream_synchronize(ompx_stream_t stream);
+void ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
+                       ompx_stream_t stream);
+void ompx_memset_async(void* ptr, int value, std::size_t bytes,
+                       ompx_stream_t stream);
+
+ompx_event_t ompx_event_create();
+void ompx_event_record(ompx_event_t event, ompx_stream_t stream);
+void ompx_event_synchronize(ompx_event_t event);
+/// Stream-orders `stream` after `event` (cudaStreamWaitEvent).
+void ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event);
+/// Modeled milliseconds between two recorded events.
+float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop);
+
+}  // extern "C"
+
+namespace ompx {
+
+void* malloc_on(simt::Device& dev, std::size_t bytes);
+void free_on(simt::Device& dev, void* ptr);
+/// Direction-inferring copy on an explicit device.
+void memcpy_on(simt::Device& dev, void* dst, const void* src,
+               std::size_t bytes);
+void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes);
+void device_synchronize(simt::Device& dev);
+
+/// True if `ptr` points into `dev`'s memory space.
+bool is_device_ptr(simt::Device& dev, const void* ptr);
+
+template <typename T>
+T* malloc_n(std::size_t count, simt::Device* dev = nullptr) {
+  return static_cast<T*>(
+      malloc_on(dev != nullptr ? *dev : default_device(), count * sizeof(T)));
+}
+
+}  // namespace ompx

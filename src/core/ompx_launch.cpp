@@ -1,0 +1,84 @@
+#include "core/ompx_launch.h"
+
+#include <stdexcept>
+
+namespace ompx {
+
+namespace {
+thread_local simt::Device* t_default_device = nullptr;
+
+simt::LaunchParams to_params(const LaunchSpec& spec, const simt::Device& dev) {
+  simt::LaunchParams p;
+  p.grid = spec.num_teams;
+  p.block = spec.thread_limit;
+  // §3.2: "any dimensions exceeding a device's capability will be
+  // disregarded" — fold unsupported grid/block dimensions away.
+  const std::uint32_t dims = dev.config().grid_dims_supported;
+  if (dims < 3) {
+    p.grid.z = 1;
+    p.block.z = 1;
+  }
+  if (dims < 2) {
+    p.grid.y = 1;
+    p.block.y = 1;
+  }
+  p.dynamic_smem_bytes = spec.dynamic_groupprivate_bytes;
+  p.mode = spec.mode;
+  p.profile = spec.profile;
+  p.cost = spec.cost;
+  p.name = spec.name;
+  if (!spec.bare) {
+    // Non-bare SIMT regions still initialize the device runtime and run
+    // under the OpenMP execution model's bookkeeping (SPMD mode). This
+    // is precisely the cost ompx_bare removes.
+    p.rt.runtime_init = true;
+  }
+  return p;
+}
+}  // namespace
+
+simt::Device& default_device() {
+  return t_default_device != nullptr ? *t_default_device
+                                     : *simt::device_registry()[0];
+}
+
+void set_default_device(simt::Device& dev) { t_default_device = &dev; }
+
+void launch(const LaunchSpec& spec, simt::KernelFn body) {
+  simt::Device& dev = spec.device != nullptr ? *spec.device : default_device();
+  const simt::LaunchParams p = to_params(spec, dev);
+
+  if (spec.depend_interop != nullptr) {
+    // §3.5: the interop object's semantics dictate the handling — the
+    // kernel is dispatched into the stream linked with the object.
+    const omp::Interop& obj = *spec.depend_interop;
+    if (!obj.valid())
+      throw std::invalid_argument(
+          "depend(interopobj): interop object not initialized");
+    if (obj.device != &dev)
+      throw std::invalid_argument(
+          "depend(interopobj): interop object belongs to another device");
+    obj.stream->launch(p, std::move(body));
+    if (!spec.nowait) obj.stream->synchronize();
+    return;
+  }
+
+  if (spec.nowait) {
+    omp::TaskGraph::global().submit(
+        [&dev, p, body = std::move(body)] { dev.launch_sync(p, body); },
+        spec.depends);
+    return;
+  }
+
+  dev.launch_sync(p, body);
+}
+
+void taskwait(const omp::Interop& obj) {
+  if (!obj.valid())
+    throw std::invalid_argument("taskwait(interopobj): invalid interop object");
+  obj.stream->synchronize();
+}
+
+void taskwait() { omp::TaskGraph::global().taskwait(); }
+
+}  // namespace ompx

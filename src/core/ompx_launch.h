@@ -1,0 +1,77 @@
+// ompx_bare target regions (paper §3.1, §3.2, §3.5).
+//
+// The library form of
+//
+//   #pragma omp target teams ompx_bare num_teams(gx,gy,gz)
+//       thread_limit(bx,by,bz) [nowait] [depend(interopobj: obj)]
+//   { body }
+//
+// is
+//
+//   ompx::LaunchSpec spec;
+//   spec.num_teams = {gx, gy, gz};       // multi-dimensional grid (§3.2)
+//   spec.thread_limit = {bx, by, bz};    // multi-dimensional block
+//   spec.nowait = true;                  // optional
+//   spec.depend_interop = &obj;          // optional (§3.5)
+//   ompx::launch(spec, [=] { body });
+//
+// With `bare = true` (the default) the region runs in bare-metal mode:
+// no device runtime initialization, no state machine, no globalization
+// of locals — all threads of all teams simply execute the body, exactly
+// like a kernel-language launch. With `bare = false` the region pays
+// the SPMD runtime machinery (the ablation axis for bench/abl_bare).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omp/api.h"
+#include "omp/task.h"
+#include "simt/simt.h"
+
+namespace ompx {
+
+/// The extent type num_teams/thread_limit take; aliases the engine's
+/// Dim3 so ported `dim3` declarations translate one-to-one.
+using dim3 = simt::Dim3;
+
+struct LaunchSpec {
+  simt::Dim3 num_teams{1};
+  simt::Dim3 thread_limit{128};
+  bool bare = true;
+  /// Dynamic shared-memory segment (dynamic groupprivate storage).
+  std::uint64_t dynamic_groupprivate_bytes = 0;
+  /// Asynchronous execution (nowait clause).
+  bool nowait = false;
+  /// depend(interopobj: obj): dispatch into the stream carried by the
+  /// interop object (implies asynchronous execution, Figure 5).
+  const omp::Interop* depend_interop = nullptr;
+  /// Classic depend clauses (host task-graph ordering); used with
+  /// nowait and without an interop object.
+  std::vector<omp::Depend> depends;
+  /// Target device (null = default device, registry index 0).
+  simt::Device* device = nullptr;
+  /// Code-gen / roofline declarations for the performance model.
+  simt::CompilerProfile profile{.name = "ompx-proto"};
+  simt::KernelCost cost;
+  simt::ExecMode mode = simt::ExecMode::kCooperative;
+  const char* name = "ompx_kernel";
+};
+
+/// Launches `body` once per thread of the num_teams x thread_limit
+/// space. Synchronous unless nowait or depend_interop says otherwise.
+void launch(const LaunchSpec& spec, simt::KernelFn body);
+
+/// #pragma omp taskwait depend(interopobj: obj): synchronizes the
+/// stream carried by the interop object (Figure 5's stream sync).
+void taskwait(const omp::Interop& obj);
+
+/// #pragma omp taskwait: waits for all deferred (nowait) launches.
+void taskwait();
+
+/// The device an unqualified ompx call targets (registry index 0 by
+/// default; set per host thread).
+simt::Device& default_device();
+void set_default_device(simt::Device& dev);
+
+}  // namespace ompx

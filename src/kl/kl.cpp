@@ -1,0 +1,231 @@
+#include "kl/kl.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace kl {
+
+namespace {
+
+thread_local int t_device_index = 0;
+thread_local klError t_last_error = klSuccess;
+thread_local std::string t_last_detail;
+
+klError record_error(klError e, const std::string& detail) {
+  t_last_error = e;
+  t_last_detail = detail;
+  return e;
+}
+
+/// Converts engine exceptions into runtime error codes at the ABI
+/// boundary, the way the CUDA runtime does.
+template <typename F>
+klError guarded(F&& f) {
+  try {
+    f();
+    return klSuccess;
+  } catch (const std::bad_alloc& e) {
+    return record_error(klErrorMemoryAllocation, e.what());
+  } catch (const std::invalid_argument& e) {
+    return record_error(klErrorInvalidValue, e.what());
+  } catch (const std::out_of_range& e) {
+    return record_error(klErrorInvalidValue, e.what());
+  } catch (const std::logic_error& e) {
+    return record_error(klErrorLaunchFailure, e.what());
+  } catch (const std::runtime_error& e) {
+    return record_error(klErrorLaunchFailure, e.what());
+  } catch (const std::exception& e) {
+    return record_error(klErrorUnknown, e.what());
+  }
+}
+
+simt::CopyKind to_engine(klMemcpyKind k) {
+  switch (k) {
+    case klMemcpyHostToDevice: return simt::CopyKind::kHostToDevice;
+    case klMemcpyDeviceToHost: return simt::CopyKind::kDeviceToHost;
+    case klMemcpyDeviceToDevice: return simt::CopyKind::kDeviceToDevice;
+    case klMemcpyHostToHost: return simt::CopyKind::kHostToHost;
+  }
+  return simt::CopyKind::kHostToHost;
+}
+
+}  // namespace
+
+const char* klGetErrorString(klError e) {
+  switch (e) {
+    case klSuccess: return "klSuccess";
+    case klErrorInvalidValue: return "klErrorInvalidValue";
+    case klErrorMemoryAllocation: return "klErrorMemoryAllocation";
+    case klErrorInvalidDevice: return "klErrorInvalidDevice";
+    case klErrorLaunchFailure: return "klErrorLaunchFailure";
+    case klErrorNotReady: return "klErrorNotReady";
+    case klErrorUnknown: return "klErrorUnknown";
+  }
+  return "klError(?)";
+}
+
+klError klGetLastError() {
+  const klError e = t_last_error;
+  t_last_error = klSuccess;
+  return e;
+}
+
+klError klPeekAtLastError() { return t_last_error; }
+
+const char* klGetLastErrorDetail() { return t_last_detail.c_str(); }
+
+klError klSetDevice(int index) {
+  const auto& reg = simt::device_registry();
+  if (index < 0 || index >= static_cast<int>(reg.size()))
+    return record_error(klErrorInvalidDevice,
+                        "device index " + std::to_string(index));
+  t_device_index = index;
+  return klSuccess;
+}
+
+klError klGetDevice(int* index) {
+  if (index == nullptr) return record_error(klErrorInvalidValue, "null index");
+  *index = t_device_index;
+  return klSuccess;
+}
+
+klError klGetDeviceCount(int* count) {
+  if (count == nullptr) return record_error(klErrorInvalidValue, "null count");
+  *count = static_cast<int>(simt::device_registry().size());
+  return klSuccess;
+}
+
+simt::Device& current_device() {
+  return *simt::device_registry()[t_device_index];
+}
+
+klError klMalloc(void** ptr, std::size_t bytes) {
+  if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
+  return guarded([&] { *ptr = current_device().memory().allocate(bytes); });
+}
+
+klError klFree(void* ptr) {
+  return guarded([&] { current_device().memory().deallocate(ptr); });
+}
+
+klError klMemcpy(void* dst, const void* src, std::size_t bytes,
+                 klMemcpyKind kind) {
+  return guarded([&] {
+    auto& dev = current_device();
+    dev.memory().copy(dst, src, bytes, to_engine(kind));
+    if (kind == klMemcpyHostToDevice || kind == klMemcpyDeviceToHost)
+      dev.add_transfer(bytes);
+  });
+}
+
+klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
+                   std::size_t spitch, std::size_t width, std::size_t height,
+                   klMemcpyKind kind) {
+  return guarded([&] {
+    auto& dev = current_device();
+    const std::size_t payload =
+        dev.memory().copy_2d(dst, dpitch, src, spitch, width, height,
+                             to_engine(kind));
+    if (kind == klMemcpyHostToDevice || kind == klMemcpyDeviceToHost)
+      dev.add_transfer(payload);
+  });
+}
+
+klError klMemset(void* ptr, int value, std::size_t bytes) {
+  return guarded([&] { current_device().memory().set(ptr, value, bytes); });
+}
+
+klError klStreamCreate(klStream_t* stream) {
+  if (stream == nullptr) return record_error(klErrorInvalidValue, "null stream");
+  return guarded([&] { *stream = current_device().create_stream(); });
+}
+
+klError klStreamDestroy(klStream_t stream) {
+  // Streams are device-owned in this engine; destroying is draining.
+  if (stream == nullptr) return klSuccess;
+  return guarded([&] { stream->synchronize(); });
+}
+
+klError klStreamSynchronize(klStream_t stream) {
+  return guarded([&] {
+    (stream != nullptr ? *stream : current_device().default_stream())
+        .synchronize();
+  });
+}
+
+klError klMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                      klMemcpyKind kind, klStream_t stream) {
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    s.memcpy_async(dst, src, bytes, to_engine(kind));
+  });
+}
+
+klError klMemsetAsync(void* ptr, int value, std::size_t bytes,
+                      klStream_t stream) {
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    s.memset_async(ptr, value, bytes);
+  });
+}
+
+klError klMallocConstant(void** ptr, std::size_t bytes) {
+  if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
+  return guarded(
+      [&] { *ptr = current_device().constant_memory().allocate(bytes); });
+}
+
+klError klMemcpyToSymbol(void* symbol, const void* src, std::size_t bytes) {
+  return guarded([&] {
+    current_device().constant_memory().copy(symbol, src, bytes,
+                                            simt::CopyKind::kHostToDevice);
+    current_device().add_transfer(bytes);
+  });
+}
+
+klError klFreeConstant(void* ptr) {
+  return guarded([&] { current_device().constant_memory().deallocate(ptr); });
+}
+
+klError klEventCreate(klEvent_t* ev) {
+  if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  return guarded([&] { *ev = current_device().create_event(); });
+}
+
+klError klEventRecord(klEvent_t ev, klStream_t stream) {
+  if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    s.record(*ev);
+  });
+}
+
+klError klEventSynchronize(klEvent_t ev) {
+  if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  return guarded([&] { ev->synchronize(); });
+}
+
+klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop) {
+  if (ms == nullptr || start == nullptr || stop == nullptr)
+    return record_error(klErrorInvalidValue, "null argument");
+  if (!start->query() || !stop->query())
+    return record_error(klErrorNotReady, "event not recorded");
+  *ms = static_cast<float>(stop->modeled_ms() - start->modeled_ms());
+  return klSuccess;
+}
+
+klError klDeviceSynchronize() {
+  return guarded([&] { current_device().synchronize(); });
+}
+
+namespace detail {
+klError launch_erased(const simt::LaunchParams& p, klStream_t stream,
+                      simt::KernelFn fn) {
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    s.launch(p, std::move(fn));
+  });
+}
+}  // namespace detail
+
+}  // namespace kl

@@ -1,0 +1,42 @@
+// OpenMP 5.1 interop objects (#pragma omp interop) and assorted
+// host API equivalents.
+//
+// An interop object initialized with `targetsync` carries a foreign
+// synchronization object — on CUDA/HIP plugins, a stream. The paper's
+// §3.5 extension lets `depend(interopobj: obj)` route target regions
+// into that stream; the routing itself lives in the ompx layer.
+#pragma once
+
+#include "simt/simt.h"
+
+namespace omp {
+
+/// omp_interop_t equivalent.
+struct Interop {
+  simt::Device* device = nullptr;
+  simt::Stream* stream = nullptr;
+
+  [[nodiscard]] bool valid() const { return stream != nullptr; }
+};
+
+/// omp_interop_none.
+inline constexpr Interop interop_none{};
+
+/// #pragma omp interop init(targetsync: obj) device(dev):
+/// acquires a fresh stream from the device runtime.
+inline Interop interop_init_targetsync(simt::Device& dev) {
+  return Interop{&dev, dev.create_stream()};
+}
+
+/// #pragma omp interop destroy(obj): synchronizes and invalidates.
+inline void interop_destroy(Interop& obj) {
+  if (obj.valid()) obj.stream->synchronize();
+  obj = interop_none;
+}
+
+/// omp_get_interop_ptr(obj, omp_ipr_targetsync): the raw stream.
+inline simt::Stream* interop_targetsync_ptr(const Interop& obj) {
+  return obj.stream;
+}
+
+}  // namespace omp

@@ -1,0 +1,161 @@
+#include "omp/mapping.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "simt/device.h"
+#include "simt/memory.h"
+
+namespace omp {
+
+namespace {
+bool wants_to(MapType t) { return t == MapType::kTo || t == MapType::kTofrom; }
+bool wants_from(MapType t) {
+  return t == MapType::kFrom || t == MapType::kTofrom;
+}
+}  // namespace
+
+MappingTable::~MappingTable() {
+  // Mapped ranges left behind are freed with the table (end of program);
+  // libomptarget warns here, we just clean up.
+  for (auto& [host, e] : table_) dev_.memory().deallocate(e.dev_ptr);
+}
+
+MappingTable::Table::iterator MappingTable::find_containing(
+    const void* host, std::size_t bytes) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(host);
+  auto it = table_.upper_bound(addr);
+  if (it == table_.begin()) return table_.end();
+  --it;
+  if (addr >= it->first && addr + bytes <= it->first + it->second.bytes)
+    return it;
+  return table_.end();
+}
+
+MappingTable::Table::const_iterator MappingTable::find_containing(
+    const void* host, std::size_t bytes) const {
+  return const_cast<MappingTable*>(this)->find_containing(host, bytes);
+}
+
+void* MappingTable::enter(const Map& m) {
+  if (m.host == nullptr || m.bytes == 0)
+    throw std::invalid_argument("map: null host pointer or zero size");
+  std::lock_guard lock(mu_);
+  auto it = find_containing(m.host, m.bytes);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    e.refs++;
+    e.copy_back_on_release |= wants_from(m.type);
+    if (m.always && wants_to(m.type)) {
+      const std::size_t off =
+          reinterpret_cast<std::uintptr_t>(m.host) - it->first;
+      dev_.memory().copy(static_cast<char*>(e.dev_ptr) + off, m.host, m.bytes,
+                         simt::CopyKind::kHostToDevice);
+      dev_.add_transfer(m.bytes);
+    }
+    const std::size_t off = reinterpret_cast<std::uintptr_t>(m.host) - it->first;
+    return static_cast<char*>(e.dev_ptr) + off;
+  }
+  // Partially-overlapping mappings are an OpenMP error; detect the case
+  // where the new range contains an existing base.
+  const auto addr = reinterpret_cast<std::uintptr_t>(m.host);
+  auto next = table_.lower_bound(addr);
+  if (next != table_.end() && next->first < addr + m.bytes)
+    throw std::runtime_error(
+        "map: new range partially overlaps an existing mapping");
+
+  void* dev_ptr = dev_.memory().allocate(m.bytes);
+  if (wants_to(m.type)) {
+    dev_.memory().copy(dev_ptr, m.host, m.bytes, simt::CopyKind::kHostToDevice);
+    dev_.add_transfer(m.bytes);
+  }
+  table_.emplace(addr, Entry{dev_ptr, m.bytes, 1, wants_from(m.type)});
+  return dev_ptr;
+}
+
+void MappingTable::exit(const Map& m) {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(m.host, m.bytes);
+  if (it == table_.end())
+    throw std::runtime_error("map exit: range is not mapped");
+  Entry& e = it->second;
+  if (e.refs == 0) throw std::logic_error("map exit: reference underflow");
+  e.refs--;
+  const bool last = e.refs == 0;
+  if (wants_from(m.type) && (last || m.always)) {
+    const std::size_t off = reinterpret_cast<std::uintptr_t>(m.host) - it->first;
+    dev_.memory().copy(m.host, static_cast<char*>(e.dev_ptr) + off, m.bytes,
+                       simt::CopyKind::kDeviceToHost);
+    dev_.add_transfer(m.bytes);
+  }
+  if (last) {
+    dev_.memory().deallocate(e.dev_ptr);
+    table_.erase(it);
+  }
+}
+
+void MappingTable::release(void* host) {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(host, 1);
+  if (it == table_.end()) return;
+  dev_.memory().deallocate(it->second.dev_ptr);
+  table_.erase(it);
+}
+
+void MappingTable::update_to(const void* host, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(host, bytes);
+  if (it == table_.end())
+    throw std::runtime_error("target update to: range is not mapped");
+  const std::size_t off = reinterpret_cast<std::uintptr_t>(host) - it->first;
+  dev_.memory().copy(static_cast<char*>(it->second.dev_ptr) + off, host, bytes,
+                     simt::CopyKind::kHostToDevice);
+  dev_.add_transfer(bytes);
+}
+
+void MappingTable::update_from(void* host, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(host, bytes);
+  if (it == table_.end())
+    throw std::runtime_error("target update from: range is not mapped");
+  const std::size_t off = reinterpret_cast<std::uintptr_t>(host) - it->first;
+  dev_.memory().copy(host, static_cast<char*>(it->second.dev_ptr) + off, bytes,
+                     simt::CopyKind::kDeviceToHost);
+  dev_.add_transfer(bytes);
+}
+
+void* MappingTable::translate(const void* host) const {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(host, 1);
+  if (it == table_.end()) return nullptr;
+  const std::size_t off = reinterpret_cast<std::uintptr_t>(host) - it->first;
+  return static_cast<char*>(it->second.dev_ptr) + off;
+}
+
+bool MappingTable::is_present(const void* host, std::size_t bytes) const {
+  std::lock_guard lock(mu_);
+  return find_containing(host, bytes) != table_.end();
+}
+
+std::uint64_t MappingTable::ref_count(const void* host) const {
+  std::lock_guard lock(mu_);
+  auto it = find_containing(host, 1);
+  return it == table_.end() ? 0 : it->second.refs;
+}
+
+std::size_t MappingTable::entries() const {
+  std::lock_guard lock(mu_);
+  return table_.size();
+}
+
+MappingTable& mapping_for(simt::Device& dev) {
+  static std::mutex mu;
+  static std::unordered_map<simt::Device*, MappingTable*> tables;
+  std::lock_guard lock(mu);
+  auto it = tables.find(&dev);
+  if (it == tables.end())
+    it = tables.emplace(&dev, new MappingTable(dev)).first;  // process-lived
+  return *it->second;
+}
+
+}  // namespace omp

@@ -1,0 +1,107 @@
+// Data-environment mapping: the libomptarget "present table".
+//
+// Implements OpenMP's reference-counted host<->device mapping semantics
+// (map(to/from/tofrom/alloc), enter/exit data, target update, release/
+// delete) over a simulated device's memory. One table per device, as in
+// libomptarget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace simt {
+class Device;
+}
+
+namespace omp {
+
+enum class MapType : std::uint8_t {
+  kTo,      ///< allocate + copy host->device on entry
+  kFrom,    ///< allocate on entry, copy device->host on exit
+  kTofrom,  ///< both
+  kAlloc,   ///< allocate only
+};
+
+/// One map clause item: a host range and how to map it.
+struct Map {
+  MapType type = MapType::kTofrom;
+  void* host = nullptr;
+  std::size_t bytes = 0;
+  /// `always` modifier: re-transfer even when already present.
+  bool always = false;
+};
+
+inline Map map_to(const void* p, std::size_t bytes) {
+  return {MapType::kTo, const_cast<void*>(p), bytes, false};
+}
+inline Map map_from(void* p, std::size_t bytes) {
+  return {MapType::kFrom, p, bytes, false};
+}
+inline Map map_tofrom(void* p, std::size_t bytes) {
+  return {MapType::kTofrom, p, bytes, false};
+}
+inline Map map_alloc(void* p, std::size_t bytes) {
+  return {MapType::kAlloc, p, bytes, false};
+}
+
+class MappingTable {
+ public:
+  explicit MappingTable(simt::Device& dev) : dev_(dev) {}
+  ~MappingTable();
+
+  MappingTable(const MappingTable&) = delete;
+  MappingTable& operator=(const MappingTable&) = delete;
+
+  /// "Enter" one map item (begin of a target / target data region or
+  /// target enter data): allocates + transfers per OpenMP's reference-
+  /// count rules. Returns the device pointer for the host base.
+  void* enter(const Map& m);
+
+  /// "Exit" the item: decrement, transfer back / free at zero.
+  void exit(const Map& m);
+
+  /// Force-release regardless of count (map(delete:)).
+  void release(void* host);
+
+  /// target update to/from: transfer without touching ref counts.
+  /// Throws if the range is not present.
+  void update_to(const void* host, std::size_t bytes);
+  void update_from(void* host, std::size_t bytes);
+
+  /// Device pointer corresponding to a host pointer (interior pointers
+  /// resolve into their containing mapped range). Null if absent.
+  [[nodiscard]] void* translate(const void* host) const;
+  [[nodiscard]] bool is_present(const void* host, std::size_t bytes = 1) const;
+  [[nodiscard]] std::uint64_t ref_count(const void* host) const;
+  [[nodiscard]] std::size_t entries() const;
+
+  simt::Device& device() { return dev_; }
+
+ private:
+  struct Entry {
+    void* dev_ptr;
+    std::size_t bytes;
+    std::uint64_t refs;
+    bool copy_back_on_release;  ///< any live mapping requested `from`
+  };
+
+  // Host base address -> entry; interior lookups via ordering.
+  using Table = std::map<std::uintptr_t, Entry>;
+
+  Table::iterator find_containing(const void* host, std::size_t bytes);
+  Table::const_iterator find_containing(const void* host,
+                                        std::size_t bytes) const;
+
+  simt::Device& dev_;
+  mutable std::mutex mu_;
+  Table table_;
+};
+
+/// The per-device mapping table used by the directive layer (one table
+/// per registry device, like libomptarget's per-device state).
+MappingTable& mapping_for(simt::Device& dev);
+
+}  // namespace omp

@@ -1,0 +1,132 @@
+#include "omp/task.h"
+
+#include <algorithm>
+
+namespace omp {
+
+TaskGraph::TaskGraph(unsigned helper_threads) {
+  helpers_.reserve(std::max(1u, helper_threads));
+  for (unsigned i = 0; i < std::max(1u, helper_threads); ++i)
+    helpers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskGraph::~TaskGraph() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_ready_.notify_all();
+  for (auto& t : helpers_) t.join();
+}
+
+TaskGraph::TaskId TaskGraph::submit(TaskFn fn, const std::vector<Depend>& deps) {
+  NodePtr n = std::make_shared<Node>();
+  n->fn = std::move(fn);
+  {
+    std::lock_guard lock(mu_);
+    n->id = next_id_++;
+    submitted_++;
+
+    for (const Depend& d : deps) {
+      AddrState& st = addr_state_[d.addr];
+      auto add_pred = [&](const NodePtr& pred) {
+        if (pred && !pred->done && pred != n) {
+          pred->succs.push_back(n);
+          n->preds++;
+        }
+      };
+      if (d.type == DepType::kIn) {
+        add_pred(st.last_out);
+        st.readers.push_back(n);
+      } else {  // out / inout: after last writer AND all readers since
+        add_pred(st.last_out);
+        for (auto& r : st.readers) add_pred(r);
+        st.readers.clear();
+        st.last_out = n;
+      }
+    }
+    live_.emplace(n->id, n);
+    if (n->preds == 0) {
+      n->queued = true;
+      ready_.push_back(n);
+    }
+  }
+  cv_ready_.notify_one();
+  return n->id;
+}
+
+void TaskGraph::worker_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_ready_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+    if (shutdown_ && ready_.empty()) return;
+    NodePtr n = ready_.front();
+    ready_.pop_front();
+    lock.unlock();
+    try {
+      n->fn();
+    } catch (...) {
+      std::lock_guard elock(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    finish(n);
+  }
+}
+
+void TaskGraph::finish(const NodePtr& n) {
+  // Called with mu_ held.
+  n->done = true;
+  n->fn = nullptr;  // release captured resources promptly
+  for (auto& s : n->succs) {
+    if (--s->preds == 0 && !s->queued) {
+      s->queued = true;
+      ready_.push_back(s);
+      cv_ready_.notify_one();
+    }
+  }
+  n->succs.clear();
+  live_.erase(n->id);
+  completed_++;
+  cv_done_.notify_all();
+}
+
+void TaskGraph::taskwait() {
+  std::unique_lock lock(mu_);
+  const std::uint64_t upto = submitted_;
+  cv_done_.wait(lock, [&] { return completed_ >= upto; });
+  if (first_error_ != nullptr) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskGraph::wait(TaskId id) {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return live_.find(id) == live_.end(); });
+  if (first_error_ != nullptr) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t TaskGraph::submitted() const {
+  std::lock_guard lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t TaskGraph::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+TaskGraph& TaskGraph::global() {
+  static TaskGraph* g = new TaskGraph(2);  // hidden helper threads
+  return *g;
+}
+
+}  // namespace omp

@@ -1,0 +1,95 @@
+// Host task graph: OpenMP task semantics for `nowait` target regions.
+//
+// Deferred tasks execute on "hidden helper threads" (the LLVM OpenMP
+// mechanism for asynchronous offload, Tian et al., LCPC'20). depend
+// clauses are resolved by *location* of the list item, per the OpenMP
+// rules the paper's §3.5 discusses: an `in` task depends on the last
+// `out`/`inout` task for that address; an `out`/`inout` task depends on
+// the last `out` plus every `in` issued since.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace omp {
+
+enum class DepType : std::uint8_t { kIn, kOut, kInout };
+
+struct Depend {
+  DepType type;
+  const void* addr;
+};
+
+inline Depend dep_in(const void* p) { return {DepType::kIn, p}; }
+inline Depend dep_out(const void* p) { return {DepType::kOut, p}; }
+inline Depend dep_inout(const void* p) { return {DepType::kInout, p}; }
+
+class TaskGraph {
+ public:
+  using TaskFn = std::function<void()>;
+  using TaskId = std::uint64_t;
+
+  explicit TaskGraph(unsigned helper_threads = 2);
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Enqueue a deferred task with dependences; runs on a helper thread
+  /// once every predecessor finished.
+  TaskId submit(TaskFn fn, const std::vector<Depend>& deps = {});
+
+  /// Block until every task submitted so far has finished (taskwait).
+  /// Rethrows the first exception raised by any of those tasks.
+  void taskwait();
+
+  /// Block until one specific task finished.
+  void wait(TaskId id);
+
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
+  /// Process-wide graph used by the directive layer.
+  static TaskGraph& global();
+
+ private:
+  struct Node {
+    TaskId id;
+    TaskFn fn;
+    std::uint32_t preds = 0;
+    std::vector<std::shared_ptr<Node>> succs;
+    bool done = false;
+    bool queued = false;
+  };
+  using NodePtr = std::shared_ptr<Node>;
+
+  struct AddrState {
+    NodePtr last_out;            // last out/inout task for this address
+    std::vector<NodePtr> readers;  // in-tasks since last_out
+  };
+
+  void worker_loop();
+  void finish(const NodePtr& n);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_ready_;
+  std::condition_variable cv_done_;
+  std::deque<NodePtr> ready_;
+  std::unordered_map<const void*, AddrState> addr_state_;
+  std::unordered_map<TaskId, NodePtr> live_;
+  std::exception_ptr first_error_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  TaskId next_id_ = 1;
+  bool shutdown_ = false;
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace omp

@@ -1,0 +1,265 @@
+#include "rewrite/cuda2ompx.h"
+
+#include <regex>
+#include <utility>
+
+namespace rewrite {
+
+namespace {
+
+/// Applies one regex substitution, counting replacements.
+int apply(std::string& text, const std::regex& re, const std::string& repl) {
+  int count = 0;
+  std::string out;
+  out.reserve(text.size());
+  auto begin = std::sregex_iterator(text.begin(), text.end(), re);
+  auto end = std::sregex_iterator();
+  std::size_t last = 0;
+  for (auto it = begin; it != end; ++it) {
+    const std::smatch& m = *it;
+    out.append(text, last, static_cast<std::size_t>(m.position()) - last);
+    out.append(m.format(repl));
+    last = static_cast<std::size_t>(m.position() + m.length());
+    count++;
+  }
+  out.append(text, last, std::string::npos);
+  text = std::move(out);
+  return count;
+}
+
+void note(Report* r, int n, const std::string& what) {
+  if (r == nullptr || n == 0) return;
+  r->replacements += n;
+  r->notes.push_back(std::to_string(n) + "x " + what);
+}
+
+/// Thread-indexing builtins: threadIdx.x -> ompx_thread_id_x() etc.
+int rewrite_builtins(std::string& s, Report* r) {
+  int total = 0;
+  const std::pair<const char*, const char*> map[] = {
+      {"threadIdx", "ompx_thread_id"},
+      {"blockIdx", "ompx_block_id"},
+      {"blockDim", "ompx_block_dim"},
+      {"gridDim", "ompx_grid_dim"},
+  };
+  for (const auto& [cuda, ompx] : map) {
+    for (const char* dim : {"x", "y", "z"}) {
+      const std::regex re(std::string("\\b") + cuda + "\\s*\\.\\s*" + dim +
+                          "\\b");
+      const int n = apply(s, re, std::string(ompx) + "_" + dim + "()");
+      note(r, n, std::string(cuda) + "." + dim + " -> " + ompx + "_" + dim +
+                     "()");
+      total += n;
+    }
+  }
+  // warpSize builtin.
+  const int n = apply(s, std::regex("\\bwarpSize\\b"), "ompx_warp_size()");
+  note(r, n, "warpSize -> ompx_warp_size()");
+  return total + n;
+}
+
+/// Synchronization and warp primitives.
+int rewrite_sync(std::string& s, Report* r) {
+  int total = 0;
+  total += apply(s, std::regex("\\b__syncthreads\\s*\\(\\s*\\)"),
+                 "ompx_sync_thread_block()");
+  total += apply(s, std::regex("\\b__syncwarp\\s*\\(\\s*\\)"),
+                 "ompx_sync_warp(~0ull)");
+  total += apply(s, std::regex("\\b__syncwarp\\s*\\("), "ompx_sync_warp(");
+  note(r, total, "__syncthreads/__syncwarp -> ompx_sync_*");
+
+  int warp = 0;
+  for (const char* op : {"shfl_sync", "shfl_up_sync", "shfl_down_sync",
+                         "shfl_xor_sync", "ballot_sync", "any_sync",
+                         "all_sync", "reduce_add_sync", "reduce_min_sync",
+                         "reduce_max_sync"}) {
+    warp += apply(s, std::regex(std::string("\\b__") + op + "\\s*\\("),
+                  std::string("ompx::") + op + "(");
+  }
+  note(r, warp, "__shfl/__ballot/__any/__all/__reduce -> ompx::*");
+
+  int atomics = 0;
+  const std::pair<const char*, const char*> amap[] = {
+      {"atomicAdd", "ompx::atomic_add"}, {"atomicMax", "ompx::atomic_max"},
+      {"atomicMin", "ompx::atomic_min"},
+  };
+  for (const auto& [cuda, ompx] : amap)
+    atomics += apply(s, std::regex(std::string("\\b") + cuda + "\\s*\\("),
+                     std::string(ompx) + "(");
+  note(r, atomics, "atomic* -> ompx::atomic_*");
+  const int fence = apply(s, std::regex("\\b__threadfence\\s*\\(\\s*\\)"),
+                          "simt::threadfence()");
+  note(r, fence, "__threadfence -> simt::threadfence()");
+  return total + warp + atomics + fence;
+}
+
+/// __shared__ T name[N]; -> T* name = ompx::groupprivate<T>(N);
+/// extern __shared__ T name[]; -> T* name = ompx::dynamic_groupprivate<T>();
+int rewrite_shared(std::string& s, Report* r) {
+  int n = apply(
+      s,
+      std::regex(R"(\bextern\s+__shared__\s+([\w:<>]+)\s+(\w+)\s*\[\s*\]\s*;)"),
+      "$1* $2 = ompx::dynamic_groupprivate<$1>();");
+  note(r, n, "extern __shared__ -> ompx::dynamic_groupprivate");
+  int m = apply(
+      s,
+      std::regex(R"(\b__shared__\s+([\w:<>]+)\s+(\w+)\s*\[\s*([^\]]+)\s*\]\s*;)"),
+      "$1* $2 = ompx::groupprivate<$1>($3);");
+  m += apply(s, std::regex(R"(\b__shared__\s+([\w:<>]+)\s+(\w+)\s*;)"),
+             "$1& $2 = *ompx::groupprivate<$1>(1);");
+  note(r, m, "__shared__ -> ompx::groupprivate");
+  return n + m;
+}
+
+/// Function qualifiers disappear: ompx kernels are plain functions.
+int rewrite_qualifiers(std::string& s, Report* r) {
+  int n = 0;
+  n += apply(s, std::regex("\\b__global__\\s+"), "");
+  n += apply(s, std::regex("\\b__device__\\s+"), "");
+  n += apply(s, std::regex("\\b__host__\\s+"), "");
+  n += apply(s, std::regex("\\b__forceinline__\\s+"), "inline ");
+  n += apply(s, std::regex("\\b__restrict__\\b"), "");
+  note(r, n, "__global__/__device__/__host__ qualifiers removed");
+  return n;
+}
+
+/// Host runtime API calls.
+int rewrite_host_api(std::string& s, Report* r) {
+  int total = 0;
+
+  // cudaMalloc(&p, n) / cudaMalloc((void**)&p, n) -> p = ompx_malloc(n)
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaMalloc\s*\(\s*(?:\(\s*void\s*\*\s*\*\s*\)\s*)?&\s*([\w.\->\[\]]+)\s*,\s*([^;]+?)\)\s*;)"),
+      "$1 = static_cast<decltype($1)>(ompx_malloc($2));");
+
+  // cudaMemcpy(dst, src, n, kind); -> ompx_memcpy(dst, src, n);
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaMemcpy\s*\(\s*([^,]+),\s*([^,]+),\s*([^,]+),\s*cudaMemcpy\w+\s*\)\s*;)"),
+      "ompx_memcpy($1, $2, $3);");
+
+  // cudaMemcpyAsync(dst, src, n, kind, stream); keeps the stream.
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaMemcpyAsync\s*\(\s*([^,]+),\s*([^,]+),\s*([^,]+),\s*cudaMemcpy\w+\s*,\s*([^)]+)\)\s*;)"),
+      "ompx_memcpy_async($1, $2, $3, $4);");
+
+  total += apply(s, std::regex(R"(\bcudaMemset\s*\()"), "ompx_memset(");
+  total += apply(s, std::regex(R"(\bcudaFree\s*\()"), "ompx_free(");
+  total += apply(s, std::regex(R"(\bcudaDeviceSynchronize\s*\(\s*\))"),
+                 "ompx_device_synchronize()");
+  total += apply(s, std::regex(R"(\bcudaSetDevice\s*\()"), "ompx_set_device(");
+
+  // Streams and events.
+  total += apply(s, std::regex("\\bcudaStream_t\\b"), "ompx_stream_t");
+  total += apply(s, std::regex("\\bcudaEvent_t\\b"), "ompx_event_t");
+  total += apply(s,
+                 std::regex(R"(\bcudaStreamCreate\s*\(\s*&\s*(\w+)\s*\)\s*;)"),
+                 "$1 = ompx_stream_create();");
+  total += apply(s, std::regex(R"(\bcudaStreamSynchronize\s*\()"),
+                 "ompx_stream_synchronize(");
+  total += apply(s,
+                 std::regex(R"(\bcudaEventCreate\s*\(\s*&\s*(\w+)\s*\)\s*;)"),
+                 "$1 = ompx_event_create();");
+  total += apply(s, std::regex(R"(\bcudaEventRecord\s*\()"),
+                 "ompx_event_record(");
+  total += apply(s, std::regex(R"(\bcudaEventSynchronize\s*\()"),
+                 "ompx_event_synchronize(");
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaEventElapsedTime\s*\(\s*&\s*([\w.\->\[\]]+)\s*,\s*([^,]+),\s*([^)]+)\)\s*;)"),
+      "$1 = ompx_event_elapsed_ms($2, $3);");
+
+  // dim3 stays a value type; ompx::dim3 aliases simt::Dim3.
+  total += apply(s, std::regex("\\bdim3\\b"), "ompx::dim3");
+  note(r, total, "cuda* runtime calls -> ompx_* host APIs");
+  return total;
+}
+
+/// kernel<<<grid, block[, smem[, stream]]>>>(args);
+///   -> ompx launch of the (now plain) function.
+int rewrite_launches(std::string& s, Report* r, const Options& opt) {
+  const std::regex re(
+      R"((\w+)\s*<<<\s*([^,>]+?)\s*,\s*([^,>]+?)\s*(?:,\s*([^,>]+?)\s*)?(?:,\s*([^>]+?)\s*)?>>>\s*\(([^;]*)\)\s*;)");
+  int count = 0;
+  std::string out;
+  std::size_t last = 0;
+  auto begin = std::sregex_iterator(s.begin(), s.end(), re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    out.append(s, last, static_cast<std::size_t>(m.position()) - last);
+    const std::string kernel = m[1];
+    const std::string grid = m[2];
+    const std::string block = m[3];
+    const std::string smem = m[4].matched ? m[4].str() : "";
+    const std::string stream = m[5].matched ? m[5].str() : "";
+    const std::string args = m[6];
+    std::string repl = "{\n" + opt.indent + "ompx::LaunchSpec spec_;\n";
+    repl += opt.indent + "spec_.num_teams = ompx::dim3(" + grid + ");\n";
+    repl += opt.indent + "spec_.thread_limit = ompx::dim3(" + block + ");\n";
+    if (!smem.empty())
+      repl += opt.indent + "spec_.dynamic_groupprivate_bytes = " + smem + ";\n";
+    if (!stream.empty()) {
+      repl += opt.indent +
+              "// chevron stream argument: route through an interop object\n";
+      repl += opt.indent + "spec_.nowait = true;\n";
+      repl += opt.indent + "spec_.depend_interop = &" + stream + ";\n";
+      if (r != nullptr)
+        r->unported.push_back(
+            "launch of '" + kernel + "' used a stream ('" + stream +
+            "'): declare it as omp::Interop (see README depend(interopobj:))");
+    }
+    repl += opt.indent + "ompx::launch(spec_, [=] { " + kernel + "(" + args +
+            "); });\n}";
+    out.append(repl);
+    last = static_cast<std::size_t>(m.position() + m.length());
+    count++;
+  }
+  out.append(s, last, std::string::npos);
+  s = std::move(out);
+  note(r, count, "<<<...>>> launches -> ompx::launch");
+  return count;
+}
+
+/// Constructs the rewriter refuses to guess about.
+void detect_unported(const std::string& s, Report* r) {
+  if (r == nullptr) return;
+  const std::pair<const char*, const char*> checks[] = {
+      {"__constant__", "__constant__ symbols: use klMallocConstant / "
+                       "klMemcpyToSymbol (constant space)"},
+      {"texture", "texture references are not ported (rarely used for "
+                  "computation, paper §2.5 fn.1)"},
+      {"cudaMallocPitch", "pitched allocations: allocate flat and use "
+                          "klMemcpy2D for pitched copies"},
+      {"cooperative_groups", "cooperative groups: use ompx_sync_* and warp "
+                             "masks instead"},
+      {"__ldg", "__ldg read-only hints have no ompx equivalent (drop them)"},
+  };
+  for (const auto& [needle, msg] : checks)
+    if (s.find(needle) != std::string::npos) r->unported.push_back(msg);
+}
+
+}  // namespace
+
+std::string cuda_to_ompx(const std::string& source, Report* report,
+                         const Options& options) {
+  std::string s = source;
+  detect_unported(s, report);
+  // Order matters: shared decls before qualifier stripping would also
+  // work, but launches must go after builtins so kernel bodies are
+  // already rewritten when they move under ompx::launch.
+  rewrite_shared(s, report);
+  rewrite_qualifiers(s, report);
+  rewrite_builtins(s, report);
+  rewrite_sync(s, report);
+  rewrite_host_api(s, report);
+  if (options.rewrite_launches) rewrite_launches(s, report, options);
+  return s;
+}
+
+}  // namespace rewrite

@@ -1,0 +1,41 @@
+// cuda2ompx — the code-rewriting tool the paper's §6 names as future
+// work: "the potential integration of these extensions with code
+// rewriting tools ... to simplify the transition from kernel languages
+// to OpenMP, further reducing the burden on developers."
+//
+// The paper repeatedly observes that with the ompx extensions, porting
+// "often reduc[es] the porting process to text replacement" (§1, §3).
+// This module mechanizes exactly that text replacement: CUDA builtins,
+// runtime calls, qualifiers, shared-memory declarations and chevron
+// launches are rewritten to their ompx equivalents (the same mapping
+// table as README.md). It is a pattern-level rewriter, not a compiler:
+// constructs it cannot translate mechanically are left in place and
+// reported, so a human finishes the remaining few percent — the
+// workflow the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rewrite {
+
+struct Options {
+  /// Rewrite chevron launches (kernel<<<g,b[,smem[,stream]]>>>(args))
+  /// into ompx::launch calls wrapping the (de-__global__-ed) function.
+  bool rewrite_launches = true;
+  /// Indentation used for generated multi-line launch code.
+  std::string indent = "  ";
+};
+
+struct Report {
+  int replacements = 0;            ///< total textual substitutions
+  std::vector<std::string> notes;  ///< per-category counts + caveats
+  std::vector<std::string> unported;  ///< constructs left for a human
+};
+
+/// Rewrites CUDA source text to ompx source text. Returns the rewritten
+/// text; details land in `report` when provided.
+std::string cuda_to_ompx(const std::string& source, Report* report = nullptr,
+                         const Options& options = {});
+
+}  // namespace rewrite

@@ -1,0 +1,192 @@
+#include "simt/block.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "simt/device.h"
+
+namespace simt {
+
+namespace {
+thread_local ThreadCtx* t_ctx = nullptr;
+}
+
+ThreadCtx& this_thread() {
+  if (t_ctx == nullptr)
+    throw std::logic_error("simt::this_thread() called outside a kernel");
+  return *t_ctx;
+}
+
+bool in_kernel() { return t_ctx != nullptr; }
+
+BlockState::BlockState(Device& device, const LaunchParams& params,
+                       Dim3 block_idx, const KernelFn& kernel,
+                       FiberStackPool& stacks)
+    : device_(device), params_(params), block_idx_(block_idx),
+      kernel_(kernel), stacks_(stacks),
+      nthreads_(static_cast<std::uint32_t>(params.block.count())),
+      live_(nthreads_),
+      arena_(device.config().smem_per_block_max, params.dynamic_smem_bytes) {
+  const std::uint32_t ws = device.config().warp_size;
+  const std::uint32_t nwarps = static_cast<std::uint32_t>(ceil_div(nthreads_, ws));
+  warps_.reserve(nwarps);
+  for (std::uint32_t w = 0; w < nwarps; ++w) {
+    const std::uint32_t width = std::min(ws, nthreads_ - w * ws);
+    warps_.push_back(std::make_unique<WarpState>(*this, w, width));
+  }
+  ctxs_.resize(nthreads_);
+  slots_.resize(nthreads_);
+  shared_alloc_ordinal_.assign(nthreads_, 0);
+  for (std::uint32_t i = 0; i < nthreads_; ++i) setup_ctx(i, ctxs_[i]);
+}
+
+void BlockState::setup_ctx(std::uint32_t flat, ThreadCtx& ctx) {
+  const std::uint32_t ws = device_.config().warp_size;
+  ctx.thread_idx = params_.block.delinearize(flat);
+  ctx.block_idx = block_idx_;
+  ctx.block_dim = params_.block;
+  ctx.grid_dim = params_.grid;
+  ctx.flat_tid = flat;
+  ctx.warp_id = flat / ws;
+  ctx.lane = flat % ws;
+  ctx.block = this;
+  ctx.warp = warps_[ctx.warp_id].get();
+  ctx.device = &device_;
+  ctx.fiber = nullptr;
+}
+
+void BlockState::run() {
+  if (params_.mode == ExecMode::kCooperative) {
+    run_cooperative(stacks_);
+  } else {
+    run_direct();
+  }
+}
+
+void BlockState::run_direct() {
+  for (std::uint32_t i = 0; i < nthreads_; ++i) {
+    t_ctx = &ctxs_[i];
+    kernel_();
+    t_ctx = nullptr;
+    live_--;
+  }
+}
+
+void BlockState::run_cooperative(FiberStackPool& stacks) {
+  fibers_.reserve(nthreads_);
+  for (std::uint32_t i = 0; i < nthreads_; ++i) {
+    fibers_.push_back(std::make_unique<Fiber>(stacks, [this] { kernel_(); }));
+    ctxs_[i].fiber = fibers_[i].get();
+  }
+  std::uint32_t remaining = nthreads_;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::uint32_t i = 0; i < nthreads_; ++i) {
+      Fiber& f = *fibers_[i];
+      if (f.done() || !runnable(i)) continue;
+      slots_[i].wait = Wait::kNone;
+      t_ctx = &ctxs_[i];
+      f.resume();
+      t_ctx = nullptr;
+      progressed = true;
+      if (f.done()) {
+        remaining--;
+        on_thread_exit(i);
+      }
+    }
+    if (!progressed && remaining > 0) deadlock("block scheduler");
+  }
+  // Free fibers (and return stacks to the pool) before the arena dies.
+  fibers_.clear();
+}
+
+bool BlockState::runnable(std::uint32_t i) const {
+  const Slot& s = slots_[i];
+  switch (s.wait) {
+    case Wait::kNone:
+      return true;
+    case Wait::kBarrier:
+      return barrier_epoch_ != s.wait_epoch;
+    case Wait::kWarp:
+      return ctxs_[i].warp->epoch() != s.wait_epoch;
+  }
+  return true;
+}
+
+void BlockState::on_thread_exit(std::uint32_t flat) {
+  live_--;
+  ctxs_[flat].warp->on_lane_exit(ctxs_[flat].lane);
+  // A barrier waiting only on now-exited threads releases (kernel-language
+  // behaviour: exited threads no longer participate in __syncthreads).
+  if (live_ > 0 && barrier_arrived_ >= live_ && barrier_arrived_ > 0) {
+    barrier_arrived_ = 0;
+    barrier_epoch_++;
+    counters_.block_barriers++;
+  }
+}
+
+void BlockState::sync_threads(ThreadCtx& ctx) {
+  if (ctx.fiber == nullptr)
+    throw std::logic_error(
+        "block barrier in ExecMode::kDirect; launch cooperatively");
+  barrier_arrived_++;
+  if (barrier_arrived_ >= live_) {
+    barrier_arrived_ = 0;
+    barrier_epoch_++;
+    counters_.block_barriers++;
+    return;
+  }
+  wait_barrier(ctx);
+}
+
+void BlockState::wait_barrier(ThreadCtx& ctx) {
+  Slot& s = slots_[ctx.flat_tid];
+  s.wait = Wait::kBarrier;
+  s.wait_epoch = barrier_epoch_;
+  ctx.fiber->yield();
+}
+
+void BlockState::wait_warp(ThreadCtx& ctx, std::uint64_t epoch_at_entry) {
+  Slot& s = slots_[ctx.flat_tid];
+  s.wait = Wait::kWarp;
+  s.wait_epoch = epoch_at_entry;
+  ctx.fiber->yield();
+}
+
+void* BlockState::shared_alloc(ThreadCtx& ctx, std::size_t bytes,
+                               std::size_t align) {
+  const std::uint32_t k = shared_alloc_ordinal_[ctx.flat_tid]++;
+  if (k < shared_vars_.size()) {
+    if (shared_vars_[k].bytes != bytes)
+      throw std::logic_error(
+          "shared allocation size diverged across threads at ordinal " +
+          std::to_string(k) + ": " + std::to_string(shared_vars_[k].bytes) +
+          " vs " + std::to_string(bytes));
+    return shared_vars_[k].ptr;
+  }
+  if (k != shared_vars_.size())
+    throw std::logic_error("shared allocation sequence diverged across threads");
+  void* p = arena_.allocate(bytes, align);
+  shared_vars_.push_back({p, bytes});
+  return p;
+}
+
+void BlockState::deadlock(const char* where) const {
+  std::string msg = std::string("SIMT deadlock in ") + where + " (kernel '" +
+                    params_.name + "', block " + block_idx_.to_string() +
+                    "): ";
+  std::uint32_t at_barrier = 0, at_warp = 0;
+  for (std::uint32_t i = 0; i < nthreads_; ++i) {
+    if (fibers_[i]->done()) continue;
+    if (slots_[i].wait == Wait::kBarrier) at_barrier++;
+    if (slots_[i].wait == Wait::kWarp) at_warp++;
+  }
+  msg += std::to_string(live_) + " live threads, " +
+         std::to_string(at_barrier) + " at block barrier, " +
+         std::to_string(at_warp) + " in warp collectives. Divergent "
+         "synchronization (threads of one block taking sync paths that can "
+         "never all meet) is the usual cause.";
+  throw std::runtime_error(msg);
+}
+
+}  // namespace simt

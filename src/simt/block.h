@@ -1,0 +1,129 @@
+// Block runner: executes one thread block of a launch.
+//
+// In cooperative mode every GPU thread is a fiber; a single-threaded
+// round-robin scheduler resumes runnable fibers until all finish.
+// Threads suspend at block barriers and warp rendezvous; the scheduler
+// detects deadlock (no runnable fiber while threads remain), which is
+// how invalid divergent synchronization surfaces as an error instead of
+// a hang. In direct mode threads are plain calls — ~3x less host
+// overhead — and any blocking primitive throws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simt/dim.h"
+#include "simt/fiber.h"
+#include "simt/kernel.h"
+#include "simt/shared_arena.h"
+#include "simt/warp.h"
+
+namespace simt {
+
+class Device;
+
+/// Per-launch counters a block accumulates locally and flushes once.
+/// The runtime-emulation fields are incremented by the omp device
+/// runtime layer when it executes inside a kernel.
+struct BlockCounters {
+  std::uint64_t block_barriers = 0;
+  std::uint64_t warp_collectives = 0;
+  std::uint64_t warp_syncs = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t parallel_handshakes = 0;
+  std::uint64_t workshare_dispatches = 0;
+  std::uint64_t globalized_bytes = 0;
+};
+
+class BlockState {
+ public:
+  BlockState(Device& device, const LaunchParams& params, Dim3 block_idx,
+             const KernelFn& kernel, FiberStackPool& stacks);
+
+  BlockState(const BlockState&) = delete;
+  BlockState& operator=(const BlockState&) = delete;
+
+  /// Runs every thread of the block to completion.
+  void run();
+
+  // --- device-side primitives, called from kernel code via ThreadCtx ---
+
+  /// Block-wide barrier (__syncthreads / ompx_sync_thread_block).
+  void sync_threads(ThreadCtx& ctx);
+
+  /// Funnelled shared-memory allocation: the k-th call of every thread
+  /// returns the same pointer (one block-level variable per call site
+  /// ordinal, the library equivalent of a __shared__ declaration).
+  /// Sizes must agree across threads.
+  void* shared_alloc(ThreadCtx& ctx, std::size_t bytes, std::size_t align);
+
+  /// Base of the dynamic shared segment (extern __shared__).
+  void* dynamic_shared() { return arena_.dynamic_base(); }
+  [[nodiscard]] std::size_t dynamic_shared_size() const {
+    return arena_.dynamic_size();
+  }
+
+  [[nodiscard]] WarpState& warp(std::uint32_t warp_id) { return *warps_[warp_id]; }
+  [[nodiscard]] std::uint32_t num_warps() const {
+    return static_cast<std::uint32_t>(warps_.size());
+  }
+  [[nodiscard]] std::uint32_t live_threads() const { return live_; }
+  [[nodiscard]] Device& device() { return device_; }
+  [[nodiscard]] const LaunchParams& params() const { return params_; }
+  [[nodiscard]] const BlockCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t shared_high_water() const {
+    return arena_.high_water();
+  }
+
+  /// Yields the calling fiber marked as waiting on the block barrier /
+  /// its warp. Internal to the engine's blocking primitives.
+  void wait_barrier(ThreadCtx& ctx);
+  void wait_warp(ThreadCtx& ctx, std::uint64_t epoch_at_entry);
+
+  BlockCounters counters_;  // accessed by WarpState on release
+
+ private:
+  enum class Wait : std::uint8_t { kNone, kBarrier, kWarp };
+
+  struct Slot {
+    Wait wait = Wait::kNone;
+    std::uint64_t wait_epoch = 0;
+  };
+
+  void run_cooperative(FiberStackPool& stacks);
+  void run_direct();
+  void setup_ctx(std::uint32_t flat, ThreadCtx& ctx);
+  [[nodiscard]] bool runnable(std::uint32_t i) const;
+  void on_thread_exit(std::uint32_t flat);
+  [[noreturn]] void deadlock(const char* where) const;
+
+  Device& device_;
+  const LaunchParams& params_;
+  Dim3 block_idx_;
+  const KernelFn& kernel_;
+  FiberStackPool& stacks_;
+  std::uint32_t nthreads_;
+  std::uint32_t live_;
+
+  SharedArena arena_;
+  std::vector<std::unique_ptr<WarpState>> warps_;
+
+  // Barrier state (epoch-based; single-threaded scheduler, no atomics).
+  std::uint32_t barrier_arrived_ = 0;
+  std::uint64_t barrier_epoch_ = 0;
+
+  // Shared-allocation funnel.
+  struct SharedVar {
+    void* ptr;
+    std::size_t bytes;
+  };
+  std::vector<SharedVar> shared_vars_;
+  std::vector<std::uint32_t> shared_alloc_ordinal_;  // per thread
+
+  std::vector<ThreadCtx> ctxs_;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace simt

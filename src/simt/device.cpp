@@ -1,0 +1,261 @@
+#include "simt/device.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "simt/block.h"
+#include "simt/memory.h"
+#include "simt/stream.h"
+
+namespace simt {
+
+namespace {
+
+// Fiber stacks are recycled per OS thread (FiberStackPool is not
+// thread-safe by design — a block and its fibers live on one thread).
+std::atomic<std::size_t> g_fiber_stack_bytes{FiberStackPool::kDefaultStackSize};
+
+FiberStackPool& thread_stack_pool() {
+  thread_local FiberStackPool pool(g_fiber_stack_bytes.load());
+  return pool;
+}
+
+}  // namespace
+
+Device::Device(DeviceConfig cfg, EngineOptions opts)
+    : cfg_(std::move(cfg)), opts_(opts),
+      mem_(std::make_unique<DeviceMemory>(cfg_.global_mem_bytes)),
+      cmem_(std::make_unique<DeviceMemory>(cfg_.const_mem_bytes)),
+      exec_(std::make_unique<StreamExecutor>(*this)) {
+  if (opts_.fiber_stack_bytes != 0)
+    g_fiber_stack_bytes.store(opts_.fiber_stack_bytes);
+}
+
+Device::~Device() = default;
+
+void Device::validate(const LaunchParams& p) const {
+  if (p.grid.count() == 0 || p.block.count() == 0)
+    throw std::invalid_argument(std::string("launch '") + p.name +
+                                "': empty grid or block");
+  if (p.block.count() > cfg_.max_threads_per_block)
+    throw std::invalid_argument(
+        std::string("launch '") + p.name + "': block " + p.block.to_string() +
+        " exceeds max_threads_per_block=" +
+        std::to_string(cfg_.max_threads_per_block));
+  if (p.dynamic_smem_bytes > cfg_.smem_per_block_max)
+    throw std::invalid_argument(
+        std::string("launch '") + p.name + "': dynamic shared memory " +
+        std::to_string(p.dynamic_smem_bytes) + " exceeds per-block limit " +
+        std::to_string(cfg_.smem_per_block_max));
+}
+
+LaunchRecord Device::launch_sync(const LaunchParams& params,
+                                 const KernelFn& kernel) {
+  validate(params);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  LaunchStats stats;
+  stats.blocks = params.grid.count();
+  stats.threads = stats.blocks * params.block.count();
+  stats.runtime_init = params.rt.runtime_init;
+  stats.generic_mode = params.rt.generic_mode;
+  stats.spill_in_shared = params.rt.spill_in_shared;
+
+  BlockCounters total;
+  const std::uint64_t nblocks = params.grid.count();
+  const unsigned workers = std::max(
+      1u, opts_.workers != 0 ? opts_.workers
+                             : std::thread::hardware_concurrency());
+  auto run_range = [&](std::uint64_t begin, std::uint64_t end,
+                       BlockCounters& acc) {
+    for (std::uint64_t b = begin; b < end; ++b) {
+      BlockState block(*this, params, params.grid.delinearize(b), kernel,
+                       thread_stack_pool());
+      block.run();
+      const BlockCounters& c = block.counters();
+      acc.block_barriers += c.block_barriers;
+      acc.warp_collectives += c.warp_collectives;
+      acc.warp_syncs += c.warp_syncs;
+      acc.atomics += c.atomics;
+      acc.parallel_handshakes += c.parallel_handshakes;
+      acc.workshare_dispatches += c.workshare_dispatches;
+      acc.globalized_bytes += c.globalized_bytes;
+    }
+  };
+  if (workers == 1 || nblocks < 2) {
+    run_range(0, nblocks, total);
+  } else {
+    // Blocks are independent (CUDA semantics: no inter-block ordering),
+    // so they partition freely across host worker threads. Exceptions
+    // propagate after join; results are identical for any worker count.
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::uint64_t>(workers, nblocks));
+    std::vector<BlockCounters> accs(n);
+    std::vector<std::exception_ptr> errs(n);
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    const std::uint64_t chunk = (nblocks + n - 1) / n;
+    for (unsigned w = 0; w < n; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          run_range(w * chunk, std::min(nblocks, (w + 1) * chunk), accs[w]);
+        } catch (...) {
+          errs[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    for (unsigned w = 0; w < n; ++w) {
+      if (errs[w]) std::rethrow_exception(errs[w]);
+      total.block_barriers += accs[w].block_barriers;
+      total.warp_collectives += accs[w].warp_collectives;
+      total.warp_syncs += accs[w].warp_syncs;
+      total.atomics += accs[w].atomics;
+      total.parallel_handshakes += accs[w].parallel_handshakes;
+      total.workshare_dispatches += accs[w].workshare_dispatches;
+      total.globalized_bytes += accs[w].globalized_bytes;
+    }
+  }
+  stats.block_barriers = total.block_barriers;
+  stats.warp_collectives = total.warp_collectives;
+  stats.warp_syncs = total.warp_syncs;
+  stats.atomics = total.atomics;
+  stats.parallel_handshakes = total.parallel_handshakes;
+  stats.workshare_dispatches = total.workshare_dispatches;
+  stats.globalized_bytes = total.globalized_bytes;
+
+  LaunchRecord rec;
+  rec.name = params.name;
+  rec.grid = params.grid;
+  rec.block = params.block;
+  rec.stats = stats;
+  rec.time = model_time(cfg_, params.profile, params.cost, stats,
+                        static_cast<std::uint32_t>(params.block.count()),
+                        params.dynamic_smem_bytes, costs_);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  {
+    std::lock_guard lock(log_mu_);
+    log_.push_back(rec);
+  }
+  return rec;
+}
+
+Stream& Device::default_stream() { return exec_->default_stream(); }
+Stream* Device::create_stream() { return exec_->create_stream(); }
+Event* Device::create_event() { return exec_->create_event(); }
+
+void Device::synchronize() {
+  exec_->synchronize_all();
+  exec_->check_async_error();
+}
+
+double Device::model_transfer_ms(std::uint64_t bytes) const {
+  return simt::model_transfer_ms(cfg_, bytes, costs_);
+}
+
+std::vector<LaunchRecord> Device::launch_log() const {
+  std::lock_guard lock(log_mu_);
+  return log_;
+}
+
+LaunchRecord Device::last_launch() const {
+  std::lock_guard lock(log_mu_);
+  if (log_.empty()) throw std::logic_error("Device::last_launch: empty log");
+  return log_.back();
+}
+
+void Device::clear_launch_log() {
+  std::lock_guard lock(log_mu_);
+  log_.clear();
+  transfer_ms_total_ = 0.0;
+}
+
+double Device::modeled_kernel_ms_total() const {
+  std::lock_guard lock(log_mu_);
+  double sum = 0.0;
+  for (const auto& r : log_) sum += r.time.total_ms;
+  return sum;
+}
+
+double Device::modeled_now_ms() const { return exec_->modeled_now_ms(); }
+
+double Device::modeled_transfer_ms_total() const {
+  std::lock_guard lock(log_mu_);
+  return transfer_ms_total_;
+}
+
+void Device::add_transfer(std::uint64_t bytes) {
+  const double ms = model_transfer_ms(bytes);
+  std::lock_guard lock(log_mu_);
+  transfer_ms_total_ += ms;
+}
+
+DeviceConfig make_sim_a100_config() {
+  DeviceConfig c;
+  c.name = "sim-a100";
+  c.vendor = Vendor::kNvidia;
+  c.warp_size = 32;
+  c.num_sms = 108;
+  c.max_threads_per_block = 1024;
+  c.max_threads_per_sm = 2048;
+  c.max_blocks_per_sm = 32;
+  c.regs_per_sm = 65536;
+  c.smem_per_sm = 164 * 1024;
+  c.smem_per_block_max = 48 * 1024;
+  c.global_mem_bytes = 40ull << 30;
+  c.clock_ghz = 1.41;
+  c.fp_lanes_per_sm = 64;       // FP32 cores per SM (A100: 64)
+  c.mem_bw_gbps = 1555.0;       // HBM2e
+  c.shared_bw_gbps = 19400.0;   // 128 B/clk/SM aggregate
+  c.link_bw_gbps = 64.0;        // PCIe 4.0 x16
+  return c;
+}
+
+DeviceConfig make_sim_mi250_config() {
+  DeviceConfig c;
+  c.name = "sim-mi250";
+  c.vendor = Vendor::kAmd;
+  c.warp_size = 64;
+  c.num_sms = 104;              // CUs of one MI250 GCD
+  c.max_threads_per_block = 1024;
+  c.max_threads_per_sm = 2048;
+  c.max_blocks_per_sm = 32;
+  c.regs_per_sm = 65536 * 2;    // CDNA2: 128 KB VGPR file per CU
+  c.smem_per_sm = 64 * 1024;    // LDS per CU
+  c.smem_per_block_max = 64 * 1024;
+  c.global_mem_bytes = 64ull << 30;
+  c.clock_ghz = 1.7;
+  c.fp_lanes_per_sm = 64;
+  c.mem_bw_gbps = 1638.0;       // HBM2e, one GCD
+  c.shared_bw_gbps = 22600.0;
+  c.link_bw_gbps = 64.0;
+  return c;
+}
+
+std::vector<Device*>& device_registry() {
+  static std::vector<Device*> reg = [] {
+    // Intentionally leaked: devices own executor threads and must outlive
+    // any static-destruction-order user.
+    auto* a100 = new Device(make_sim_a100_config());
+    auto* mi250 = new Device(make_sim_mi250_config());
+    return std::vector<Device*>{a100, mi250};
+  }();
+  return reg;
+}
+
+Device& device_by_name(const std::string& name) {
+  for (Device* d : device_registry())
+    if (d->config().name == name) return *d;
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+Device& sim_a100() { return *device_registry()[0]; }
+Device& sim_mi250() { return *device_registry()[1]; }
+
+}  // namespace simt

@@ -1,0 +1,163 @@
+// Simulated GPU devices.
+//
+// The paper evaluates on an NVIDIA A100 (40 GB) under CUDA 11.8 and one
+// GCD of an AMD MI250 under ROCm 5.5 (Figure 7). We register two device
+// configurations with the published architectural parameters of those
+// parts; warp size (32 vs 64) is the semantically visible difference the
+// ompx warp APIs must handle, the rest feeds the performance model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simt/dim.h"
+#include "simt/kernel.h"
+#include "simt/perf.h"
+
+namespace simt {
+
+class Device;
+
+enum class Vendor { kNvidia, kAmd };
+
+struct DeviceConfig {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+  std::uint32_t warp_size = 32;
+  std::uint32_t num_sms = 108;                 ///< SMs (NVIDIA) / CUs (AMD)
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::uint32_t max_blocks_per_sm = 32;
+  std::uint32_t regs_per_sm = 65536;
+  std::uint64_t smem_per_sm = 164 * 1024;      ///< shared memory / LDS per SM
+  std::uint64_t smem_per_block_max = 48 * 1024;
+  std::uint64_t global_mem_bytes = 40ull << 30;
+  std::uint64_t const_mem_bytes = 64 * 1024;   ///< __constant__ space
+  double clock_ghz = 1.41;
+  double fp_lanes_per_sm = 64;                 ///< FP32 FMA lanes per SM
+  double mem_bw_gbps = 1555.0;                 ///< global memory bandwidth
+  double shared_bw_gbps = 19400.0;             ///< aggregate smem bandwidth
+  double link_bw_gbps = 64.0;                  ///< host link (PCIe 4.0 x16)
+  std::uint32_t grid_dims_supported = 3;
+
+  /// Peak FLOP/s (FMA counted as two ops).
+  [[nodiscard]] double peak_gflops() const {
+    return 2.0 * fp_lanes_per_sm * num_sms * clock_ghz;
+  }
+};
+
+/// Engine-wide execution options (host-side knobs, not device model).
+struct EngineOptions {
+  /// OS worker threads used to execute blocks. Defaults to the host's
+  /// hardware concurrency (>= 1). Simulation results are identical for
+  /// any value; only host wall time changes.
+  unsigned workers = 0;
+  /// Fiber stack size per simulated GPU thread (0 = pool default).
+  std::size_t fiber_stack_bytes = 0;
+};
+
+/// One completed kernel launch: measured stats + modeled time.
+struct LaunchRecord {
+  std::string name;
+  Dim3 grid;
+  Dim3 block;
+  LaunchStats stats;
+  ModeledTime time;
+  double wall_ms = 0.0;
+};
+
+class Stream;
+class Event;
+class StreamExecutor;
+class DeviceMemory;
+
+/// A simulated GPU: configuration, global memory, streams, and the
+/// launch path. Thread-safe for host-side use.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg, EngineOptions opts = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceConfig& config() const { return cfg_; }
+  DeviceMemory& memory() { return *mem_; }
+  /// The __constant__ memory space (§2.5's fourth space): small,
+  /// host-writable, broadcast-read by kernels. Same allocation API as
+  /// global memory with the 64 KiB capacity CUDA gives it.
+  DeviceMemory& constant_memory() { return *cmem_; }
+  EventCosts& costs() { return costs_; }
+
+  /// Executes a kernel synchronously on the calling thread (every block,
+  /// every thread, functionally) and returns measured stats + modeled
+  /// time. Streams use this internally; tests may call it directly.
+  LaunchRecord launch_sync(const LaunchParams& params, const KernelFn& kernel);
+
+  /// Throws std::invalid_argument for an unlaunchable configuration.
+  /// Streams call this at submit time so configuration errors surface
+  /// synchronously, as the CUDA runtime does.
+  void validate_launch(const LaunchParams& params) const { validate(params); }
+
+  /// Streams and events (owned by the device; live until destruction).
+  Stream& default_stream();
+  Stream* create_stream();
+  Event* create_event();
+  /// Wait for every operation on every stream (cudaDeviceSynchronize),
+  /// then rethrow any asynchronous error.
+  void synchronize();
+
+  /// Modeled host<->device transfer time for `bytes` (used by the data
+  /// mapping layers; also accumulated when stream memcpys execute).
+  [[nodiscard]] double model_transfer_ms(std::uint64_t bytes) const;
+
+  // --- bookkeeping for benchmarks and tests ---
+  [[nodiscard]] std::vector<LaunchRecord> launch_log() const;
+  [[nodiscard]] LaunchRecord last_launch() const;
+  void clear_launch_log();
+  /// Sum of modeled kernel time over the launch log.
+  [[nodiscard]] double modeled_kernel_ms_total() const;
+  /// Modeled device-timeline "now" (max stream-ready time).
+  [[nodiscard]] double modeled_now_ms() const;
+  /// Accumulated modeled transfer time since last clear_launch_log().
+  [[nodiscard]] double modeled_transfer_ms_total() const;
+  void add_transfer(std::uint64_t bytes);  // used by mapping layers
+
+ private:
+  friend class StreamExecutor;
+
+  void validate(const LaunchParams& params) const;
+
+  DeviceConfig cfg_;
+  EngineOptions opts_;
+  EventCosts costs_;
+  std::unique_ptr<DeviceMemory> mem_;
+  std::unique_ptr<DeviceMemory> cmem_;
+  std::unique_ptr<StreamExecutor> exec_;
+
+  mutable std::mutex log_mu_;
+  std::vector<LaunchRecord> log_;
+  double transfer_ms_total_ = 0.0;
+};
+
+/// Returns the process-wide registry of simulated devices. Index 0 is
+/// "sim-a100" (CUDA-shaped) and index 1 is "sim-mi250" (HIP-shaped, one
+/// GCD), matching the paper's two systems.
+std::vector<Device*>& device_registry();
+
+/// Look up a registered device by name; throws if unknown.
+Device& device_by_name(const std::string& name);
+
+/// Convenience: the registered sim-a100 / sim-mi250 devices.
+Device& sim_a100();
+Device& sim_mi250();
+
+/// The published configurations used to build the registry (also used
+/// by tests and the Fig. 7 table printer).
+DeviceConfig make_sim_a100_config();
+DeviceConfig make_sim_mi250_config();
+
+}  // namespace simt

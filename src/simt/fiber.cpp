@@ -1,0 +1,222 @@
+#include "simt/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) && !defined(OMPX_USE_UCONTEXT)
+#define SIMT_FIBER_ASM 1
+#else
+#define SIMT_FIBER_ASM 0
+#include <ucontext.h>
+#endif
+
+#if SIMT_FIBER_ASM
+#include <immintrin.h>
+#endif
+
+namespace simt {
+
+namespace {
+thread_local Fiber* t_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+Fiber* Fiber::current() { return t_current_fiber; }
+
+#if SIMT_FIBER_ASM
+
+extern "C" void simt_fiber_swap(void** save_sp, void* restore_sp);
+extern "C" void simt_fiber_entry_thunk();
+
+struct Fiber::Context {
+  void* sp = nullptr;
+};
+
+extern "C" [[noreturn]] void simt_fiber_trampoline(Fiber* self) {
+  Fiber::trampoline(self);
+  __builtin_unreachable();
+}
+
+Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
+    : pool_(pool),
+      entry_(std::move(entry)),
+      ctx_(std::make_unique<Context>()),
+      link_(std::make_unique<Context>()) {
+  stack_size_ = pool_.stack_size();
+  stack_ = pool_.lease();
+
+  // Seed the stack so the restore path of simt_fiber_swap "returns" into
+  // simt_fiber_entry_thunk with this Fiber parked in r12. Layout must
+  // mirror the save frame in fiber_switch_x86_64.S exactly.
+  auto* top = reinterpret_cast<std::uint64_t*>(
+      reinterpret_cast<std::uint8_t*>(stack_) + stack_size_);
+  // `top` is page-aligned, hence 16-byte aligned; the thunk runs with
+  // rsp == top, satisfying the call-site alignment rule.
+  std::uint64_t* sp = top - 8;  // 64-byte seed frame
+  const std::uint32_t mxcsr = _mm_getcsr();
+  std::uint16_t fcw = 0;
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  sp[0] = static_cast<std::uint64_t>(mxcsr) |
+          (static_cast<std::uint64_t>(fcw) << 32);
+  sp[1] = 0;                                      // r15
+  sp[2] = 0;                                      // r14
+  sp[3] = 0;                                      // r13
+  sp[4] = reinterpret_cast<std::uint64_t>(this);  // r12 -> thunk's rdi
+  sp[5] = 0;                                      // rbx
+  sp[6] = 0;                                      // rbp
+  sp[7] = reinterpret_cast<std::uint64_t>(&simt_fiber_entry_thunk);
+  ctx_->sp = sp;
+}
+
+void Fiber::resume() {
+  if (done_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* prev = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  simt_fiber_swap(&link_->sp, ctx_->sp);
+  t_current_fiber = prev;
+  if (exception_) {
+    auto e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  simt_fiber_swap(&ctx_->sp, link_->sp);
+}
+
+void Fiber::trampoline(Fiber* self) {
+  try {
+    self->entry_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Final switch back to the scheduler. The save slot is never resumed
+  // again; it only exists because the swap routine unconditionally saves.
+  simt_fiber_swap(&self->ctx_->sp, self->link_->sp);
+}
+
+#else  // ucontext fallback
+
+struct Fiber::Context {
+  ucontext_t uc;
+};
+
+extern "C" void simt_fiber_trampoline_uc(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  Fiber::trampoline(self);
+}
+
+Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
+    : pool_(pool),
+      entry_(std::move(entry)),
+      ctx_(std::make_unique<Context>()),
+      link_(std::make_unique<Context>()) {
+  stack_size_ = pool_.stack_size();
+  stack_ = pool_.lease();
+  if (getcontext(&ctx_->uc) != 0)
+    throw std::runtime_error("getcontext failed");
+  ctx_->uc.uc_stack.ss_sp = stack_;
+  ctx_->uc.uc_stack.ss_size = stack_size_;
+  ctx_->uc.uc_link = &link_->uc;
+  const auto p = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_->uc, reinterpret_cast<void (*)()>(simt_fiber_trampoline_uc),
+              2, static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+}
+
+void Fiber::resume() {
+  if (done_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* prev = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  swapcontext(&link_->uc, &ctx_->uc);
+  t_current_fiber = prev;
+  if (exception_) {
+    auto e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  swapcontext(&ctx_->uc, &link_->uc);
+}
+
+void Fiber::trampoline(Fiber* self) {
+  try {
+    self->entry_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->done_ = true;
+  // uc_link returns to the scheduler when this function falls off the end.
+}
+
+#endif  // SIMT_FIBER_ASM
+
+Fiber::~Fiber() {
+  if (stack_ != nullptr) pool_.release(stack_);
+}
+
+FiberStackPool::FiberStackPool(std::size_t stack_size, std::size_t max_cached)
+    : stack_size_(round_up(stack_size, page_size())), max_cached_(max_cached) {}
+
+FiberStackPool::~FiberStackPool() {
+  for (void* s : free_) unmap_stack(s);
+}
+
+void* FiberStackPool::lease() {
+  if (!free_.empty()) {
+    void* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  return map_stack();
+}
+
+void FiberStackPool::release(void* stack) {
+  if (free_.size() < max_cached_) {
+    free_.push_back(stack);
+  } else {
+    unmap_stack(stack);
+    total_mapped_ -= 1;
+  }
+}
+
+void* FiberStackPool::map_stack() {
+  const std::size_t ps = page_size();
+  // One guard page below the stack: overflow faults instead of silently
+  // scribbling over a neighbouring fiber's stack.
+  void* base = ::mmap(nullptr, stack_size_ + ps, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc();
+  if (::mprotect(base, ps, PROT_NONE) != 0) {
+    ::munmap(base, stack_size_ + ps);
+    throw std::runtime_error("mprotect(guard) failed");
+  }
+  total_mapped_ += 1;
+  return static_cast<std::uint8_t*>(base) + ps;
+}
+
+void FiberStackPool::unmap_stack(void* stack) {
+  const std::size_t ps = page_size();
+  ::munmap(static_cast<std::uint8_t*>(stack) - ps, stack_size_ + ps);
+}
+
+}  // namespace simt

@@ -1,0 +1,77 @@
+// Kernel representation and the per-thread execution context.
+//
+// A kernel is any callable run once per GPU thread. Thread identity is
+// ambient — read through this_thread() — exactly as threadIdx/blockIdx
+// are ambient in CUDA, so kernel bodies written against the kl/ompx
+// layers look like kernel-language code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simt/dim.h"
+#include "simt/perf.h"
+
+namespace simt {
+
+class BlockState;
+class WarpState;
+class Fiber;
+class Device;
+
+/// Per-thread execution context, valid while that thread's kernel body
+/// runs. Owned by the block runner; kernels must not store it beyond
+/// the call.
+struct ThreadCtx {
+  Dim3 thread_idx;
+  Dim3 block_idx;
+  Dim3 block_dim;
+  Dim3 grid_dim;
+  std::uint32_t lane = 0;       ///< lane within the warp
+  std::uint32_t warp_id = 0;    ///< warp index within the block
+  std::uint32_t flat_tid = 0;   ///< linear thread id within the block
+  BlockState* block = nullptr;  ///< barrier / shared arena / warp table
+  WarpState* warp = nullptr;
+  Device* device = nullptr;
+  Fiber* fiber = nullptr;       ///< null in direct (non-cooperative) mode
+};
+
+/// The context of the GPU thread currently executing on this OS thread.
+/// Throws if called from host code (outside a kernel).
+ThreadCtx& this_thread();
+
+/// True when called from inside a kernel body.
+bool in_kernel();
+
+using KernelFn = std::function<void()>;
+
+/// Execution mode for a launch.
+///
+/// kCooperative runs every GPU thread as a fiber so the kernel may use
+/// barriers and warp collectives anywhere. kDirect runs threads as
+/// plain calls (no suspension): ~3x faster host-side, but any blocking
+/// primitive throws. Results are identical when both are legal.
+enum class ExecMode { kCooperative, kDirect };
+
+/// Execution-model flags the OpenMP runtime emulation sets on its
+/// launches; bare/native launches leave them all false (that absence of
+/// runtime machinery is exactly what the paper's ompx_bare buys).
+struct RuntimeModeFlags {
+  bool runtime_init = false;    ///< device runtime state initialized
+  bool generic_mode = false;    ///< generic-mode state machine active
+  bool spill_in_shared = false; ///< heap-to-shared optimization applied
+};
+
+/// Everything that defines one kernel launch.
+struct LaunchParams {
+  Dim3 grid;
+  Dim3 block;
+  std::uint64_t dynamic_smem_bytes = 0;
+  ExecMode mode = ExecMode::kCooperative;
+  CompilerProfile profile;  ///< code-gen attributes of this version
+  KernelCost cost;          ///< roofline characterization (see perf.h)
+  RuntimeModeFlags rt;
+  const char* name = "kernel";
+};
+
+}  // namespace simt

@@ -1,0 +1,144 @@
+#include "simt/memory.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace simt {
+
+namespace {
+constexpr std::size_t kAlignment = 256;  // cudaMalloc guarantees >= 256
+}
+
+DeviceMemory::~DeviceMemory() {
+  std::lock_guard lock(mu_);
+  for (auto& [base, size] : allocs_) {
+    (void)size;
+    std::free(reinterpret_cast<void*>(base));
+  }
+}
+
+void* DeviceMemory::allocate(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  std::lock_guard lock(mu_);
+  if (in_use_ + bytes > capacity_) throw std::bad_alloc();
+  void* p = std::aligned_alloc(kAlignment, (bytes + kAlignment - 1) / kAlignment * kAlignment);
+  if (p == nullptr) throw std::bad_alloc();
+  allocs_.emplace(reinterpret_cast<std::uintptr_t>(p), bytes);
+  in_use_ += bytes;
+  return p;
+}
+
+void DeviceMemory::deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard lock(mu_);
+  auto it = allocs_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (it == allocs_.end())
+    throw std::invalid_argument("DeviceMemory::deallocate: not a live device allocation");
+  in_use_ -= it->second;
+  allocs_.erase(it);
+  std::free(ptr);
+}
+
+bool DeviceMemory::contains(const void* ptr) const {
+  std::lock_guard lock(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = allocs_.upper_bound(addr);
+  if (it == allocs_.begin()) return false;
+  --it;
+  return addr < it->first + it->second;
+}
+
+std::size_t DeviceMemory::allocation_size(const void* ptr) const {
+  std::lock_guard lock(mu_);
+  auto it = allocs_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  return it == allocs_.end() ? 0 : it->second;
+}
+
+std::uint64_t DeviceMemory::bytes_in_use() const {
+  std::lock_guard lock(mu_);
+  return in_use_;
+}
+
+std::uint64_t DeviceMemory::live_allocations() const {
+  std::lock_guard lock(mu_);
+  return allocs_.size();
+}
+
+void DeviceMemory::validate_device_range(const void* ptr, std::size_t bytes,
+                                         const char* what) const {
+  std::lock_guard lock(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = allocs_.upper_bound(addr);
+  if (it != allocs_.begin()) {
+    --it;
+    if (addr >= it->first && addr + bytes <= it->first + it->second) return;
+  }
+  throw std::out_of_range(std::string(what) +
+                          ": range is not within a live device allocation");
+}
+
+std::size_t DeviceMemory::copy(void* dst, const void* src, std::size_t bytes,
+                               CopyKind kind) const {
+  if (bytes == 0) return 0;
+  if (dst == nullptr || src == nullptr)
+    throw std::invalid_argument("DeviceMemory::copy: null pointer");
+  switch (kind) {
+    case CopyKind::kHostToDevice:
+      validate_device_range(dst, bytes, "copy(H2D) dst");
+      break;
+    case CopyKind::kDeviceToHost:
+      validate_device_range(src, bytes, "copy(D2H) src");
+      break;
+    case CopyKind::kDeviceToDevice:
+      validate_device_range(dst, bytes, "copy(D2D) dst");
+      validate_device_range(src, bytes, "copy(D2D) src");
+      break;
+    case CopyKind::kHostToHost:
+      break;
+  }
+  std::memmove(dst, src, bytes);
+  return bytes;
+}
+
+std::size_t DeviceMemory::copy_2d(void* dst, std::size_t dpitch,
+                                  const void* src, std::size_t spitch,
+                                  std::size_t width, std::size_t height,
+                                  CopyKind kind) const {
+  if (width == 0 || height == 0) return 0;
+  if (dpitch < width || spitch < width)
+    throw std::invalid_argument("copy_2d: pitch smaller than row width");
+  if (dst == nullptr || src == nullptr)
+    throw std::invalid_argument("copy_2d: null pointer");
+  const std::size_t dst_span = dpitch * (height - 1) + width;
+  const std::size_t src_span = spitch * (height - 1) + width;
+  switch (kind) {
+    case CopyKind::kHostToDevice:
+      validate_device_range(dst, dst_span, "copy_2d(H2D) dst");
+      break;
+    case CopyKind::kDeviceToHost:
+      validate_device_range(src, src_span, "copy_2d(D2H) src");
+      break;
+    case CopyKind::kDeviceToDevice:
+      validate_device_range(dst, dst_span, "copy_2d(D2D) dst");
+      validate_device_range(src, src_span, "copy_2d(D2D) src");
+      break;
+    case CopyKind::kHostToHost:
+      break;
+  }
+  auto* d = static_cast<char*>(dst);
+  const auto* s = static_cast<const char*>(src);
+  for (std::size_t row = 0; row < height; ++row)
+    std::memmove(d + row * dpitch, s + row * spitch, width);
+  return width * height;
+}
+
+void DeviceMemory::set(void* ptr, int value, std::size_t bytes) const {
+  if (bytes == 0) return;
+  validate_device_range(ptr, bytes, "memset");
+  std::memset(ptr, value, bytes);
+}
+
+}  // namespace simt

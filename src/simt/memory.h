@@ -1,0 +1,75 @@
+// Device global-memory manager.
+//
+// Each simulated device owns a distinct allocation space. Allocations
+// live in host memory (the simulation is in-process) but are tracked in
+// a registry so the engine can enforce the device/host pointer
+// distinction (is_device_ptr), device capacity, and double-free /
+// invalid-free errors — the failure modes libomptarget and the CUDA
+// runtime check for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace simt {
+
+enum class CopyKind { kHostToDevice, kDeviceToHost, kDeviceToDevice, kHostToHost };
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+  ~DeviceMemory();
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  /// Allocates `bytes` of device memory (256-byte aligned, like CUDA).
+  /// Returns nullptr for bytes == 0. Throws std::bad_alloc when the
+  /// device capacity would be exceeded.
+  void* allocate(std::size_t bytes);
+
+  /// Frees a pointer returned by allocate(). Throws std::invalid_argument
+  /// on non-device or already-freed pointers. nullptr is a no-op.
+  void deallocate(void* ptr);
+
+  /// True if `ptr` points into any live device allocation (interior
+  /// pointers included).
+  [[nodiscard]] bool contains(const void* ptr) const;
+
+  /// Size of the live allocation starting exactly at `ptr`, or 0.
+  [[nodiscard]] std::size_t allocation_size(const void* ptr) const;
+
+  [[nodiscard]] std::uint64_t bytes_in_use() const;
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t live_allocations() const;
+
+  /// Copies with device-pointer validation appropriate to `kind`.
+  /// Returns the byte count (for transfer accounting by the caller).
+  std::size_t copy(void* dst, const void* src, std::size_t bytes, CopyKind kind) const;
+
+  /// memset on a device allocation with bounds validation.
+  void set(void* ptr, int value, std::size_t bytes) const;
+
+  /// Pitched 2-D copy (cudaMemcpy2D): `height` rows of `width` bytes,
+  /// rows `dpitch`/`spitch` bytes apart. Pitches must be >= width; the
+  /// whole pitched footprint of the device side(s) is bounds-checked.
+  /// Returns the payload byte count (width * height).
+  std::size_t copy_2d(void* dst, std::size_t dpitch, const void* src,
+                      std::size_t spitch, std::size_t width,
+                      std::size_t height, CopyKind kind) const;
+
+ private:
+  void validate_device_range(const void* ptr, std::size_t bytes,
+                             const char* what) const;
+
+  std::uint64_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t in_use_ = 0;
+  // base pointer -> size; ordered so interior-pointer lookup is O(log n).
+  std::map<std::uintptr_t, std::size_t> allocs_;
+};
+
+}  // namespace simt

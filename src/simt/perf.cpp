@@ -1,0 +1,137 @@
+#include "simt/perf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simt/device.h"
+
+namespace simt {
+
+namespace {
+// Fraction of peak resident threads needed to saturate the memory
+// system / compute pipes (Little's-law style latency-hiding knee).
+// Documented in EXPERIMENTS.md §Calibration.
+constexpr double kMemSaturationFrac = 0.25;
+constexpr double kCompSaturationFrac = 0.20;
+// Device binaries larger than this start paying an instruction-cache
+// penalty (the paper's SU3 analysis: 29 KiB ompx binary vs 3.9 KiB CUDA).
+constexpr double kIcacheFreeKib = 8.0;
+constexpr double kIcachePenaltyPerKib = 0.004;
+}  // namespace
+
+std::uint32_t resident_threads_per_sm(const DeviceConfig& dev,
+                                      std::uint32_t threads_per_block,
+                                      const CompilerProfile& prof,
+                                      std::uint64_t dynamic_smem_bytes) {
+  if (threads_per_block == 0) return 0;
+  // Warp granularity: a block occupies whole warps.
+  const std::uint32_t warps_per_block =
+      static_cast<std::uint32_t>(ceil_div(threads_per_block, dev.warp_size));
+  const std::uint32_t alloc_threads = warps_per_block * dev.warp_size;
+
+  std::uint64_t blocks = dev.max_threads_per_sm / alloc_threads;
+  blocks = std::min<std::uint64_t>(blocks, dev.max_blocks_per_sm);
+
+  const std::uint64_t regs_per_block =
+      static_cast<std::uint64_t>(std::max(prof.regs_per_thread, 1)) * alloc_threads;
+  blocks = std::min(blocks, dev.regs_per_sm / std::max<std::uint64_t>(regs_per_block, 1));
+
+  const std::uint64_t smem_per_block =
+      prof.static_smem_bytes + dynamic_smem_bytes;
+  if (smem_per_block > 0)
+    blocks = std::min(blocks, dev.smem_per_sm / smem_per_block);
+
+  // A kernel that fits no block at all still runs (one block at a time,
+  // serialized); clamp so the model degrades instead of dividing by zero.
+  blocks = std::max<std::uint64_t>(blocks, 1);
+  return static_cast<std::uint32_t>(blocks * threads_per_block);
+}
+
+ModeledTime model_time(const DeviceConfig& dev, const CompilerProfile& prof,
+                       const KernelCost& cost, const LaunchStats& stats,
+                       std::uint32_t threads_per_block,
+                       std::uint64_t dynamic_smem_bytes,
+                       const EventCosts& ec) {
+  ModeledTime out;
+
+  const double threads = static_cast<double>(stats.threads);
+  const std::uint32_t res_per_sm =
+      resident_threads_per_sm(dev, threads_per_block, prof, dynamic_smem_bytes);
+  const double resident = static_cast<double>(res_per_sm) * dev.num_sms;
+  const double device_capacity =
+      static_cast<double>(dev.max_threads_per_sm) * dev.num_sms;
+  const double conc = std::min(threads, resident);
+  out.occupancy = resident / device_capacity;
+
+  // Latency hiding: below the saturation knee, achievable throughput
+  // scales linearly with resident concurrency (Little's law).
+  const double mem_eff =
+      std::min(1.0, conc / (kMemSaturationFrac * device_capacity));
+  const double comp_eff =
+      std::min(1.0, conc / (kCompSaturationFrac * device_capacity));
+
+  // Instruction-cache penalty for oversized device binaries.
+  const double icache =
+      prof.binary_kib <= kIcacheFreeKib
+          ? 1.0
+          : 1.0 / (1.0 + kIcachePenaltyPerKib * (prof.binary_kib - kIcacheFreeKib));
+
+  // --- roofline terms -----------------------------------------------------
+  const double flops = cost.flops_per_thread * threads;
+  double global_bytes = cost.global_bytes_per_thread * threads;
+  double shared_bytes = cost.shared_bytes_per_thread * threads;
+  const double spill_bytes = cost.local_spill_bytes_per_thread * threads;
+  if (stats.spill_in_shared) {
+    shared_bytes += spill_bytes;  // heap-to-shared optimization (RSBench §4.2.2)
+  } else {
+    global_bytes += spill_bytes;
+  }
+  // Globalized locals live in the device heap: their traffic is global.
+  global_bytes += static_cast<double>(stats.globalized_bytes);
+
+  const double eff_gflops =
+      dev.peak_gflops() * comp_eff * prof.compute_efficiency * icache;
+  out.compute_ms = flops > 0 ? flops / (eff_gflops * 1e6) : 0.0;
+  out.memory_ms =
+      global_bytes > 0
+          ? global_bytes / (dev.mem_bw_gbps * mem_eff * prof.mem_efficiency * 1e6)
+          : 0.0;
+  out.shared_ms = shared_bytes > 0
+                      ? shared_bytes / (dev.shared_bw_gbps * comp_eff * 1e6)
+                      : 0.0;
+
+  // --- serialized overheads -----------------------------------------------
+  // Per-block events execute concurrently across resident blocks; only
+  // the wave count serializes them.
+  const double blocks = static_cast<double>(std::max<std::uint64_t>(stats.blocks, 1));
+  const std::uint32_t blocks_per_sm =
+      std::max<std::uint32_t>(res_per_sm / std::max<std::uint32_t>(threads_per_block, 1), 1);
+  const double resident_blocks = static_cast<double>(blocks_per_sm) * dev.num_sms;
+  const double waves = std::ceil(blocks / resident_blocks);
+
+  const double handshake_cost =
+      stats.generic_mode ? ec.handshake_generic_ns : ec.handshake_ns;
+  const double per_block_ns =
+      (static_cast<double>(stats.block_barriers) / blocks) * ec.barrier_ns +
+      (static_cast<double>(stats.parallel_handshakes) / blocks) * handshake_cost +
+      (static_cast<double>(stats.workshare_dispatches) / blocks) * ec.dispatch_ns +
+      (static_cast<double>(stats.warp_collectives + stats.warp_syncs) / blocks) *
+          ec.warp_collective_ns +
+      (static_cast<double>(stats.atomics) / blocks) * ec.atomic_ns;
+
+  out.overhead_ms = ec.launch_us / 1000.0 +
+                    (stats.runtime_init ? ec.runtime_init_us / 1000.0 : 0.0) +
+                    per_block_ns * waves / 1e6;
+
+  out.total_ms = out.overhead_ms +
+                 std::max({out.compute_ms, out.memory_ms, out.shared_ms});
+  return out;
+}
+
+double model_transfer_ms(const DeviceConfig& dev, std::uint64_t bytes,
+                         const EventCosts& ec) {
+  return ec.transfer_latency_us / 1000.0 +
+         static_cast<double>(bytes) / (dev.link_bw_gbps * 1e6);
+}
+
+}  // namespace simt

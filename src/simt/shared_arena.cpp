@@ -1,0 +1,30 @@
+#include "simt/shared_arena.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace simt {
+
+SharedArena::SharedArena(std::size_t capacity, std::size_t dynamic_bytes)
+    : buf_(capacity), dynamic_bytes_(dynamic_bytes), offset_(dynamic_bytes),
+      high_water_(dynamic_bytes) {
+  if (dynamic_bytes > capacity)
+    throw std::invalid_argument(
+        "SharedArena: dynamic shared segment exceeds per-block capacity");
+}
+
+void* SharedArena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("SharedArena::allocate: bad alignment");
+  // Align the *address*, not the offset: the backing buffer itself is
+  // only allocator-aligned.
+  const auto base = reinterpret_cast<std::uintptr_t>(buf_.data());
+  std::size_t off = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+  if (off + bytes > buf_.size()) throw std::bad_alloc();
+  void* p = buf_.data() + off;
+  offset_ = off + bytes;
+  if (offset_ > high_water_) high_water_ = offset_;
+  return p;
+}
+
+}  // namespace simt

@@ -1,0 +1,47 @@
+// Per-block shared-memory arena.
+//
+// Models __shared__ / LDS storage: a bump allocator over a fixed-size
+// buffer that lives exactly as long as one thread block. Static shared
+// variables and the dynamic shared segment both come from here; the
+// high-water mark is reported to the occupancy model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simt {
+
+class SharedArena {
+ public:
+  /// `capacity` is the device's per-block shared memory limit;
+  /// `dynamic_bytes` is the launch's dynamic segment, reserved up front
+  /// at the base of the arena (CUDA's extern __shared__ convention).
+  SharedArena(std::size_t capacity, std::size_t dynamic_bytes);
+
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+
+  /// Allocates `bytes` of block-shared storage. All threads of the
+  /// block must reach the same allocation sequence (they receive the
+  /// same pointer — see BlockState::shared_alloc, which funnels every
+  /// thread's request through one allocation per call site ordinal).
+  /// Throws std::bad_alloc if the block's shared capacity is exceeded.
+  void* allocate(std::size_t bytes, std::size_t align = 16);
+
+  /// Base of the dynamic shared segment (size = dynamic_bytes).
+  [[nodiscard]] void* dynamic_base() { return buf_.data(); }
+  [[nodiscard]] std::size_t dynamic_size() const { return dynamic_bytes_; }
+
+  [[nodiscard]] std::size_t used() const { return offset_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t dynamic_bytes_;
+  std::size_t offset_;
+  std::size_t high_water_;
+};
+
+}  // namespace simt

@@ -1,0 +1,14 @@
+// Umbrella header for the SIMT execution engine.
+#pragma once
+
+#include "simt/atomics.h"
+#include "simt/block.h"
+#include "simt/device.h"
+#include "simt/dim.h"
+#include "simt/fiber.h"
+#include "simt/kernel.h"
+#include "simt/memory.h"
+#include "simt/perf.h"
+#include "simt/shared_arena.h"
+#include "simt/stream.h"
+#include "simt/warp.h"

@@ -1,0 +1,295 @@
+#include "simt/stream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "simt/device.h"
+
+namespace simt {
+
+// ---------------------------------------------------------------- Event
+
+void Event::synchronize() {
+  std::unique_lock lock(ex_.mu_);
+  // CUDA semantics: synchronizing an event that was never recorded (and
+  // has no record in flight) succeeds immediately.
+  if (!recorded_ && !pending_) return;
+  ex_.cv_complete_.wait(lock, [&] {
+    return recorded_ || ex_.async_error_ != nullptr;
+  });
+}
+
+bool Event::query() const {
+  std::lock_guard lock(ex_.mu_);
+  return recorded_;
+}
+
+double Event::modeled_ms() const {
+  std::lock_guard lock(ex_.mu_);
+  return modeled_ms_;
+}
+
+// ---------------------------------------------------------------- Stream
+
+void Stream::launch(const LaunchParams& params, KernelFn kernel) {
+  dev_.validate_launch(params);
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kKernel;
+  op.params = params;
+  op.kernel = std::move(kernel);
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::memcpy_async(void* dst, const void* src, std::size_t bytes,
+                          CopyKind kind) {
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kMemcpy;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  op.copy_kind = kind;
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::memset_async(void* ptr, int value, std::size_t bytes) {
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kMemset;
+  op.dst = ptr;
+  op.value = value;
+  op.bytes = bytes;
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::host_fn(std::function<void()> fn) {
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kHostFn;
+  op.fn = std::move(fn);
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::record(Event& ev) {
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kEventRecord;
+  op.event = &ev;
+  {
+    std::lock_guard lock(ex_.mu_);
+    ev.pending_ = true;
+    ev.recorded_ = false;
+  }
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::wait(Event& ev) {
+  StreamExecutor::Op op;
+  op.kind = StreamExecutor::Op::Kind::kEventWait;
+  op.event = &ev;
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(ex_.mu_);
+  const std::uint64_t upto = submitted_;
+  ex_.cv_complete_.wait(lock, [&] {
+    return completed_ >= upto || ex_.async_error_ != nullptr;
+  });
+  lock.unlock();
+  ex_.check_async_error();
+}
+
+bool Stream::query() const {
+  std::lock_guard lock(ex_.mu_);
+  return completed_ >= submitted_;
+}
+
+double Stream::modeled_ready_ms() const {
+  std::lock_guard lock(ex_.mu_);
+  return modeled_ready_ms_;
+}
+
+// -------------------------------------------------------- StreamExecutor
+
+StreamExecutor::StreamExecutor(Device& dev) : dev_(dev) {
+  streams_.emplace_back(new Stream(dev_, *this, next_stream_id_++));
+  queues_.emplace(streams_.front()->id(), std::deque<Op>{});
+  worker_ = std::make_unique<std::thread>([this] { worker_loop(); });
+}
+
+StreamExecutor::~StreamExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_submit_.notify_all();
+  worker_->join();
+}
+
+Stream* StreamExecutor::create_stream() {
+  std::lock_guard lock(mu_);
+  streams_.emplace_back(new Stream(dev_, *this, next_stream_id_++));
+  queues_.emplace(streams_.back()->id(), std::deque<Op>{});
+  return streams_.back().get();
+}
+
+Event* StreamExecutor::create_event() {
+  std::lock_guard lock(mu_);
+  events_.emplace_back(new Event(*this));
+  return events_.back().get();
+}
+
+void StreamExecutor::submit(Stream& s, Op op) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) throw std::logic_error("submit on shut-down executor");
+    queues_[s.id_].push_back(std::move(op));
+    s.submitted_++;
+    total_submitted_++;
+  }
+  cv_submit_.notify_all();
+}
+
+bool StreamExecutor::head_blocked_locked(const Stream& s) const {
+  auto it = queues_.find(s.id_);
+  if (it == queues_.end() || it->second.empty()) return false;
+  const Op& head = it->second.front();
+  return head.kind == Op::Kind::kEventWait && !head.event->recorded_;
+}
+
+Stream* StreamExecutor::pick_ready_locked() {
+  for (auto& sp : streams_) {
+    auto it = queues_.find(sp->id_);
+    if (it == queues_.end() || it->second.empty()) continue;
+    if (!head_blocked_locked(*sp)) return sp.get();
+  }
+  return nullptr;
+}
+
+void StreamExecutor::worker_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    Stream* s = pick_ready_locked();
+    if (s == nullptr) {
+      bool any_pending = false;
+      for (auto& [id, q] : queues_) any_pending |= !q.empty();
+      if (any_pending && async_error_ == nullptr) {
+        // Every nonempty stream head waits on an unrecorded event. Only
+        // this worker records events, so the queues can only unblock if
+        // the host submits the missing record. Give it a grace period;
+        // if nothing new arrives, declare a dependency deadlock (a wait
+        // submitted before its record forming a cycle, or a wait on an
+        // event that is never recorded) instead of hanging forever.
+        const std::uint64_t subs_before = total_submitted_;
+        cv_submit_.wait_for(lock, std::chrono::milliseconds(250));
+        if (total_submitted_ != subs_before || shutdown_) continue;
+        async_error_ = std::make_exception_ptr(std::runtime_error(
+            "stream dependency deadlock: every stream head waits on an "
+            "event whose record cannot execute"));
+        // Drain everything so host-side synchronize() calls return.
+        for (auto& sp : streams_) {
+          auto& q = queues_[sp->id_];
+          sp->completed_ += q.size();
+          q.clear();
+        }
+        cv_complete_.notify_all();
+        continue;
+      }
+      if (shutdown_) return;
+      cv_submit_.wait(lock);
+      continue;
+    }
+
+    Op op = std::move(queues_[s->id_].front());
+    queues_[s->id_].pop_front();
+    lock.unlock();
+    try {
+      execute(*s, op);
+    } catch (...) {
+      std::lock_guard elock(mu_);
+      if (async_error_ == nullptr) async_error_ = std::current_exception();
+    }
+    lock.lock();
+    s->completed_++;
+    cv_complete_.notify_all();
+  }
+}
+
+void StreamExecutor::execute(Stream& s, Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kKernel: {
+      const LaunchRecord rec = dev_.launch_sync(op.params, op.kernel);
+      std::lock_guard lock(mu_);
+      s.modeled_ready_ms_ += rec.time.total_ms;
+      break;
+    }
+    case Op::Kind::kMemcpy: {
+      dev_.memory().copy(op.dst, op.src, op.bytes, op.copy_kind);
+      const double ms = op.copy_kind == CopyKind::kDeviceToDevice
+                            ? static_cast<double>(op.bytes) /
+                                  (dev_.config().mem_bw_gbps * 1e6)
+                            : dev_.model_transfer_ms(op.bytes);
+      if (op.copy_kind != CopyKind::kDeviceToDevice &&
+          op.copy_kind != CopyKind::kHostToHost)
+        dev_.add_transfer(op.bytes);
+      std::lock_guard lock(mu_);
+      s.modeled_ready_ms_ += ms;
+      break;
+    }
+    case Op::Kind::kMemset: {
+      dev_.memory().set(op.dst, op.value, op.bytes);
+      std::lock_guard lock(mu_);
+      s.modeled_ready_ms_ +=
+          static_cast<double>(op.bytes) / (dev_.config().mem_bw_gbps * 1e6);
+      break;
+    }
+    case Op::Kind::kHostFn: {
+      op.fn();
+      break;
+    }
+    case Op::Kind::kEventRecord: {
+      std::lock_guard lock(mu_);
+      op.event->recorded_ = true;
+      op.event->pending_ = false;
+      op.event->generation_++;
+      op.event->modeled_ms_ = s.modeled_ready_ms_;
+      cv_complete_.notify_all();
+      break;
+    }
+    case Op::Kind::kEventWait: {
+      std::lock_guard lock(mu_);
+      s.modeled_ready_ms_ =
+          std::max(s.modeled_ready_ms_, op.event->modeled_ms_);
+      break;
+    }
+  }
+}
+
+void StreamExecutor::synchronize_all() {
+  std::unique_lock lock(mu_);
+  std::uint64_t upto_total = 0;
+  for (auto& sp : streams_) upto_total += sp->submitted_;
+  cv_complete_.wait(lock, [&] {
+    std::uint64_t done = 0;
+    for (auto& sp : streams_) done += sp->completed_;
+    return done >= upto_total || async_error_ != nullptr;
+  });
+}
+
+double StreamExecutor::modeled_now_ms() const {
+  std::lock_guard lock(mu_);
+  double now = 0.0;
+  for (const auto& sp : streams_) now = std::max(now, sp->modeled_ready_ms_);
+  return now;
+}
+
+void StreamExecutor::check_async_error() {
+  std::exception_ptr e;
+  {
+    std::lock_guard lock(mu_);
+    e = async_error_;
+    async_error_ = nullptr;
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+}  // namespace simt

@@ -1,0 +1,170 @@
+// Streams, events and the per-device executor.
+//
+// A stream is an ordered queue of device operations; operations in
+// different streams may execute concurrently and are ordered only
+// through events — CUDA/HIP semantics. The engine executes operations
+// functionally on one executor thread per device, choosing any ready
+// stream head (a legal interleaving), while a *modeled* timeline tracks
+// what the concurrency would cost on the simulated device: each op
+// begins at max(stream-ready, awaited-event timestamps) and advances
+// its stream by the op's modeled duration. Cross-stream dependency
+// cycles are detected and thrown instead of hanging.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/kernel.h"
+#include "simt/memory.h"
+
+namespace simt {
+
+class Device;
+class StreamExecutor;
+
+/// An event marks a point in a stream; other streams (or the host) can
+/// wait on it. Create via Device::create_event().
+class Event {
+ public:
+  /// Host-side wait until the marked point has executed.
+  void synchronize();
+  /// True once the marked point has executed (false if never recorded).
+  [[nodiscard]] bool query() const;
+  /// Modeled timestamp (ms on the device timeline) of the marked point.
+  [[nodiscard]] double modeled_ms() const;
+
+ private:
+  friend class StreamExecutor;
+  friend class Stream;
+  friend class Device;
+  explicit Event(StreamExecutor& ex) : ex_(ex) {}
+
+  StreamExecutor& ex_;
+  bool recorded_ = false;   // an EventRecord op executed
+  bool pending_ = false;    // an EventRecord op is enqueued
+  double modeled_ms_ = 0.0;
+  std::uint64_t generation_ = 0;
+};
+
+/// An ordered queue of device operations. Create via
+/// Device::create_stream(); Device::default_stream() always exists.
+class Stream {
+ public:
+  Device& device() { return dev_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Enqueue a kernel. The launch executes asynchronously; use
+  /// synchronize()/events to observe completion. Per-launch results
+  /// (stats + modeled time) land in Device::launch_log().
+  void launch(const LaunchParams& params, KernelFn kernel);
+
+  /// Asynchronous memcpy/memset on this stream.
+  void memcpy_async(void* dst, const void* src, std::size_t bytes, CopyKind kind);
+  void memset_async(void* ptr, int value, std::size_t bytes);
+
+  /// Enqueue a host callback (runs on the executor thread when reached).
+  void host_fn(std::function<void()> fn);
+
+  /// Record `ev` at this point of the stream / make this stream wait
+  /// for `ev` before executing later operations.
+  void record(Event& ev);
+  void wait(Event& ev);
+
+  /// Host-side wait for everything enqueued so far on this stream.
+  void synchronize();
+  /// True if everything enqueued so far has executed.
+  [[nodiscard]] bool query() const;
+
+  /// Modeled device-timeline timestamp at which this stream is idle.
+  [[nodiscard]] double modeled_ready_ms() const;
+
+ private:
+  friend class StreamExecutor;
+  friend class Device;
+  Stream(Device& dev, StreamExecutor& ex, std::uint64_t id)
+      : dev_(dev), ex_(ex), id_(id) {}
+
+  Device& dev_;
+  StreamExecutor& ex_;
+  std::uint64_t id_;
+  double modeled_ready_ms_ = 0.0;   // guarded by executor mutex
+  std::uint64_t submitted_ = 0;     // ops enqueued (executor mutex)
+  std::uint64_t completed_ = 0;     // ops executed (executor mutex)
+};
+
+/// One executor per device: owns the op queues and the worker thread.
+class StreamExecutor {
+ public:
+  explicit StreamExecutor(Device& dev);
+  ~StreamExecutor();
+
+  StreamExecutor(const StreamExecutor&) = delete;
+  StreamExecutor& operator=(const StreamExecutor&) = delete;
+
+  Stream* create_stream();
+  Event* create_event();
+  Stream& default_stream() { return *streams_.front(); }
+
+  /// Host-side wait for every op on every stream submitted so far.
+  void synchronize_all();
+
+  /// Max modeled ready time across all streams (the device timeline).
+  [[nodiscard]] double modeled_now_ms() const;
+
+  /// Rethrows (once) an exception raised by an asynchronous op, like
+  /// cudaGetLastError surfacing async failures.
+  void check_async_error();
+
+ private:
+  friend class Stream;
+  friend class Event;
+
+  struct Op {
+    enum class Kind : std::uint8_t {
+      kKernel, kMemcpy, kMemset, kHostFn, kEventRecord, kEventWait
+    };
+    Kind kind;
+    // kernel
+    LaunchParams params;
+    KernelFn kernel;
+    // memcpy / memset
+    void* dst = nullptr;
+    const void* src = nullptr;
+    std::size_t bytes = 0;
+    CopyKind copy_kind = CopyKind::kHostToDevice;
+    int value = 0;
+    // host fn
+    std::function<void()> fn;
+    // events
+    Event* event = nullptr;
+  };
+
+  void submit(Stream& s, Op op);
+  void worker_loop();
+  /// Under lock: a stream whose head op can run now, or nullptr.
+  Stream* pick_ready_locked();
+  [[nodiscard]] bool head_blocked_locked(const Stream& s) const;
+  void execute(Stream& s, Op& op);  // runs without the lock where possible
+
+  Device& dev_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_submit_;   // worker waits for work
+  std::condition_variable cv_complete_; // host waits for completion
+  std::unordered_map<std::uint64_t, std::deque<Op>> queues_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Event>> events_;
+  std::exception_ptr async_error_;
+  bool shutdown_ = false;
+  std::uint64_t next_stream_id_ = 0;
+  std::uint64_t total_submitted_ = 0;
+  std::unique_ptr<std::thread> worker_;
+};
+
+}  // namespace simt

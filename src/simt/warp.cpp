@@ -1,0 +1,174 @@
+#include "simt/warp.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "simt/block.h"
+#include "simt/kernel.h"
+
+namespace simt {
+
+WarpState::WarpState(BlockState& block, std::uint32_t warp_id, std::uint32_t width)
+    : block_(block), warp_id_(warp_id), width_(width),
+      value_(width), param_(width), result_(width) {
+  member_mask_ = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  live_mask_ = member_mask_;
+}
+
+std::uint64_t WarpState::collective(ThreadCtx& ctx, WarpOp op,
+                                    std::uint64_t value, std::uint64_t param,
+                                    LaneMask mask) {
+  if (ctx.fiber == nullptr)
+    throw std::logic_error(
+        "warp collective in ExecMode::kDirect; launch cooperatively");
+  const std::uint32_t lane = ctx.lane;
+  const LaneMask bit = 1ull << lane;
+  mask &= member_mask_;
+  if (mask == 0)
+    throw std::invalid_argument("warp collective: empty lane mask");
+  if ((mask & bit) == 0)
+    throw std::logic_error("warp collective: calling lane " +
+                           std::to_string(lane) + " not in its own mask");
+
+  if (arrived_ == 0) {
+    op_ = op;
+    op_mask_ = mask & live_mask_;
+  } else {
+    if (op != op_)
+      throw std::logic_error(
+          "warp collective: lanes of one warp reached different collective "
+          "operations (divergent collectives are not supported)");
+    if ((mask & live_mask_) != op_mask_)
+      throw std::logic_error(
+          "warp collective: lanes passed different masks to one collective");
+  }
+  value_[lane] = value;
+  param_[lane] = param;
+  arrived_ |= bit;
+
+  if (arrived_ == op_mask_) {
+    release();
+    return result_[lane];
+  }
+  block_.wait_warp(ctx, epoch_);
+  return result_[lane];
+}
+
+void WarpState::release() {
+  const LaneMask participants = op_mask_;
+  switch (op_) {
+    case WarpOp::kSync:
+      block_.counters_.warp_syncs++;
+      break;
+    case WarpOp::kBallot: {
+      LaneMask ballot = 0;
+      for (std::uint32_t l = 0; l < width_; ++l)
+        if ((participants >> l) & 1 && value_[l] != 0) ballot |= 1ull << l;
+      for (std::uint32_t l = 0; l < width_; ++l)
+        if ((participants >> l) & 1) result_[l] = ballot;
+      block_.counters_.warp_collectives++;
+      break;
+    }
+    case WarpOp::kAny:
+    case WarpOp::kAll: {
+      bool any = false, all = true;
+      for (std::uint32_t l = 0; l < width_; ++l) {
+        if (((participants >> l) & 1) == 0) continue;
+        if (value_[l] != 0) any = true;
+        else all = false;
+      }
+      const std::uint64_t r = op_ == WarpOp::kAny ? any : all;
+      for (std::uint32_t l = 0; l < width_; ++l)
+        if ((participants >> l) & 1) result_[l] = r;
+      block_.counters_.warp_collectives++;
+      break;
+    }
+    case WarpOp::kShflIdx:
+    case WarpOp::kShflUp:
+    case WarpOp::kShflDown:
+    case WarpOp::kShflXor: {
+      for (std::uint32_t l = 0; l < width_; ++l) {
+        if (((participants >> l) & 1) == 0) continue;
+        std::int64_t src = l;
+        switch (op_) {
+          case WarpOp::kShflIdx:
+            // CUDA semantics: srcLane is taken modulo the warp width.
+            src = static_cast<std::int64_t>(param_[l] % width_);
+            break;
+          case WarpOp::kShflUp:
+            src = static_cast<std::int64_t>(l) -
+                  static_cast<std::int64_t>(param_[l]);
+            break;
+          case WarpOp::kShflDown:
+            src = static_cast<std::int64_t>(l) +
+                  static_cast<std::int64_t>(param_[l]);
+            break;
+          case WarpOp::kShflXor:
+            src = static_cast<std::int64_t>(l ^ param_[l]);
+            break;
+          default: break;
+        }
+        // Out-of-range or non-participating source keeps the lane's own
+        // value (the defined kernel-language fallback for up/down; for
+        // idx/xor reading an inactive lane is UB in CUDA — own value is
+        // our deterministic choice, documented).
+        if (src < 0 || src >= static_cast<std::int64_t>(width_) ||
+            ((participants >> src) & 1) == 0) {
+          result_[l] = value_[l];
+        } else {
+          result_[l] = value_[src];
+        }
+      }
+      block_.counters_.warp_collectives++;
+      break;
+    }
+    case WarpOp::kReduceAdd:
+    case WarpOp::kReduceMin:
+    case WarpOp::kReduceMax: {
+      // Payloads are int64 two's-complement; add wraps, min/max are
+      // signed (CUDA's unsigned variants bit-cast cleanly for values
+      // below 2^63, which the kl/ompx layers document).
+      std::int64_t acc = 0;
+      bool first = true;
+      for (std::uint32_t l = 0; l < width_; ++l) {
+        if (((participants >> l) & 1) == 0) continue;
+        const auto v = static_cast<std::int64_t>(value_[l]);
+        if (first) {
+          acc = v;
+          first = false;
+        } else if (op_ == WarpOp::kReduceAdd) {
+          acc = static_cast<std::int64_t>(static_cast<std::uint64_t>(acc) +
+                                          static_cast<std::uint64_t>(v));
+        } else if (op_ == WarpOp::kReduceMin) {
+          acc = std::min(acc, v);
+        } else {
+          acc = std::max(acc, v);
+        }
+      }
+      for (std::uint32_t l = 0; l < width_; ++l)
+        if ((participants >> l) & 1)
+          result_[l] = static_cast<std::uint64_t>(acc);
+      block_.counters_.warp_collectives++;
+      break;
+    }
+    case WarpOp::kNone:
+      throw std::logic_error("warp release with no pending op");
+  }
+  epoch_++;
+  arrived_ = 0;
+  op_ = WarpOp::kNone;
+  op_mask_ = 0;
+}
+
+void WarpState::on_lane_exit(std::uint32_t lane) {
+  const LaneMask bit = 1ull << lane;
+  live_mask_ &= ~bit;
+  if (arrived_ != 0 && (op_mask_ & bit) != 0 && (arrived_ & bit) == 0)
+    throw std::logic_error(
+        "thread exited its kernel while named in a pending warp collective "
+        "mask (warp " + std::to_string(warp_id_) + ", lane " +
+        std::to_string(lane) + ")");
+}
+
+}  // namespace simt

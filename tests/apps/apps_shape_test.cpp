@@ -1,0 +1,173 @@
+// Figure-shape acceptance tests: the orderings and approximate factors
+// DESIGN.md §5 commits to for Figure 8, asserted on modeled kernel
+// times at moderate problem sizes. These are the regression guards for
+// the reproduction's headline claims.
+#include <gtest/gtest.h>
+
+#include "apps/adam/adam.h"
+#include "apps/aidw/aidw.h"
+#include "apps/rsbench/rsbench.h"
+#include "apps/stencil1d/stencil1d.h"
+#include "apps/su3/su3.h"
+#include "apps/xsbench/xsbench.h"
+
+namespace {
+
+using apps::Version;
+
+double t(const apps::RunResult& r) { return r.kernel_ms; }
+
+TEST(Shape, XSBenchOmpxBeatsNativeOnBothSystems) {
+  apps::xsbench::Options o;
+  o.lookups = 20000;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::xsbench::run(Version::kOmpx, *dev, o);
+    const auto native = apps::xsbench::run(Version::kNative, *dev, o);
+    const auto vendor = apps::xsbench::run(Version::kNativeVendor, *dev, o);
+    EXPECT_LT(t(ompx), t(native)) << dev->config().name;
+    EXPECT_LT(t(ompx), t(vendor)) << dev->config().name;
+    // "Consistently outperforms", not dramatically: within ~25%.
+    EXPECT_GT(t(ompx), 0.7 * t(native)) << dev->config().name;
+  }
+}
+
+TEST(Shape, XSBenchOmpExcludedForInvalidChecksum) {
+  apps::xsbench::Options o;
+  o.lookups = 5000;
+  const auto omp = apps::xsbench::run(Version::kOmp, simt::sim_a100(), o);
+  EXPECT_FALSE(omp.valid);
+  EXPECT_FALSE(omp.note.empty());
+}
+
+TEST(Shape, RSBenchOmpxBeatsClangNativeBothSystems) {
+  apps::rsbench::Options o;
+  o.lookups = 8000;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::rsbench::run(Version::kOmpx, *dev, o);
+    const auto native = apps::rsbench::run(Version::kNative, *dev, o);
+    EXPECT_LT(t(ompx), t(native)) << dev->config().name;
+  }
+}
+
+TEST(Shape, RSBenchOmpBeatsCudaOnA100Only) {
+  // §4.2.2: heap-to-shared moves the omp version ahead of cuda on the
+  // NVIDIA system; on the AMD system omp stays behind hip.
+  apps::rsbench::Options o;
+  o.lookups = 8000;
+  const auto omp_nv = apps::rsbench::run(Version::kOmp, simt::sim_a100(), o);
+  const auto cuda = apps::rsbench::run(Version::kNative, simt::sim_a100(), o);
+  EXPECT_LT(t(omp_nv), t(cuda));
+  const auto omp_amd = apps::rsbench::run(Version::kOmp, simt::sim_mi250(), o);
+  const auto hip = apps::rsbench::run(Version::kNative, simt::sim_mi250(), o);
+  EXPECT_GT(t(omp_amd), t(hip));
+}
+
+TEST(Shape, Su3CudaLeadsOmpxByRoughly9PercentOnA100) {
+  apps::su3::Options o;
+  o.lattice_sites = 32768;
+  o.iterations = 4;
+  const auto ompx = apps::su3::run(Version::kOmpx, simt::sim_a100(), o);
+  const auto cuda = apps::su3::run(Version::kNative, simt::sim_a100(), o);
+  const double ratio = t(ompx) / t(cuda);
+  EXPECT_GT(ratio, 1.03);  // cuda ahead...
+  EXPECT_LT(ratio, 1.20);  // ...by roughly 9%, not 2x
+}
+
+TEST(Shape, Su3OmpxLeadsHipByRoughly28PercentOnMi250) {
+  apps::su3::Options o;
+  o.lattice_sites = 32768;
+  o.iterations = 4;
+  const auto ompx = apps::su3::run(Version::kOmpx, simt::sim_mi250(), o);
+  const auto hip = apps::su3::run(Version::kNative, simt::sim_mi250(), o);
+  const double gain = t(hip) / t(ompx);
+  EXPECT_GT(gain, 1.15);
+  EXPECT_LT(gain, 1.45);
+}
+
+TEST(Shape, Su3OmpxBeatsOmpOnBothSystems) {
+  apps::su3::Options o;
+  o.lattice_sites = 16384;
+  o.iterations = 2;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::su3::run(Version::kOmpx, *dev, o);
+    const auto omp = apps::su3::run(Version::kOmp, *dev, o);
+    EXPECT_LT(t(ompx), t(omp)) << dev->config().name;
+  }
+}
+
+TEST(Shape, AidwClangCudaLeadsOmpxSlightlyOnA100) {
+  // §4.2.4: shared-variable demotion puts clang-cuda ~5% ahead; nvcc
+  // matches ompx.
+  apps::aidw::Options o;
+  const auto ompx = apps::aidw::run(Version::kOmpx, simt::sim_a100(), o);
+  const auto cuda = apps::aidw::run(Version::kNative, simt::sim_a100(), o);
+  const auto nvcc = apps::aidw::run(Version::kNativeVendor, simt::sim_a100(), o);
+  const double ratio = t(ompx) / t(cuda);
+  EXPECT_GT(ratio, 1.01);
+  EXPECT_LT(ratio, 1.15);
+  EXPECT_NEAR(t(ompx) / t(nvcc), 1.0, 0.05);
+}
+
+TEST(Shape, AidwParityOnMi250) {
+  apps::aidw::Options o;
+  const auto ompx = apps::aidw::run(Version::kOmpx, simt::sim_mi250(), o);
+  const auto hip = apps::aidw::run(Version::kNative, simt::sim_mi250(), o);
+  const auto hipcc =
+      apps::aidw::run(Version::kNativeVendor, simt::sim_mi250(), o);
+  EXPECT_NEAR(t(ompx) / t(hip), 1.0, 0.08);
+  EXPECT_NEAR(t(ompx) / t(hipcc), 1.0, 0.08);
+}
+
+TEST(Shape, AdamOmpEightTimesSlower) {
+  apps::adam::Options o;
+  o.steps = 20;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::adam::run(Version::kOmpx, *dev, o);
+    const auto omp = apps::adam::run(Version::kOmp, *dev, o);
+    const double slowdown = t(omp) / t(ompx);
+    EXPECT_GT(slowdown, 4.0) << dev->config().name;
+    EXPECT_LT(slowdown, 14.0) << dev->config().name;
+  }
+}
+
+TEST(Shape, AdamOmpxMatchesCudaOnA100) {
+  apps::adam::Options o;
+  o.steps = 20;
+  const auto ompx = apps::adam::run(Version::kOmpx, simt::sim_a100(), o);
+  const auto cuda = apps::adam::run(Version::kNative, simt::sim_a100(), o);
+  EXPECT_NEAR(t(ompx) / t(cuda), 1.0, 0.06);
+}
+
+TEST(Shape, AdamOmpxFasterThanHipOnMi250) {
+  apps::adam::Options o;
+  o.steps = 20;
+  const auto ompx = apps::adam::run(Version::kOmpx, simt::sim_mi250(), o);
+  const auto hipcc =
+      apps::adam::run(Version::kNativeVendor, simt::sim_mi250(), o);
+  EXPECT_LT(t(ompx), t(hipcc));
+}
+
+TEST(Shape, StencilOmpOrdersOfMagnitudeSlower) {
+  apps::stencil1d::Options o;
+  o.n = 1 << 18;
+  o.iterations = 2;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::stencil1d::run(Version::kOmpx, *dev, o);
+    const auto omp = apps::stencil1d::run(Version::kOmp, *dev, o);
+    const double slowdown = t(omp) / t(ompx);
+    EXPECT_GT(slowdown, 25.0) << dev->config().name;
+  }
+}
+
+TEST(Shape, StencilOmpxAtLeastMatchesNative) {
+  apps::stencil1d::Options o;
+  o.n = 1 << 18;
+  o.iterations = 2;
+  for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()}) {
+    const auto ompx = apps::stencil1d::run(Version::kOmpx, *dev, o);
+    const auto native = apps::stencil1d::run(Version::kNative, *dev, o);
+    EXPECT_LE(t(ompx), t(native) * 1.02) << dev->config().name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Size-invariance properties: every port verifies at several problem
+// sizes (catching boundary bugs that one fixed size would hide), and
+// modeled kernel time grows monotonically with problem size.
+#include <gtest/gtest.h>
+
+#include "apps/adam/adam.h"
+#include "apps/aidw/aidw.h"
+#include "apps/rsbench/rsbench.h"
+#include "apps/stencil1d/stencil1d.h"
+#include "apps/su3/su3.h"
+#include "apps/xsbench/xsbench.h"
+
+namespace {
+
+using apps::Version;
+
+simt::Device& dev() { return simt::sim_a100(); }
+
+class XsbenchSizes : public ::testing::TestWithParam<std::int64_t> {};
+TEST_P(XsbenchSizes, OmpxVerifiesAtEverySize) {
+  apps::xsbench::Options o;
+  o.lookups = GetParam();
+  o.n_gridpoints = 128;
+  const auto r = apps::xsbench::run(Version::kOmpx, dev(), o);
+  EXPECT_TRUE(r.valid) << "lookups=" << GetParam();
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, XsbenchSizes,
+                         ::testing::Values(1, 255, 256, 257, 4096));
+
+class StencilSizes : public ::testing::TestWithParam<std::int64_t> {};
+TEST_P(StencilSizes, AllVersionsHandleBoundaryBlocks) {
+  // Sizes around block granularity stress the halo/partial-block paths.
+  apps::stencil1d::Options o;
+  o.n = GetParam();
+  o.iterations = 1;
+  for (Version v : {Version::kOmpx, Version::kNative, Version::kOmp}) {
+    const auto r = apps::stencil1d::run(v, dev(), o);
+    EXPECT_TRUE(r.valid) << apps::version_name(v) << " n=" << GetParam();
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, StencilSizes,
+                         ::testing::Values(256, 512, 1024, 4096));
+
+class AdamSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+TEST_P(AdamSizes, OmpAndOmpxAgreeAcrossShapes) {
+  const auto [n, steps] = GetParam();
+  apps::adam::Options o;
+  o.n = n;
+  o.steps = steps;
+  const auto a = apps::adam::run(Version::kOmpx, dev(), o);
+  const auto b = apps::adam::run(Version::kOmp, dev(), o);
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+INSTANTIATE_TEST_SUITE_P(Shapes, AdamSizes,
+                         ::testing::Combine(::testing::Values(100, 1000, 2049),
+                                            ::testing::Values(1, 7)));
+
+TEST(SizeScaling, ModeledTimeMonotoneInProblemSize) {
+  // Doubling the lattice must not shrink modeled kernel time.
+  double prev = 0.0;
+  for (int sites : {4096, 8192, 16384}) {
+    apps::su3::Options o;
+    o.lattice_sites = sites;
+    o.iterations = 2;
+    const auto r = apps::su3::run(Version::kOmpx, dev(), o);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GE(r.kernel_ms, prev) << "sites=" << sites;
+    prev = r.kernel_ms;
+  }
+}
+
+TEST(SizeScaling, AidwTinyAndRectangularShapes) {
+  for (auto [nd, nq] : {std::pair{128, 64}, {64, 128}, {256, 256}}) {
+    apps::aidw::Options o;
+    o.n_data = nd;
+    o.n_query = nq;
+    o.tile = 64;
+    const auto r = apps::aidw::run(Version::kOmpx, dev(), o);
+    EXPECT_TRUE(r.valid) << nd << "x" << nq;
+  }
+}
+
+TEST(SizeScaling, RsbenchSmallestConfig) {
+  apps::rsbench::Options o;
+  o.lookups = 64;
+  o.n_poles = 16;
+  o.n_windows = 4;
+  o.n_nuclides = 4;
+  for (Version v : {Version::kOmpx, Version::kOmp, Version::kNative}) {
+    const auto r = apps::rsbench::run(v, dev(), o);
+    EXPECT_TRUE(r.valid) << apps::version_name(v);
+  }
+}
+
+}  // namespace

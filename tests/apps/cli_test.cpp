@@ -1,0 +1,97 @@
+// Paper-CLI parsing: the exact Figure 6 command lines must parse, and
+// their scaled mappings must match DESIGN.md's per-app documentation.
+#include "apps/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace apps;
+
+TEST(Cli, XsbenchPaperLineParses) {
+  const auto o = cli::parse_xsbench({"-m", "event"});
+  EXPECT_EQ(o.lookups, 50000);
+  EXPECT_GE(o.n_gridpoints, 64);
+  // Unscaled keeps the XSBench small-preset magnitudes.
+  const auto big = cli::parse_xsbench({"-m", "event"}, /*scaled=*/false);
+  EXPECT_EQ(big.lookups, 17000000);
+  EXPECT_EQ(big.n_gridpoints, 11303);
+}
+
+TEST(Cli, XsbenchExplicitFlagsOverride) {
+  const auto o = cli::parse_xsbench({"-m", "event", "-l", "34000", "-g", "2200"});
+  EXPECT_EQ(o.lookups, 34000 / 340 < 1000 ? 1000 : 34000 / 340);
+  const auto raw =
+      cli::parse_xsbench({"-m", "event", "-l", "34000", "-g", "2200"}, false);
+  EXPECT_EQ(raw.lookups, 34000);
+  EXPECT_EQ(raw.n_gridpoints, 2200);
+}
+
+TEST(Cli, XsbenchRejectsHistoryMethod) {
+  EXPECT_THROW(cli::parse_xsbench({"-m", "history"}), std::invalid_argument);
+}
+
+TEST(Cli, RsbenchPaperLineParses) {
+  const auto o = cli::parse_rsbench({"-m", "event"});
+  EXPECT_EQ(o.lookups, 20000);
+  EXPECT_EQ(o.n_poles % o.n_windows, 0);  // whole windows invariant
+}
+
+TEST(Cli, Su3PaperLineParses) {
+  // The paper's full line: -i 1000 -l 32 -t 128 -v 3 -w 1.
+  const auto o = cli::parse_su3(
+      {"-i", "1000", "-l", "32", "-t", "128", "-v", "3", "-w", "1"});
+  EXPECT_EQ(o.iterations, 10);
+  EXPECT_EQ(o.lattice_sites, 32768);  // 32^4 / 32
+  EXPECT_EQ(o.threads_per_block, 128);
+  const auto raw = cli::parse_su3({"-i", "1000", "-l", "8", "-t", "64"}, false);
+  EXPECT_EQ(raw.lattice_sites, 4096);
+  EXPECT_EQ(raw.iterations, 1000);
+}
+
+TEST(Cli, Su3ThreadClamping) {
+  EXPECT_EQ(cli::parse_su3({"-t", "8"}).threads_per_block, 32);
+  EXPECT_EQ(cli::parse_su3({"-t", "4096"}).threads_per_block, 1024);
+}
+
+TEST(Cli, AidwPaperLineParses) {
+  const auto o = cli::parse_aidw({"100", "0", "100"});
+  EXPECT_GE(o.n_data, 512);
+  EXPECT_GE(o.n_query, 512);
+  const auto raw = cli::parse_aidw({"100", "0", "100"}, false);
+  EXPECT_EQ(raw.n_data, 100000);
+  EXPECT_EQ(raw.n_query, 100000);
+  EXPECT_THROW(cli::parse_aidw({"100"}), std::invalid_argument);
+}
+
+TEST(Cli, AdamPaperLineParses) {
+  const auto o = cli::parse_adam({"10000", "200", "100"});
+  EXPECT_EQ(o.n, 10000);
+  EXPECT_EQ(o.steps, 50);
+  const auto raw = cli::parse_adam({"10000", "200", "100"}, false);
+  EXPECT_EQ(raw.steps, 200);
+}
+
+TEST(Cli, StencilPaperLineParses) {
+  const auto o = cli::parse_stencil1d({"134217728", "1000"});
+  EXPECT_EQ(o.n, 134217728 / 128);  // 2^27 -> 2^20
+  EXPECT_EQ(o.iterations, 8);
+  const auto raw = cli::parse_stencil1d({"134217728", "1000"}, false);
+  EXPECT_EQ(raw.n, 134217728);
+  EXPECT_EQ(raw.iterations, 1000);
+}
+
+TEST(Cli, BadIntegersDiagnosed) {
+  EXPECT_THROW(cli::parse_adam({"ten", "200", "100"}), std::invalid_argument);
+  EXPECT_THROW(cli::parse_stencil1d({"1x", "10"}), std::invalid_argument);
+  EXPECT_THROW(cli::parse_su3({"-i", "12.5"}), std::invalid_argument);
+}
+
+TEST(Cli, ParsedOptionsActuallyRun) {
+  // End to end: the paper CLI, scaled, through a real (tiny) run.
+  auto o = cli::parse_adam({"2000", "40", "1"});
+  const auto r = adam::run(Version::kOmpx, simt::sim_a100(), o);
+  EXPECT_TRUE(r.valid);
+}
+
+}  // namespace

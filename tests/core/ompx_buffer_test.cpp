@@ -1,0 +1,133 @@
+// DeviceBuffer RAII semantics + the 2-D pitched copy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/ompx.h"
+#include "core/ompx_buffer.h"
+#include "kl/kl.h"
+
+namespace {
+
+TEST(DeviceBuffer, RoundTripAndRaii) {
+  const auto before = simt::sim_a100().memory().live_allocations();
+  {
+    std::vector<int> host(100);
+    std::iota(host.begin(), host.end(), 0);
+    ompx::DeviceBuffer<int> buf(host, &simt::sim_a100());
+    EXPECT_EQ(buf.size(), 100u);
+    EXPECT_TRUE(ompx::is_device_ptr(simt::sim_a100(), buf.data()));
+    EXPECT_EQ(buf.download(), host);
+  }
+  EXPECT_EQ(simt::sim_a100().memory().live_allocations(), before);
+}
+
+TEST(DeviceBuffer, UsableFromKernels) {
+  ompx::set_default_device(simt::sim_a100());
+  ompx::DeviceBuffer<float> buf(256);
+  buf.fill_bytes(0);
+  ompx::LaunchSpec spec;
+  spec.num_teams = {1};
+  spec.thread_limit = {256};
+  spec.mode = simt::ExecMode::kDirect;
+  spec.name = "buffer_kernel";
+  float* p = buf.data();
+  ompx::launch(spec, [=] {
+    p[ompx_thread_id_x()] = 0.5f * static_cast<float>(ompx_thread_id_x());
+  });
+  const auto host = buf.download();
+  for (int i = 0; i < 256; ++i) ASSERT_FLOAT_EQ(host[i], 0.5f * i);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  ompx::DeviceBuffer<int> a(32, &simt::sim_a100());
+  int* raw = a.data();
+  ompx::DeviceBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  ompx::DeviceBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+}
+
+TEST(DeviceBuffer, UploadSizeMismatchThrows) {
+  ompx::DeviceBuffer<int> buf(8, &simt::sim_a100());
+  std::vector<int> wrong(9, 0);
+  EXPECT_THROW(buf.upload(wrong), std::invalid_argument);
+}
+
+TEST(DeviceBuffer, EmptyBufferIsInert) {
+  ompx::DeviceBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.download().size(), 0u);
+  buf.reset();  // double-reset is fine
+}
+
+// --------------------------------------------------------- 2-D copies
+
+TEST(Memcpy2D, PitchedUploadExtractsSubMatrix) {
+  ASSERT_EQ(kl::klSetDevice(0), kl::klSuccess);
+  // Host: 8x8 row-major ints; device: a 4x4 window at column 2, row 1.
+  constexpr int kHostW = 8, kW = 4, kH = 4;
+  std::vector<int> host(8 * kHostW);
+  std::iota(host.begin(), host.end(), 0);
+  int* dev = nullptr;
+  ASSERT_EQ(kl::klMalloc(&dev, kW * kH * sizeof(int)), kl::klSuccess);
+  ASSERT_EQ(kl::klMemcpy2D(dev, kW * sizeof(int),
+                           host.data() + 1 * kHostW + 2, kHostW * sizeof(int),
+                           kW * sizeof(int), kH, kl::klMemcpyHostToDevice),
+            kl::klSuccess);
+  for (int r = 0; r < kH; ++r)
+    for (int c = 0; c < kW; ++c)
+      ASSERT_EQ(dev[r * kW + c], (r + 1) * kHostW + c + 2);
+  kl::klFree(dev);
+}
+
+TEST(Memcpy2D, PitchedDownloadScattersRows) {
+  ASSERT_EQ(kl::klSetDevice(0), kl::klSuccess);
+  constexpr int kW = 3, kH = 2, kHostPitchInts = 5;
+  int* dev = nullptr;
+  ASSERT_EQ(kl::klMalloc(&dev, kW * kH * sizeof(int)), kl::klSuccess);
+  for (int i = 0; i < kW * kH; ++i) dev[i] = 10 + i;
+  std::vector<int> host(kHostPitchInts * kH, -1);
+  ASSERT_EQ(kl::klMemcpy2D(host.data(), kHostPitchInts * sizeof(int), dev,
+                           kW * sizeof(int), kW * sizeof(int), kH,
+                           kl::klMemcpyDeviceToHost),
+            kl::klSuccess);
+  EXPECT_EQ(host[0], 10);
+  EXPECT_EQ(host[2], 12);
+  EXPECT_EQ(host[3], -1);  // pitch gap untouched
+  EXPECT_EQ(host[kHostPitchInts], 13);
+  kl::klFree(dev);
+}
+
+TEST(Memcpy2D, ValidatesPitchAndBounds) {
+  ASSERT_EQ(kl::klSetDevice(0), kl::klSuccess);
+  int* dev = nullptr;
+  ASSERT_EQ(kl::klMalloc(&dev, 64), kl::klSuccess);
+  std::vector<char> host(256);
+  // Pitch smaller than width.
+  EXPECT_EQ(kl::klMemcpy2D(dev, 4, host.data(), 16, 8, 2,
+                           kl::klMemcpyHostToDevice),
+            kl::klErrorInvalidValue);
+  // Footprint overruns the 64-byte allocation: 4 rows, 32-byte pitch.
+  EXPECT_EQ(kl::klMemcpy2D(dev, 32, host.data(), 32, 16, 4,
+                           kl::klMemcpyHostToDevice),
+            kl::klErrorInvalidValue);
+  // In-bounds pitched copy succeeds.
+  EXPECT_EQ(kl::klMemcpy2D(dev, 32, host.data(), 32, 16, 2,
+                           kl::klMemcpyHostToDevice),
+            kl::klSuccess);
+  kl::klFree(dev);
+}
+
+TEST(Memcpy2D, ZeroExtentIsNoop) {
+  simt::DeviceMemory mem(1 << 16);
+  char h[4] = {1, 2, 3, 4};
+  EXPECT_EQ(mem.copy_2d(h, 4, h, 4, 0, 7, simt::CopyKind::kHostToHost), 0u);
+  EXPECT_EQ(mem.copy_2d(h, 4, h, 4, 2, 0, simt::CopyKind::kHostToHost), 0u);
+}
+
+}  // namespace

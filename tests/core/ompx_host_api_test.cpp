@@ -1,0 +1,107 @@
+// The expanded §3.4 host APIs: device management, streams, events,
+// async copies — and their composition with depend(interopobj:).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/ompx.h"
+
+namespace {
+
+class OmpxHostApi : public ::testing::Test {
+ protected:
+  void SetUp() override { ompx_set_device(0); }
+};
+
+TEST_F(OmpxHostApi, DeviceManagement) {
+  EXPECT_EQ(ompx_get_num_devices(), 2);
+  EXPECT_EQ(ompx_get_device(), 0);
+  ompx_set_device(1);
+  EXPECT_EQ(ompx_get_device(), 1);
+  EXPECT_EQ(&ompx::default_device(), &simt::sim_mi250());
+  ompx_set_device(0);
+  EXPECT_THROW(ompx_set_device(7), std::invalid_argument);
+  EXPECT_THROW(ompx_set_device(-1), std::invalid_argument);
+}
+
+TEST_F(OmpxHostApi, AsyncCopyThroughStream) {
+  constexpr int n = 4096;
+  auto* d = static_cast<int*>(ompx_malloc(n * sizeof(int)));
+  std::vector<int> in(n);
+  std::iota(in.begin(), in.end(), 3);
+  std::vector<int> out(n, 0);
+  ompx_stream_t s = ompx_stream_create();
+  ompx_memcpy_async(d, in.data(), n * sizeof(int), s);
+  ompx_memcpy_async(out.data(), d, n * sizeof(int), s);
+  ompx_stream_synchronize(s);
+  EXPECT_EQ(in, out);
+  ompx_free(d);
+}
+
+TEST_F(OmpxHostApi, MemsetAsyncAndNullStreamRejected) {
+  auto* d = static_cast<unsigned char*>(ompx_malloc(128));
+  ompx_stream_t s = ompx_stream_create();
+  ompx_memset_async(d, 0x3c, 128, s);
+  ompx_stream_synchronize(s);
+  for (int i = 0; i < 128; ++i) ASSERT_EQ(d[i], 0x3c);
+  ompx_free(d);
+  EXPECT_THROW(ompx_memset_async(d, 0, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(ompx_stream_synchronize(nullptr), std::invalid_argument);
+}
+
+TEST_F(OmpxHostApi, EventsTimeAKernelSequence) {
+  ompx_stream_t s = ompx_stream_create();
+  ompx_event_t start = ompx_event_create();
+  ompx_event_t stop = ompx_event_create();
+
+  // Route kernels into the same stream through an interop object (the
+  // §3.4 stream and the §3.5 interop object are the same thing).
+  omp::Interop obj{&ompx::default_device(), static_cast<simt::Stream*>(s)};
+  ompx_event_record(start, s);
+  for (int i = 0; i < 3; ++i) {
+    ompx::LaunchSpec spec;
+    spec.num_teams = {32};
+    spec.thread_limit = {128};
+    spec.nowait = true;
+    spec.depend_interop = &obj;
+    spec.mode = simt::ExecMode::kDirect;
+    spec.name = "timed_seq";
+    spec.cost.global_bytes_per_thread = 256;
+    ompx::launch(spec, [] {});
+  }
+  ompx_event_record(stop, s);
+  ompx_event_synchronize(stop);
+  const float ms = ompx_event_elapsed_ms(start, stop);
+  EXPECT_GT(ms, 0.0f);
+}
+
+TEST_F(OmpxHostApi, StreamWaitEventOrdersAcrossStreams) {
+  ompx_stream_t s1 = ompx_stream_create();
+  ompx_stream_t s2 = ompx_stream_create();
+  ompx_event_t ev = ompx_event_create();
+
+  constexpr int n = 1024;
+  auto* d = static_cast<int*>(ompx_malloc(n * sizeof(int)));
+  std::vector<int> ones(n, 1), out(n, 0);
+
+  // s2 must observe s1's upload.
+  ompx_stream_wait_event(s2, ev);
+  ompx_memcpy_async(out.data(), d, n * sizeof(int), s2);
+  ompx_memcpy_async(d, ones.data(), n * sizeof(int), s1);
+  ompx_event_record(ev, s1);
+  ompx_stream_synchronize(s2);
+  for (int v : out) ASSERT_EQ(v, 1);
+  ompx_free(d);
+}
+
+TEST_F(OmpxHostApi, NullEventHandlesRejected) {
+  ompx_stream_t s = ompx_stream_create();
+  ompx_event_t ev = ompx_event_create();
+  EXPECT_THROW(ompx_event_record(nullptr, s), std::invalid_argument);
+  EXPECT_THROW(ompx_event_record(ev, nullptr), std::invalid_argument);
+  EXPECT_THROW(ompx_event_synchronize(nullptr), std::invalid_argument);
+  EXPECT_THROW(ompx_event_elapsed_ms(ev, nullptr), std::invalid_argument);
+}
+
+}  // namespace

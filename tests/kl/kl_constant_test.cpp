@@ -1,0 +1,138 @@
+// Constant memory (__constant__, §2.5's fourth space) and the sm_80
+// warp-reduce intrinsics exposed through the kl shim.
+#include "kl/kl.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace kl;
+
+class KlConstantTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(klSetDevice(0), klSuccess); }
+};
+
+TEST_F(KlConstantTest, SymbolRoundTripAndKernelRead) {
+  float* coeffs = nullptr;
+  ASSERT_EQ(klMallocConstant(&coeffs, 16 * sizeof(float)), klSuccess);
+  std::vector<float> host(16);
+  std::iota(host.begin(), host.end(), 1.0f);
+  ASSERT_EQ(klMemcpyToSymbol(coeffs, host.data(), 16 * sizeof(float)),
+            klSuccess);
+
+  float* out = nullptr;
+  ASSERT_EQ(klMalloc(&out, 16 * sizeof(float)), klSuccess);
+  KernelAttrs attrs;
+  attrs.mode = simt::ExecMode::kDirect;
+  attrs.name = "const_read";
+  ASSERT_EQ(launch({1}, {16}, 0, nullptr, attrs,
+                   [=] {
+                     const auto i = threadIdx().x;
+                     out[i] = 2.0f * coeffs[i];  // broadcast read
+                   }),
+            klSuccess);
+  klDeviceSynchronize();
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], 2.0f * (i + 1));
+  klFree(out);
+  ASSERT_EQ(klFreeConstant(coeffs), klSuccess);
+}
+
+TEST_F(KlConstantTest, ConstantSpaceIsCapacityLimited) {
+  void* p = nullptr;
+  // The constant space is 64 KiB; a 128 KiB symbol must fail.
+  EXPECT_EQ(klMallocConstant(&p, 128 * 1024), klErrorMemoryAllocation);
+  // Global memory happily takes the same size.
+  EXPECT_EQ(klMalloc(&p, 128 * 1024), klSuccess);
+  klFree(p);
+}
+
+TEST_F(KlConstantTest, ConstantAndGlobalSpacesAreDistinct) {
+  void* c = nullptr;
+  ASSERT_EQ(klMallocConstant(&c, 64), klSuccess);
+  // A constant symbol is not a global-memory pointer: klFree rejects it.
+  EXPECT_EQ(klFree(c), klErrorInvalidValue);
+  EXPECT_EQ(klFreeConstant(c), klSuccess);
+}
+
+TEST_F(KlConstantTest, MemcpyToSymbolValidatesRange) {
+  char* c = nullptr;
+  ASSERT_EQ(klMallocConstant(&c, 32), klSuccess);
+  std::vector<char> host(64, 1);
+  EXPECT_EQ(klMemcpyToSymbol(c, host.data(), 64), klErrorInvalidValue);
+  EXPECT_EQ(klMemcpyToSymbol(c, host.data(), 32), klSuccess);
+  klFreeConstant(c);
+}
+
+class KlReduceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { ASSERT_EQ(klSetDevice(GetParam()), klSuccess); }
+};
+
+TEST_P(KlReduceTest, ReduceAddSumsTheWarp) {
+  const unsigned ws = current_device().config().warp_size;
+  std::vector<long long> got(ws, -1);
+  auto* pg = got.data();
+  KernelAttrs attrs;
+  attrs.name = "reduce_add";
+  ASSERT_EQ(launch({1}, {ws}, 0, nullptr, attrs,
+                   [=] {
+                     const long long v = laneId() + 1;
+                     pg[laneId()] = reduce_add_sync(~0ull, v);
+                   }),
+            klSuccess);
+  klDeviceSynchronize();
+  const long long expect = static_cast<long long>(ws) * (ws + 1) / 2;
+  for (unsigned l = 0; l < ws; ++l)
+    EXPECT_EQ(got[l], expect) << "lane " << l;  // every lane gets the sum
+}
+
+TEST_P(KlReduceTest, ReduceMinMaxWithNegatives) {
+  const unsigned ws = current_device().config().warp_size;
+  long long mn = 0, mx = 0;
+  KernelAttrs attrs;
+  attrs.name = "reduce_minmax";
+  ASSERT_EQ(launch({1}, {ws}, 0, nullptr, attrs,
+                   [&, ws] {
+                     const long long v =
+                         static_cast<long long>(laneId()) - ws / 2;
+                     const long long gmin = reduce_min_sync(~0ull, v);
+                     const long long gmax = reduce_max_sync(~0ull, v);
+                     if (laneId() == 0) {
+                       mn = gmin;
+                       mx = gmax;
+                     }
+                   }),
+            klSuccess);
+  klDeviceSynchronize();
+  EXPECT_EQ(mn, -static_cast<long long>(ws) / 2);
+  EXPECT_EQ(mx, static_cast<long long>(ws) / 2 - 1);
+}
+
+TEST_P(KlReduceTest, ReduceOverSubsetMask) {
+  const unsigned ws = current_device().config().warp_size;
+  simt::LaneMask mask = 0;
+  for (unsigned l = 0; l < ws; l += 4) mask |= 1ull << l;  // every 4th lane
+  long long sum = -1;
+  KernelAttrs attrs;
+  attrs.name = "reduce_subset";
+  ASSERT_EQ(launch({1}, {ws}, 0, nullptr, attrs,
+                   [&, mask] {
+                     if (laneId() % 4 != 0) return;
+                     const long long s =
+                         reduce_add_sync(mask, static_cast<long long>(laneId()));
+                     if (laneId() == 0) sum = s;
+                   }),
+            klSuccess);
+  klDeviceSynchronize();
+  long long expect = 0;
+  for (unsigned l = 0; l < ws; l += 4) expect += l;
+  EXPECT_EQ(sum, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDevices, KlReduceTest, ::testing::Values(0, 1));
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Mapping-table semantics: the libomptarget reference-count rules.
+#include "omp/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simt/device.h"
+#include "simt/memory.h"
+
+namespace {
+
+using namespace omp;
+
+class MappingTest : public ::testing::Test {
+ protected:
+  simt::Device dev{simt::make_sim_a100_config()};
+  MappingTable table{dev};
+};
+
+TEST_F(MappingTest, MapToCopiesIn) {
+  std::vector<int> h{1, 2, 3, 4};
+  auto* d = static_cast<int*>(table.enter(map_to(h.data(), 4 * sizeof(int))));
+  ASSERT_NE(d, nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], i + 1);
+  table.exit(map_to(h.data(), 4 * sizeof(int)));
+  EXPECT_FALSE(table.is_present(h.data()));
+}
+
+TEST_F(MappingTest, MapFromCopiesOutAtRelease) {
+  std::vector<int> h(4, 0);
+  auto* d = static_cast<int*>(table.enter(map_from(h.data(), 4 * sizeof(int))));
+  for (int i = 0; i < 4; ++i) d[i] = 10 * i;
+  table.exit(map_from(h.data(), 4 * sizeof(int)));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(h[i], 10 * i);
+}
+
+TEST_F(MappingTest, AllocDoesNotTransferEitherWay) {
+  std::vector<int> h(4, 7);
+  auto* d = static_cast<int*>(table.enter(map_alloc(h.data(), 4 * sizeof(int))));
+  d[0] = 99;
+  table.exit(map_alloc(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(h[0], 7);  // no copy-back
+}
+
+TEST_F(MappingTest, RefCountingSharesOneAllocation) {
+  std::vector<int> h(16, 0);
+  void* d1 = table.enter(map_tofrom(h.data(), 16 * sizeof(int)));
+  void* d2 = table.enter(map_tofrom(h.data(), 16 * sizeof(int)));
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(table.ref_count(h.data()), 2u);
+  EXPECT_EQ(dev.memory().live_allocations(), 1u);
+  table.exit(map_tofrom(h.data(), 16 * sizeof(int)));
+  EXPECT_TRUE(table.is_present(h.data()));  // still one ref
+  table.exit(map_tofrom(h.data(), 16 * sizeof(int)));
+  EXPECT_FALSE(table.is_present(h.data()));
+  EXPECT_EQ(dev.memory().live_allocations(), 0u);
+}
+
+TEST_F(MappingTest, InnerToDoesNotEraseDeviceData) {
+  // Classic pattern: target data maps tofrom, inner target maps to.
+  std::vector<int> h(4, 1);
+  auto* d = static_cast<int*>(table.enter(map_tofrom(h.data(), 4 * sizeof(int))));
+  d[0] = 42;
+  h[0] = 7;
+  // Inner enter with `to`: already present, refcount bump, NO transfer.
+  table.enter(map_to(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(d[0], 42) << "present-table hit must not re-copy";
+  table.exit(map_to(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(d[0], 42);
+  table.exit(map_tofrom(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(h[0], 42);  // final release copies back
+}
+
+TEST_F(MappingTest, AlwaysModifierForcesTransfer) {
+  std::vector<int> h(4, 1);
+  auto* d = static_cast<int*>(table.enter(map_tofrom(h.data(), 4 * sizeof(int))));
+  h[0] = 33;
+  Map m = map_to(h.data(), 4 * sizeof(int));
+  m.always = true;
+  table.enter(m);
+  EXPECT_EQ(d[0], 33);
+  table.exit(m);
+  table.exit(map_tofrom(h.data(), 4 * sizeof(int)));
+}
+
+TEST_F(MappingTest, InteriorRangeResolvesIntoContainingMap) {
+  std::vector<double> h(100, 0.0);
+  table.enter(map_tofrom(h.data(), 100 * sizeof(double)));
+  // A sub-range maps as a present-table hit.
+  void* d_mid = table.enter(map_to(h.data() + 10, 5 * sizeof(double)));
+  void* d_base = table.translate(h.data());
+  EXPECT_EQ(static_cast<char*>(d_mid) - static_cast<char*>(d_base),
+            static_cast<std::ptrdiff_t>(10 * sizeof(double)));
+  table.exit(map_to(h.data() + 10, 5 * sizeof(double)));
+  table.exit(map_tofrom(h.data(), 100 * sizeof(double)));
+}
+
+TEST_F(MappingTest, UpdateToFromWithoutRefcountChange) {
+  std::vector<int> h(4, 5);
+  auto* d = static_cast<int*>(table.enter(map_tofrom(h.data(), 4 * sizeof(int))));
+  h[1] = 77;
+  table.update_to(h.data(), 4 * sizeof(int));
+  EXPECT_EQ(d[1], 77);
+  d[2] = 88;
+  table.update_from(h.data(), 4 * sizeof(int));
+  EXPECT_EQ(h[2], 88);
+  EXPECT_EQ(table.ref_count(h.data()), 1u);
+  table.exit(map_tofrom(h.data(), 4 * sizeof(int)));
+}
+
+TEST_F(MappingTest, UpdateUnmappedThrows) {
+  int x = 0;
+  EXPECT_THROW(table.update_to(&x, sizeof(x)), std::runtime_error);
+  EXPECT_THROW(table.update_from(&x, sizeof(x)), std::runtime_error);
+}
+
+TEST_F(MappingTest, ExitUnmappedThrows) {
+  int x = 0;
+  EXPECT_THROW(table.exit(map_to(&x, sizeof(x))), std::runtime_error);
+}
+
+TEST_F(MappingTest, PartialOverlapRejected) {
+  std::vector<int> h(10, 0);
+  table.enter(map_to(h.data() + 2, 4 * sizeof(int)));
+  // New range straddles the existing mapping's start: OpenMP error.
+  EXPECT_THROW(table.enter(map_to(h.data(), 4 * sizeof(int))),
+               std::runtime_error);
+  table.exit(map_to(h.data() + 2, 4 * sizeof(int)));
+}
+
+TEST_F(MappingTest, ReleaseDropsRegardlessOfCount) {
+  std::vector<int> h(4, 0);
+  table.enter(map_to(h.data(), 4 * sizeof(int)));
+  table.enter(map_to(h.data(), 4 * sizeof(int)));
+  table.release(h.data());
+  EXPECT_FALSE(table.is_present(h.data()));
+}
+
+TEST_F(MappingTest, TranslateAbsentReturnsNull) {
+  int x;
+  EXPECT_EQ(table.translate(&x), nullptr);
+}
+
+TEST_F(MappingTest, FromPersistsAcrossSharedMappings) {
+  // First mapping asks only `to`, second asks `from`: the copy-back
+  // obligation must survive until the final release.
+  std::vector<int> h(4, 1);
+  auto* d = static_cast<int*>(table.enter(map_to(h.data(), 4 * sizeof(int))));
+  table.enter(map_from(h.data(), 4 * sizeof(int)));
+  d[3] = 1234;
+  table.exit(map_to(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(h[3], 1);  // not yet
+  table.exit(map_from(h.data(), 4 * sizeof(int)));
+  EXPECT_EQ(h[3], 1234);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Host task-graph semantics: OpenMP depend-clause ordering.
+#include "omp/task.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace omp;
+
+TEST(TaskGraph, IndependentTasksAllRun) {
+  TaskGraph g(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) g.submit([&] { count.fetch_add(1); });
+  g.taskwait();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(g.completed(), 50u);
+}
+
+TEST(TaskGraph, OutThenInOrdering) {
+  TaskGraph g(2);
+  int x = 0;
+  std::atomic<int> seen{-1};
+  g.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    x = 42;
+  }, {dep_out(&x)});
+  g.submit([&] { seen.store(x); }, {dep_in(&x)});
+  g.taskwait();
+  EXPECT_EQ(seen.load(), 42);
+}
+
+TEST(TaskGraph, ReadersRunBeforeNextWriter) {
+  TaskGraph g(2);
+  int x = 1;
+  std::atomic<int> r1{0}, r2{0};
+  g.submit([&] { x = 10; }, {dep_out(&x)});
+  g.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    r1.store(x);
+  }, {dep_in(&x)});
+  g.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    r2.store(x);
+  }, {dep_in(&x)});
+  g.submit([&] { x = 20; }, {dep_out(&x)});  // must wait for both readers
+  g.taskwait();
+  EXPECT_EQ(r1.load(), 10);
+  EXPECT_EQ(r2.load(), 10);
+  EXPECT_EQ(x, 20);
+}
+
+TEST(TaskGraph, WriteAfterWriteSerialized) {
+  TaskGraph g(4);
+  std::vector<int> order;
+  int x = 0;
+  for (int i = 0; i < 8; ++i)
+    g.submit([&order, i] { order.push_back(i); }, {dep_inout(&x)});
+  g.taskwait();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGraph, IndependentChainsOverlap) {
+  TaskGraph g(2);
+  int a = 0, b = 0;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    g.submit([&] { done.fetch_add(1); }, {dep_inout(&a)});
+    g.submit([&] { done.fetch_add(1); }, {dep_inout(&b)});
+  }
+  g.taskwait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGraph, WaitSpecificTask) {
+  TaskGraph g(2);
+  std::atomic<bool> ran{false};
+  auto id = g.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ran.store(true);
+  });
+  g.wait(id);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGraph, TaskwaitRethrowsTaskException) {
+  TaskGraph g(2);
+  g.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(g.taskwait(), std::runtime_error);
+  // Graph remains usable.
+  std::atomic<bool> ok{false};
+  g.submit([&] { ok.store(true); });
+  g.taskwait();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  TaskGraph g(4);
+  int src = 0, left = 0, right = 0;
+  std::vector<int> result;
+  g.submit([&] { src = 1; }, {dep_out(&src)});
+  g.submit([&] { left = src + 10; }, {dep_in(&src), dep_out(&left)});
+  g.submit([&] { right = src + 20; }, {dep_in(&src), dep_out(&right)});
+  g.submit([&] { result.push_back(left + right); },
+           {dep_in(&left), dep_in(&right)});
+  g.taskwait();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 32);
+}
+
+TEST(TaskGraph, DependOnCompletedTaskDoesNotBlock) {
+  TaskGraph g(1);
+  int x = 0;
+  g.submit([&] { x = 5; }, {dep_out(&x)});
+  g.taskwait();
+  std::atomic<int> seen{-1};
+  g.submit([&] { seen.store(x); }, {dep_in(&x)});
+  g.taskwait();
+  EXPECT_EQ(seen.load(), 5);
+}
+
+TEST(TaskGraph, ManyTasksStress) {
+  TaskGraph g(4);
+  std::atomic<long> sum{0};
+  int chain = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 5 == 0)
+      g.submit([&, i] { sum.fetch_add(i); }, {dep_inout(&chain)});
+    else
+      g.submit([&, i] { sum.fetch_add(i); });
+  }
+  g.taskwait();
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Failure-injection tests: the engine must convert misuse into precise
+// diagnostics rather than hangs, corruption, or silent wrong answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "simt/simt.h"
+
+namespace {
+
+using namespace simt;
+
+Device& fresh() {
+  static Device dev{[] {
+    DeviceConfig c = make_sim_a100_config();
+    c.name = "failure-test";
+    return c;
+  }()};
+  return dev;
+}
+
+TEST(Failure, EarlyExitWithExtraBarriersCompletes) {
+  // Half the block syncs three times, half once then exits. The
+  // exited-threads-release-barriers rule means this terminates (no
+  // hang), matching kernel-language behaviour.
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {64};
+  p.name = "divergent_barrier";
+  std::atomic<int> done{0};
+  fresh().launch_sync(p, [&] {
+    auto& t = this_thread();
+    if (t.thread_idx.x < 32) {
+      t.block->sync_threads(t);
+      t.block->sync_threads(t);
+      t.block->sync_threads(t);
+    } else {
+      t.block->sync_threads(t);
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(Failure, AbandonedWarpCollectiveDiagnosed) {
+  // One thread waits on a warp collective its partner never joins
+  // (the partner exits instead): a precise error, not a hang.
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {64};
+  p.name = "abandoned_collective";
+  EXPECT_THROW(fresh().launch_sync(p,
+                                   [] {
+                                     auto& t = this_thread();
+                                     if (t.flat_tid == 0) {
+                                       t.warp->collective(
+                                           t, WarpOp::kSync, 0, 0, 0b11);
+                                     } else if (t.flat_tid >= 32) {
+                                       t.block->sync_threads(t);
+                                     }
+                                   }),
+               std::logic_error);
+}
+
+TEST(Failure, KernelExceptionCarriesMessage) {
+  LaunchParams p;
+  p.grid = {2};
+  p.block = {8};
+  p.name = "throwing";
+  try {
+    fresh().launch_sync(p, [] {
+      if (this_thread().flat_tid == 3)
+        throw std::runtime_error("element 3 went bad");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "element 3 went bad");
+  }
+}
+
+TEST(Failure, DeviceStaysUsableAfterKernelThrow) {
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {4};
+  p.name = "recover";
+  EXPECT_THROW(fresh().launch_sync(p, [] { throw std::bad_alloc(); }),
+               std::bad_alloc);
+  std::atomic<int> n{0};
+  fresh().launch_sync(p, [&] { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(Failure, OutOfMemoryIsExactAndRecoverable) {
+  DeviceConfig cfg = make_sim_a100_config();
+  cfg.global_mem_bytes = 1 << 20;  // 1 MiB device
+  Device dev(cfg);
+  void* a = dev.memory().allocate(700 * 1024);
+  EXPECT_THROW(dev.memory().allocate(400 * 1024), std::bad_alloc);
+  // Exactly-fitting allocation after free works (no fragmentation lies).
+  dev.memory().deallocate(a);
+  void* b = dev.memory().allocate(1024 * 1024);
+  EXPECT_NE(b, nullptr);
+  dev.memory().deallocate(b);
+}
+
+TEST(Failure, SharedMemoryOverflowDiagnosed) {
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {32};
+  p.name = "smem_overflow";
+  EXPECT_THROW(fresh().launch_sync(p,
+                                   [] {
+                                     auto& t = this_thread();
+                                     // 64 KiB request on a 48 KiB/block
+                                     // device.
+                                     t.block->shared_alloc(t, 64 * 1024, 16);
+                                   }),
+               std::bad_alloc);
+}
+
+TEST(Failure, WrongDynamicSmemRejectedBeforeExecution) {
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {1};
+  p.dynamic_smem_bytes = 1 << 20;
+  bool ran = false;
+  EXPECT_THROW(fresh().launch_sync(p, [&] { ran = true; }),
+               std::invalid_argument);
+  EXPECT_FALSE(ran);  // validation precedes any thread execution
+}
+
+TEST(Failure, StreamSurvivesRepeatedAsyncErrors) {
+  Device& dev = fresh();
+  Stream& s = dev.default_stream();
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {1};
+  p.name = "async_err";
+  for (int round = 0; round < 3; ++round) {
+    s.launch(p, [] { throw std::runtime_error("async boom"); });
+    EXPECT_THROW(dev.synchronize(), std::runtime_error);
+  }
+  std::atomic<bool> ok{false};
+  s.launch(p, [&] { ok.store(true); });
+  dev.synchronize();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Failure, GridOfZeroBlocksRejected) {
+  LaunchParams p;
+  p.grid = {0};
+  p.block = {32};
+  EXPECT_THROW(fresh().launch_sync(p, [] {}), std::invalid_argument);
+}
+
+TEST(Failure, CollectiveFromHostContextThrows) {
+  // Device-side APIs outside a kernel are a hard error, not UB.
+  EXPECT_THROW(this_thread(), std::logic_error);
+}
+
+TEST(Failure, MismatchedSharedSequencesAcrossThreads) {
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {2};
+  p.name = "shared_seq";
+  EXPECT_THROW(
+      fresh().launch_sync(p,
+                          [] {
+                            auto& t = this_thread();
+                            if (t.flat_tid == 0) {
+                              t.block->shared_alloc(t, 64, 8);
+                              t.block->shared_alloc(t, 32, 8);
+                            } else {
+                              t.block->shared_alloc(t, 64, 8);
+                              t.block->shared_alloc(t, 16, 8);  // diverges
+                            }
+                          }),
+      std::logic_error);
+}
+
+}  // namespace

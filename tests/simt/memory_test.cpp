@@ -1,0 +1,172 @@
+// Unit tests for the device memory manager and the shared-memory arena.
+#include "simt/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simt/shared_arena.h"
+
+namespace {
+
+using simt::CopyKind;
+using simt::DeviceMemory;
+using simt::SharedArena;
+
+TEST(DeviceMemory, AllocateTracksUsage) {
+  DeviceMemory mem(1 << 20);
+  void* p = mem.allocate(1000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(mem.bytes_in_use(), 1000u);
+  EXPECT_EQ(mem.live_allocations(), 1u);
+  mem.deallocate(p);
+  EXPECT_EQ(mem.bytes_in_use(), 0u);
+  EXPECT_EQ(mem.live_allocations(), 0u);
+}
+
+TEST(DeviceMemory, AllocationIs256ByteAligned) {
+  DeviceMemory mem(1 << 20);
+  for (std::size_t sz : {1u, 7u, 100u, 255u, 257u}) {
+    void* p = mem.allocate(sz);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u) << sz;
+    mem.deallocate(p);
+  }
+}
+
+TEST(DeviceMemory, ZeroByteAllocationReturnsNull) {
+  DeviceMemory mem(1 << 20);
+  EXPECT_EQ(mem.allocate(0), nullptr);
+  mem.deallocate(nullptr);  // no-op, must not throw
+}
+
+TEST(DeviceMemory, CapacityEnforced) {
+  DeviceMemory mem(4096);
+  void* p = mem.allocate(4000);
+  EXPECT_THROW(mem.allocate(200), std::bad_alloc);
+  mem.deallocate(p);
+  EXPECT_NO_THROW(mem.deallocate(mem.allocate(200)));
+}
+
+TEST(DeviceMemory, DoubleFreeThrows) {
+  DeviceMemory mem(1 << 20);
+  void* p = mem.allocate(64);
+  mem.deallocate(p);
+  EXPECT_THROW(mem.deallocate(p), std::invalid_argument);
+}
+
+TEST(DeviceMemory, FreeingHostPointerThrows) {
+  DeviceMemory mem(1 << 20);
+  int host_var = 0;
+  EXPECT_THROW(mem.deallocate(&host_var), std::invalid_argument);
+}
+
+TEST(DeviceMemory, ContainsHandlesInteriorPointers) {
+  DeviceMemory mem(1 << 20);
+  auto* p = static_cast<char*>(mem.allocate(100));
+  EXPECT_TRUE(mem.contains(p));
+  EXPECT_TRUE(mem.contains(p + 50));
+  EXPECT_TRUE(mem.contains(p + 99));
+  EXPECT_FALSE(mem.contains(p + 100));
+  int host_var = 0;
+  EXPECT_FALSE(mem.contains(&host_var));
+  mem.deallocate(p);
+  EXPECT_FALSE(mem.contains(p));
+}
+
+TEST(DeviceMemory, AllocationSizeExactBaseOnly) {
+  DeviceMemory mem(1 << 20);
+  auto* p = static_cast<char*>(mem.allocate(100));
+  EXPECT_EQ(mem.allocation_size(p), 100u);
+  EXPECT_EQ(mem.allocation_size(p + 1), 0u);
+  mem.deallocate(p);
+}
+
+TEST(DeviceMemory, CopyHostToDeviceAndBack) {
+  DeviceMemory mem(1 << 20);
+  std::vector<int> host_in{1, 2, 3, 4, 5};
+  std::vector<int> host_out(5, 0);
+  void* dev = mem.allocate(5 * sizeof(int));
+  mem.copy(dev, host_in.data(), 5 * sizeof(int), CopyKind::kHostToDevice);
+  mem.copy(host_out.data(), dev, 5 * sizeof(int), CopyKind::kDeviceToHost);
+  EXPECT_EQ(host_in, host_out);
+  mem.deallocate(dev);
+}
+
+TEST(DeviceMemory, CopyValidatesDeviceRanges) {
+  DeviceMemory mem(1 << 20);
+  std::vector<int> host(10);
+  void* dev = mem.allocate(8);
+  // Overrunning the device allocation is caught.
+  EXPECT_THROW(mem.copy(dev, host.data(), 16, CopyKind::kHostToDevice),
+               std::out_of_range);
+  EXPECT_THROW(mem.copy(host.data(), dev, 16, CopyKind::kDeviceToHost),
+               std::out_of_range);
+  // Host pointer passed as device side is caught.
+  EXPECT_THROW(mem.copy(host.data(), host.data(), 4, CopyKind::kDeviceToHost),
+               std::out_of_range);
+  mem.deallocate(dev);
+}
+
+TEST(DeviceMemory, MemsetValidatesAndWrites) {
+  DeviceMemory mem(1 << 20);
+  auto* dev = static_cast<unsigned char*>(mem.allocate(16));
+  mem.set(dev, 0xAB, 16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(dev[i], 0xAB);
+  EXPECT_THROW(mem.set(dev, 0, 17), std::out_of_range);
+  mem.deallocate(dev);
+}
+
+TEST(DeviceMemory, DeviceToDeviceCopy) {
+  DeviceMemory mem(1 << 20);
+  auto* a = static_cast<int*>(mem.allocate(4 * sizeof(int)));
+  auto* b = static_cast<int*>(mem.allocate(4 * sizeof(int)));
+  for (int i = 0; i < 4; ++i) a[i] = i * 10;
+  mem.copy(b, a, 4 * sizeof(int), CopyKind::kDeviceToDevice);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(b[i], i * 10);
+  mem.deallocate(a);
+  mem.deallocate(b);
+}
+
+// ------------------------------------------------------------ SharedArena
+
+TEST(SharedArena, DynamicSegmentReservedAtBase) {
+  SharedArena arena(48 * 1024, 256);
+  EXPECT_EQ(arena.dynamic_size(), 256u);
+  EXPECT_EQ(arena.used(), 256u);
+  void* p = arena.allocate(64);
+  EXPECT_GE(static_cast<char*>(p),
+            static_cast<char*>(arena.dynamic_base()) + 256);
+}
+
+TEST(SharedArena, AllocationsRespectAlignment) {
+  SharedArena arena(48 * 1024, 0);
+  arena.allocate(3);
+  void* p = arena.allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(SharedArena, CapacityOverflowThrows) {
+  SharedArena arena(1024, 0);
+  arena.allocate(1000);
+  EXPECT_THROW(arena.allocate(100), std::bad_alloc);
+}
+
+TEST(SharedArena, DynamicLargerThanCapacityThrows) {
+  EXPECT_THROW(SharedArena(1024, 2048), std::invalid_argument);
+}
+
+TEST(SharedArena, HighWaterTracksPeak) {
+  SharedArena arena(4096, 0);
+  arena.allocate(100);
+  arena.allocate(200);
+  EXPECT_GE(arena.high_water(), 300u);
+}
+
+TEST(SharedArena, BadAlignmentThrows) {
+  SharedArena arena(4096, 0);
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+}
+
+}  // namespace

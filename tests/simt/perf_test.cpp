@@ -1,0 +1,220 @@
+// Property tests for the analytic performance model: occupancy algebra,
+// roofline behaviour, and the monotonicity properties the paper's
+// mechanisms rely on (more traffic => more time, fewer resident threads
+// => no faster, runtime machinery => strictly slower).
+#include <gtest/gtest.h>
+
+#include "simt/device.h"
+#include "simt/perf.h"
+
+namespace {
+
+using namespace simt;
+
+const DeviceConfig a100 = make_sim_a100_config();
+const DeviceConfig mi250 = make_sim_mi250_config();
+
+LaunchStats stats_for(std::uint64_t blocks, std::uint32_t tpb) {
+  LaunchStats s;
+  s.blocks = blocks;
+  s.threads = blocks * tpb;
+  return s;
+}
+
+TEST(Occupancy, ThreadLimitBindsFirstForLeanKernels) {
+  CompilerProfile lean;
+  lean.regs_per_thread = 16;  // not limiting
+  EXPECT_EQ(resident_threads_per_sm(a100, 256, lean, 0), 2048u);
+  EXPECT_EQ(resident_threads_per_sm(a100, 1024, lean, 0), 2048u);
+}
+
+TEST(Occupancy, RegisterPressureLimitsResidency) {
+  CompilerProfile fat;
+  fat.regs_per_thread = 162;  // the paper's RSBench omp figure
+  // 65536 / (162*256) = 1 block of 256 threads per SM.
+  EXPECT_EQ(resident_threads_per_sm(a100, 256, fat, 0), 256u);
+  CompilerProfile lean;
+  lean.regs_per_thread = 32;
+  EXPECT_GT(resident_threads_per_sm(a100, 256, lean, 0),
+            resident_threads_per_sm(a100, 256, fat, 0));
+}
+
+TEST(Occupancy, SharedMemoryLimitsResidency) {
+  CompilerProfile p;
+  p.regs_per_thread = 16;
+  // 48 KB static smem: 164KB/48KB = 3 blocks/SM on sim-a100.
+  p.static_smem_bytes = 48 * 1024;
+  EXPECT_EQ(resident_threads_per_sm(a100, 256, p, 0), 3u * 256u);
+  // Dynamic smem adds on top.
+  p.static_smem_bytes = 24 * 1024;
+  EXPECT_EQ(resident_threads_per_sm(a100, 256, p, 24 * 1024), 3u * 256u);
+}
+
+TEST(Occupancy, WarpGranularityCharged) {
+  CompilerProfile p;
+  p.regs_per_thread = 16;
+  // 33 threads occupy 2 warps (64 thread slots) on warp-32 hardware.
+  const auto r33 = resident_threads_per_sm(a100, 33, p, 0);
+  const auto r64 = resident_threads_per_sm(a100, 64, p, 0);
+  EXPECT_EQ(r33 / 33, r64 / 64);  // same number of resident blocks
+}
+
+TEST(Occupancy, BlockSlotLimitCapsTinyBlocks) {
+  CompilerProfile p;
+  p.regs_per_thread = 16;
+  // 32-thread blocks: max_blocks_per_sm (32) binds -> 1024 threads, half
+  // the SM capacity. This is the mechanism behind Adam's 8x omp slowdown.
+  EXPECT_EQ(resident_threads_per_sm(a100, 32, p, 0), 32u * 32u);
+}
+
+TEST(Model, MemoryBoundKernelScalesWithBytes) {
+  KernelCost c1;
+  c1.global_bytes_per_thread = 64;
+  KernelCost c2 = c1;
+  c2.global_bytes_per_thread = 128;
+  CompilerProfile prof;
+  auto s = stats_for(4096, 256);
+  const auto t1 = model_time(a100, prof, c1, s, 256, 0);
+  const auto t2 = model_time(a100, prof, c2, s, 256, 0);
+  EXPECT_NEAR(t2.memory_ms / t1.memory_ms, 2.0, 1e-9);
+  EXPECT_GT(t2.total_ms, t1.total_ms);
+}
+
+TEST(Model, RooflineTakesMaxOfComputeAndMemory) {
+  KernelCost c;
+  c.global_bytes_per_thread = 64;
+  c.flops_per_thread = 1e6;  // strongly compute bound
+  CompilerProfile prof;
+  auto s = stats_for(4096, 256);
+  const auto t = model_time(a100, prof, c, s, 256, 0);
+  EXPECT_GT(t.compute_ms, t.memory_ms);
+  EXPECT_NEAR(t.total_ms, t.overhead_ms + t.compute_ms, 1e-12);
+}
+
+TEST(Model, LowConcurrencyStretchesMemoryTime) {
+  // Same total bytes split over 8x fewer threads (each doing 8x work)
+  // on an unsaturated device: ~8x slower. This is the Adam omp shape.
+  KernelCost per_thread;
+  per_thread.global_bytes_per_thread = 64;
+  CompilerProfile prof;
+  auto full = stats_for(40, 256);  // 10240 threads, well under the knee
+  KernelCost fat = per_thread;
+  fat.global_bytes_per_thread = 64 * 8;
+  auto eighth = stats_for(40, 32);  // 1280 threads
+  const auto t_full = model_time(a100, prof, per_thread, full, 256, 0);
+  const auto t_eighth = model_time(a100, prof, fat, eighth, 32, 0);
+  EXPECT_NEAR(t_eighth.memory_ms / t_full.memory_ms, 8.0, 0.01);
+}
+
+TEST(Model, SaturatedDeviceInsensitiveToExtraThreads) {
+  KernelCost c;
+  c.global_bytes_per_thread = 256;
+  CompilerProfile prof;
+  auto s1 = stats_for(1u << 14, 256);
+  auto s2 = stats_for(1u << 15, 256);
+  const auto t1 = model_time(a100, prof, c, s1, 256, 0);
+  const auto t2 = model_time(a100, prof, c, s2, 256, 0);
+  // Twice the saturated work takes twice the time (bandwidth-bound).
+  EXPECT_NEAR(t2.memory_ms / t1.memory_ms, 2.0, 1e-9);
+}
+
+TEST(Model, RuntimeMachineryAddsOverhead) {
+  KernelCost c;
+  c.flops_per_thread = 100;
+  CompilerProfile prof;
+  auto bare = stats_for(1024, 256);
+  auto rt = bare;
+  rt.runtime_init = true;
+  rt.parallel_handshakes = bare.blocks * 10;
+  rt.workshare_dispatches = bare.blocks * 100;
+  const auto t_bare = model_time(a100, prof, c, bare, 256, 0);
+  const auto t_rt = model_time(a100, prof, c, rt, 256, 0);
+  EXPECT_GT(t_rt.overhead_ms, t_bare.overhead_ms);
+  EXPECT_GT(t_rt.total_ms, t_bare.total_ms);
+}
+
+TEST(Model, GlobalizationChargesGlobalTraffic) {
+  KernelCost c;
+  c.global_bytes_per_thread = 16;
+  CompilerProfile prof;
+  auto plain = stats_for(4096, 256);
+  auto globalized = plain;
+  globalized.globalized_bytes = plain.threads * 64;
+  const auto t0 = model_time(a100, prof, c, plain, 256, 0);
+  const auto t1 = model_time(a100, prof, c, globalized, 256, 0);
+  EXPECT_GT(t1.memory_ms, t0.memory_ms);
+}
+
+TEST(Model, HeapToSharedMovesSpillOffGlobal) {
+  // The RSBench §4.2.2 mechanism: spill traffic in shared instead of
+  // global memory shrinks the memory roofline term.
+  KernelCost c;
+  c.global_bytes_per_thread = 32;
+  c.local_spill_bytes_per_thread = 96;
+  CompilerProfile prof;
+  auto in_global = stats_for(4096, 256);
+  auto in_shared = in_global;
+  in_shared.spill_in_shared = true;
+  const auto tg = model_time(a100, prof, c, in_global, 256, 0);
+  const auto ts = model_time(a100, prof, c, in_shared, 256, 0);
+  EXPECT_GT(tg.memory_ms, ts.memory_ms);
+  EXPECT_GT(ts.shared_ms, tg.shared_ms);
+}
+
+TEST(Model, CompilerEfficiencyScalesComputeOnly) {
+  KernelCost c;
+  c.flops_per_thread = 1e5;
+  c.global_bytes_per_thread = 8;
+  CompilerProfile good, bad;
+  bad.compute_efficiency = 0.8;
+  auto s = stats_for(4096, 256);
+  const auto tg = model_time(a100, good, c, s, 256, 0);
+  const auto tb = model_time(a100, bad, c, s, 256, 0);
+  EXPECT_NEAR(tb.compute_ms / tg.compute_ms, 1.0 / 0.8, 1e-9);
+  EXPECT_NEAR(tb.memory_ms, tg.memory_ms, 1e-12);
+}
+
+TEST(Model, BigBinaryPaysIcachePenalty) {
+  // The SU3 §4.2.3 mechanism: 29 KiB ompx binary vs 3.9 KiB CUDA.
+  KernelCost c;
+  c.flops_per_thread = 1e5;
+  CompilerProfile small_bin, big_bin;
+  small_bin.binary_kib = 3.9;
+  big_bin.binary_kib = 29.0;
+  auto s = stats_for(4096, 128);
+  const auto ts = model_time(a100, small_bin, c, s, 128, 0);
+  const auto tb = model_time(a100, big_bin, c, s, 128, 0);
+  EXPECT_GT(tb.compute_ms, ts.compute_ms);
+  EXPECT_LT(tb.compute_ms / ts.compute_ms, 1.2);  // mild effect
+}
+
+TEST(Model, TransferModelLinearInBytes) {
+  const double t1 = model_transfer_ms(a100, 1 << 20);
+  const double t2 = model_transfer_ms(a100, 1 << 21);
+  EXPECT_GT(t2, t1);
+  // Latency term means t2 < 2*t1.
+  EXPECT_LT(t2, 2 * t1);
+}
+
+TEST(Model, DevicesDiffer) {
+  // MI250's higher bandwidth shows up for memory-bound work.
+  KernelCost c;
+  c.global_bytes_per_thread = 256;
+  CompilerProfile prof;
+  auto s = stats_for(1u << 14, 256);
+  const auto ta = model_time(a100, prof, c, s, 256, 0);
+  const auto tm = model_time(mi250, prof, c, s, 256, 0);
+  EXPECT_LT(tm.memory_ms, ta.memory_ms);
+}
+
+TEST(Model, OccupancyReported) {
+  KernelCost c;
+  CompilerProfile prof;
+  prof.regs_per_thread = 32;
+  auto s = stats_for(1024, 256);
+  const auto t = model_time(a100, prof, c, s, 256, 0);
+  EXPECT_GT(t.occupancy, 0.0);
+  EXPECT_LE(t.occupancy, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Warp collective tests, parameterized over warp size 32 (sim-a100
+// shape) and 64 (sim-mi250 shape).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simt/simt.h"
+
+namespace {
+
+using namespace simt;
+
+DeviceConfig cfg_with_warp(std::uint32_t warp) {
+  DeviceConfig c = make_sim_a100_config();
+  c.name = "warp-test";
+  c.warp_size = warp;
+  return c;
+}
+
+std::uint64_t full_mask() { return ~0ull; }
+
+class WarpCollectives : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  std::uint32_t ws() const { return GetParam(); }
+
+  /// Runs `body` on a single block of `threads` threads.
+  template <typename F>
+  LaunchRecord run(std::uint32_t threads, F&& body) {
+    Device dev(cfg_with_warp(ws()));
+    LaunchParams p;
+    p.grid = {1};
+    p.block = {threads};
+    return dev.launch_sync(p, std::forward<F>(body));
+  }
+};
+
+TEST_P(WarpCollectives, ShflIdxBroadcastFromLaneZero) {
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    const std::uint64_t mine = 100 + t.lane;
+    got[t.lane] = t.warp->collective(t, WarpOp::kShflIdx, mine,
+                                     /*src=*/0, full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(got[i], 100u);
+}
+
+TEST_P(WarpCollectives, ShflIdxPerLaneSource) {
+  // Each lane reads from lane (lane+1) % width: a rotation.
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    got[t.lane] = t.warp->collective(t, WarpOp::kShflIdx, t.lane,
+                                     (t.lane + 1) % n, full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(got[i], (i + 1) % n);
+}
+
+TEST_P(WarpCollectives, ShflDownReductionSumsWarp) {
+  // The classic warp tree reduction: after log2(ws) rounds lane 0 holds
+  // the sum of all lane values.
+  const std::uint32_t n = ws();
+  std::uint64_t lane0_sum = 0;
+  run(n, [&] {
+    auto& t = this_thread();
+    std::uint64_t v = t.lane + 1;  // sum = n(n+1)/2
+    for (std::uint32_t d = t.warp->width() / 2; d > 0; d /= 2)
+      v += t.warp->collective(t, WarpOp::kShflDown, v, d, full_mask());
+    if (t.lane == 0) lane0_sum = v;
+  });
+  EXPECT_EQ(lane0_sum, static_cast<std::uint64_t>(n) * (n + 1) / 2);
+}
+
+TEST_P(WarpCollectives, ShflUpKeepsOwnValueAtLowLanes) {
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    got[t.lane] =
+        t.warp->collective(t, WarpOp::kShflUp, t.lane * 10, 2, full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t expect = i < 2 ? i * 10 : (i - 2) * 10;
+    EXPECT_EQ(got[i], expect) << "lane " << i;
+  }
+}
+
+TEST_P(WarpCollectives, ShflXorButterflyExchange) {
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    got[t.lane] =
+        t.warp->collective(t, WarpOp::kShflXor, t.lane, 1, full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(got[i], i ^ 1u);
+}
+
+TEST_P(WarpCollectives, BallotCollectsPredicateBits) {
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    const std::uint64_t pred = t.lane % 2;  // odd lanes true
+    got[t.lane] = t.warp->collective(t, WarpOp::kBallot, pred, 0, full_mask());
+  });
+  std::uint64_t expect = 0;
+  for (std::uint32_t i = 1; i < n; i += 2) expect |= 1ull << i;
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(got[i], expect);
+}
+
+TEST_P(WarpCollectives, AnyAndAllVotes) {
+  const std::uint32_t n = ws();
+  std::uint64_t any_result = 99, all_result = 99;
+  run(n, [&] {
+    auto& t = this_thread();
+    const std::uint64_t pred = t.lane == 3 ? 1 : 0;
+    const auto any = t.warp->collective(t, WarpOp::kAny, pred, 0, full_mask());
+    const auto all = t.warp->collective(t, WarpOp::kAll, pred, 0, full_mask());
+    if (t.lane == 0) {
+      any_result = any;
+      all_result = all;
+    }
+  });
+  EXPECT_EQ(any_result, 1u);
+  EXPECT_EQ(all_result, 0u);
+}
+
+TEST_P(WarpCollectives, AllTrueWhenEveryLaneTrue) {
+  std::uint64_t all_result = 0;
+  run(ws(), [&] {
+    auto& t = this_thread();
+    const auto all = t.warp->collective(t, WarpOp::kAll, 1, 0, full_mask());
+    if (t.lane == 0) all_result = all;
+  });
+  EXPECT_EQ(all_result, 1u);
+}
+
+TEST_P(WarpCollectives, PartialWarpCollectiveWorks) {
+  // Block smaller than the warp: the last (only) warp is partial.
+  const std::uint32_t n = ws() / 2;
+  std::uint64_t lane0 = 0;
+  run(n, [&] {
+    auto& t = this_thread();
+    std::uint64_t v = 1;
+    for (std::uint32_t d = t.warp->width() / 2; d > 0; d /= 2)
+      v += t.warp->collective(t, WarpOp::kShflDown, v, d, full_mask());
+    if (t.lane == 0) lane0 = v;
+  });
+  // Width rounds to a power-of-two tree over n lanes; n is a power of two.
+  EXPECT_EQ(lane0, n);
+}
+
+TEST_P(WarpCollectives, SubsetMaskSynchronizesOnlyNamedLanes) {
+  // Only even lanes participate; odd lanes never reach the collective.
+  const std::uint32_t n = ws();
+  LaneMask mask = 0;
+  for (std::uint32_t i = 0; i < n; i += 2) mask |= 1ull << i;
+  std::vector<std::uint64_t> got(n, 1234);
+  run(n, [&] {
+    auto& t = this_thread();
+    if (t.lane % 2 == 0)
+      got[t.lane] =
+          t.warp->collective(t, WarpOp::kBallot, 1, 0, mask);
+  });
+  for (std::uint32_t i = 0; i < n; i += 2) EXPECT_EQ(got[i], mask);
+  for (std::uint32_t i = 1; i < n; i += 2) EXPECT_EQ(got[i], 1234u);
+}
+
+TEST_P(WarpCollectives, MultipleWarpsIndependent) {
+  const std::uint32_t n = 4 * ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    // Broadcast each warp's id from lane 0.
+    got[t.flat_tid] = t.warp->collective(t, WarpOp::kShflIdx,
+                                         t.warp_id * 1000, 0, full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(got[i], (i / ws()) * 1000u);
+}
+
+TEST_P(WarpCollectives, WarpSyncCountsSeparately) {
+  auto rec = run(2 * ws(), [&] {
+    auto& t = this_thread();
+    t.warp->collective(t, WarpOp::kSync, 0, 0, full_mask());
+    t.warp->collective(t, WarpOp::kSync, 0, 0, full_mask());
+  });
+  EXPECT_EQ(rec.stats.warp_syncs, 2u * 2u);  // 2 warps x 2 syncs
+  EXPECT_EQ(rec.stats.warp_collectives, 0u);
+}
+
+TEST_P(WarpCollectives, MismatchedOpsThrow) {
+  EXPECT_THROW(run(ws(),
+                   [&] {
+                     auto& t = this_thread();
+                     if (t.lane % 2 == 0)
+                       t.warp->collective(t, WarpOp::kBallot, 1, 0,
+                                          full_mask());
+                     else
+                       t.warp->collective(t, WarpOp::kAny, 1, 0, full_mask());
+                   }),
+               std::logic_error);
+}
+
+TEST_P(WarpCollectives, LaneMissingFromOwnMaskThrows) {
+  EXPECT_THROW(run(ws(),
+                   [&] {
+                     auto& t = this_thread();
+                     // Every lane passes a mask excluding itself.
+                     const LaneMask m = ~(1ull << t.lane);
+                     t.warp->collective(t, WarpOp::kSync, 0, 0, m);
+                   }),
+               std::logic_error);
+}
+
+TEST_P(WarpCollectives, ExitWhileNamedInPendingCollectiveThrows) {
+  // The scheduler resumes lanes in ascending order, so lanes 0..ws-2
+  // deposit first (snapshotting a full-warp participant mask that
+  // includes the last lane), then the last lane exits without arriving.
+  EXPECT_THROW(run(ws(),
+                   [&] {
+                     auto& t = this_thread();
+                     if (t.lane == t.warp->width() - 1) return;
+                     t.warp->collective(t, WarpOp::kSync, 0, 0, full_mask());
+                   }),
+               std::logic_error);
+}
+
+TEST_P(WarpCollectives, ExitBeforeCollectiveShrinksParticipants) {
+  // A lane that exits before any deposit simply stops being a
+  // participant (lenient mask semantics): the remaining lanes complete.
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> got(n, 0);
+  run(n, [&] {
+    auto& t = this_thread();
+    if (t.lane == 0) return;  // exits before anyone deposits
+    got[t.lane] = t.warp->collective(t, WarpOp::kBallot, 1, 0, full_mask());
+  });
+  LaneMask expect = 0;
+  for (std::uint32_t i = 1; i < n; ++i) expect |= 1ull << i;
+  for (std::uint32_t i = 1; i < n; ++i) EXPECT_EQ(got[i], expect);
+}
+
+TEST_P(WarpCollectives, SequentialCollectivesKeepResultsSeparate) {
+  const std::uint32_t n = ws();
+  std::vector<std::uint64_t> first(n), second(n);
+  run(n, [&] {
+    auto& t = this_thread();
+    first[t.lane] =
+        t.warp->collective(t, WarpOp::kShflXor, t.lane + 1, 1, full_mask());
+    second[t.lane] =
+        t.warp->collective(t, WarpOp::kShflXor, (t.lane + 1) * 2, 1,
+                           full_mask());
+  });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i], (i ^ 1u) + 1);
+    EXPECT_EQ(second[i], ((i ^ 1u) + 1) * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpSizes, WarpCollectives,
+                         ::testing::Values(32u, 64u));
+
+TEST(WarpFloat, ShuffleBitCastRoundTrips) {
+  // Float payloads ride through as bit patterns; verify a double.
+  Device dev(cfg_with_warp(32));
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {32};
+  std::vector<double> got(32, 0.0);
+  dev.launch_sync(p, [&] {
+    auto& t = this_thread();
+    const double mine = 0.5 + t.lane;
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(mine));
+    __builtin_memcpy(&bits, &mine, sizeof(bits));
+    const std::uint64_t r =
+        t.warp->collective(t, WarpOp::kShflXor, bits, 1, ~0ull);
+    double out;
+    __builtin_memcpy(&out, &r, sizeof(out));
+    got[t.lane] = out;
+  });
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(got[i], 0.5 + (i ^ 1));
+}
+
+}  // namespace
