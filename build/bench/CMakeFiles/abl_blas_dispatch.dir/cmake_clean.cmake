@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_blas_dispatch.dir/abl_blas_dispatch.cpp.o"
+  "CMakeFiles/abl_blas_dispatch.dir/abl_blas_dispatch.cpp.o.d"
+  "abl_blas_dispatch"
+  "abl_blas_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_blas_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_globalization.dir/abl_globalization.cpp.o"
+  "CMakeFiles/abl_globalization.dir/abl_globalization.cpp.o.d"
+  "abl_globalization"
+  "abl_globalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_globalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interop_streams.dir/abl_interop_streams.cpp.o"
+  "CMakeFiles/abl_interop_streams.dir/abl_interop_streams.cpp.o.d"
+  "abl_interop_streams"
+  "abl_interop_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interop_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_sensitivity.dir/abl_model_sensitivity.cpp.o"
+  "CMakeFiles/abl_model_sensitivity.dir/abl_model_sensitivity.cpp.o.d"
+  "abl_model_sensitivity"
+  "abl_model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

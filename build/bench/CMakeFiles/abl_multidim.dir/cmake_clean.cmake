@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multidim.dir/abl_multidim.cpp.o"
+  "CMakeFiles/abl_multidim.dir/abl_multidim.cpp.o.d"
+  "abl_multidim"
+  "abl_multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

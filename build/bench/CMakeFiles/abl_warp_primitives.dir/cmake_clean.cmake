@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_warp_primitives.dir/abl_warp_primitives.cpp.o"
+  "CMakeFiles/abl_warp_primitives.dir/abl_warp_primitives.cpp.o.d"
+  "abl_warp_primitives"
+  "abl_warp_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_warp_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

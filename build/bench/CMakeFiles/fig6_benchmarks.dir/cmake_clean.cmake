@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_benchmarks.dir/fig6_benchmarks.cpp.o"
+  "CMakeFiles/fig6_benchmarks.dir/fig6_benchmarks.cpp.o.d"
+  "fig6_benchmarks"
+  "fig6_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adam.dir/fig8_adam.cpp.o"
+  "CMakeFiles/fig8_adam.dir/fig8_adam.cpp.o.d"
+  "fig8_adam"
+  "fig8_adam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_aidw.dir/fig8_aidw.cpp.o"
+  "CMakeFiles/fig8_aidw.dir/fig8_aidw.cpp.o.d"
+  "fig8_aidw"
+  "fig8_aidw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_aidw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

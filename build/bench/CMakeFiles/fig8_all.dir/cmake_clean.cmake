@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_all.dir/fig8_all.cpp.o"
+  "CMakeFiles/fig8_all.dir/fig8_all.cpp.o.d"
+  "fig8_all"
+  "fig8_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

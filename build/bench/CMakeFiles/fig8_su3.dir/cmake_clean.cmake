@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_su3.dir/fig8_su3.cpp.o"
+  "CMakeFiles/fig8_su3.dir/fig8_su3.cpp.o.d"
+  "fig8_su3"
+  "fig8_su3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_su3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

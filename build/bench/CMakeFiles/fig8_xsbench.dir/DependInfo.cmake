@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_xsbench.cpp" "bench/CMakeFiles/fig8_xsbench.dir/fig8_xsbench.cpp.o" "gcc" "bench/CMakeFiles/fig8_xsbench.dir/fig8_xsbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ompx.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl/CMakeFiles/kl.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/omp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_xsbench.dir/fig8_xsbench.cpp.o"
+  "CMakeFiles/fig8_xsbench.dir/fig8_xsbench.cpp.o.d"
+  "fig8_xsbench"
+  "fig8_xsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_xsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

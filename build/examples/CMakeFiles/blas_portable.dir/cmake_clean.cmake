@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_portable.dir/blas_portable.cpp.o"
+  "CMakeFiles/blas_portable.dir/blas_portable.cpp.o.d"
+  "blas_portable"
+  "blas_portable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_portable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda2ompx_tool.dir/cuda2ompx_tool.cpp.o"
+  "CMakeFiles/cuda2ompx_tool.dir/cuda2ompx_tool.cpp.o.d"
+  "cuda2ompx_tool"
+  "cuda2ompx_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda2ompx_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

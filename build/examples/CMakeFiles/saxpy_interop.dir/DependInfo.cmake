@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/saxpy_interop.cpp" "examples/CMakeFiles/saxpy_interop.dir/saxpy_interop.cpp.o" "gcc" "examples/CMakeFiles/saxpy_interop.dir/saxpy_interop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ompx.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/omp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saxpy_interop.dir/saxpy_interop.cpp.o"
+  "CMakeFiles/saxpy_interop.dir/saxpy_interop.cpp.o.d"
+  "saxpy_interop"
+  "saxpy_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saxpy_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_style.dir/simt_style.cpp.o"
+  "CMakeFiles/simt_style.dir/simt_style.cpp.o.d"
+  "simt_style"
+  "simt_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adam/versions.cpp" "src/apps/CMakeFiles/apps.dir/adam/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/adam/versions.cpp.o.d"
+  "/root/repo/src/apps/aidw/versions.cpp" "src/apps/CMakeFiles/apps.dir/aidw/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/aidw/versions.cpp.o.d"
+  "/root/repo/src/apps/cli.cpp" "src/apps/CMakeFiles/apps.dir/cli.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/cli.cpp.o.d"
+  "/root/repo/src/apps/harness.cpp" "src/apps/CMakeFiles/apps.dir/harness.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/harness.cpp.o.d"
+  "/root/repo/src/apps/rsbench/data.cpp" "src/apps/CMakeFiles/apps.dir/rsbench/data.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/rsbench/data.cpp.o.d"
+  "/root/repo/src/apps/rsbench/versions.cpp" "src/apps/CMakeFiles/apps.dir/rsbench/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/rsbench/versions.cpp.o.d"
+  "/root/repo/src/apps/stencil1d/versions.cpp" "src/apps/CMakeFiles/apps.dir/stencil1d/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stencil1d/versions.cpp.o.d"
+  "/root/repo/src/apps/su3/versions.cpp" "src/apps/CMakeFiles/apps.dir/su3/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/su3/versions.cpp.o.d"
+  "/root/repo/src/apps/xsbench/data.cpp" "src/apps/CMakeFiles/apps.dir/xsbench/data.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/xsbench/data.cpp.o.d"
+  "/root/repo/src/apps/xsbench/versions.cpp" "src/apps/CMakeFiles/apps.dir/xsbench/versions.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/xsbench/versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl/CMakeFiles/kl.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/omp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ompx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/adam/versions.cpp.o"
+  "CMakeFiles/apps.dir/adam/versions.cpp.o.d"
+  "CMakeFiles/apps.dir/aidw/versions.cpp.o"
+  "CMakeFiles/apps.dir/aidw/versions.cpp.o.d"
+  "CMakeFiles/apps.dir/cli.cpp.o"
+  "CMakeFiles/apps.dir/cli.cpp.o.d"
+  "CMakeFiles/apps.dir/harness.cpp.o"
+  "CMakeFiles/apps.dir/harness.cpp.o.d"
+  "CMakeFiles/apps.dir/rsbench/data.cpp.o"
+  "CMakeFiles/apps.dir/rsbench/data.cpp.o.d"
+  "CMakeFiles/apps.dir/rsbench/versions.cpp.o"
+  "CMakeFiles/apps.dir/rsbench/versions.cpp.o.d"
+  "CMakeFiles/apps.dir/stencil1d/versions.cpp.o"
+  "CMakeFiles/apps.dir/stencil1d/versions.cpp.o.d"
+  "CMakeFiles/apps.dir/su3/versions.cpp.o"
+  "CMakeFiles/apps.dir/su3/versions.cpp.o.d"
+  "CMakeFiles/apps.dir/xsbench/data.cpp.o"
+  "CMakeFiles/apps.dir/xsbench/data.cpp.o.d"
+  "CMakeFiles/apps.dir/xsbench/versions.cpp.o"
+  "CMakeFiles/apps.dir/xsbench/versions.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/ompx_blas.cpp" "src/blas/CMakeFiles/ompx_blas.dir/ompx_blas.cpp.o" "gcc" "src/blas/CMakeFiles/ompx_blas.dir/ompx_blas.cpp.o.d"
+  "/root/repo/src/blas/vendor_nv.cpp" "src/blas/CMakeFiles/ompx_blas.dir/vendor_nv.cpp.o" "gcc" "src/blas/CMakeFiles/ompx_blas.dir/vendor_nv.cpp.o.d"
+  "/root/repo/src/blas/vendor_roc.cpp" "src/blas/CMakeFiles/ompx_blas.dir/vendor_roc.cpp.o" "gcc" "src/blas/CMakeFiles/ompx_blas.dir/vendor_roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompx_blas.dir/ompx_blas.cpp.o"
+  "CMakeFiles/ompx_blas.dir/ompx_blas.cpp.o.d"
+  "CMakeFiles/ompx_blas.dir/vendor_nv.cpp.o"
+  "CMakeFiles/ompx_blas.dir/vendor_nv.cpp.o.d"
+  "CMakeFiles/ompx_blas.dir/vendor_roc.cpp.o"
+  "CMakeFiles/ompx_blas.dir/vendor_roc.cpp.o.d"
+  "libompx_blas.a"
+  "libompx_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompx_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libompx_blas.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ompx_device.cpp" "src/core/CMakeFiles/ompx.dir/ompx_device.cpp.o" "gcc" "src/core/CMakeFiles/ompx.dir/ompx_device.cpp.o.d"
+  "/root/repo/src/core/ompx_host.cpp" "src/core/CMakeFiles/ompx.dir/ompx_host.cpp.o" "gcc" "src/core/CMakeFiles/ompx.dir/ompx_host.cpp.o.d"
+  "/root/repo/src/core/ompx_launch.cpp" "src/core/CMakeFiles/ompx.dir/ompx_launch.cpp.o" "gcc" "src/core/CMakeFiles/ompx.dir/ompx_launch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/omp_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

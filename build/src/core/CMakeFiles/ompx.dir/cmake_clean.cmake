@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompx.dir/ompx_device.cpp.o"
+  "CMakeFiles/ompx.dir/ompx_device.cpp.o.d"
+  "CMakeFiles/ompx.dir/ompx_host.cpp.o"
+  "CMakeFiles/ompx.dir/ompx_host.cpp.o.d"
+  "CMakeFiles/ompx.dir/ompx_launch.cpp.o"
+  "CMakeFiles/ompx.dir/ompx_launch.cpp.o.d"
+  "libompx.a"
+  "libompx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl.dir/kl.cpp.o"
+  "CMakeFiles/kl.dir/kl.cpp.o.d"
+  "libkl.a"
+  "libkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

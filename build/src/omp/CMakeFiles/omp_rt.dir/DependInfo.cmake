@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omp/device_rt.cpp" "src/omp/CMakeFiles/omp_rt.dir/device_rt.cpp.o" "gcc" "src/omp/CMakeFiles/omp_rt.dir/device_rt.cpp.o.d"
+  "/root/repo/src/omp/mapping.cpp" "src/omp/CMakeFiles/omp_rt.dir/mapping.cpp.o" "gcc" "src/omp/CMakeFiles/omp_rt.dir/mapping.cpp.o.d"
+  "/root/repo/src/omp/target.cpp" "src/omp/CMakeFiles/omp_rt.dir/target.cpp.o" "gcc" "src/omp/CMakeFiles/omp_rt.dir/target.cpp.o.d"
+  "/root/repo/src/omp/task.cpp" "src/omp/CMakeFiles/omp_rt.dir/task.cpp.o" "gcc" "src/omp/CMakeFiles/omp_rt.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

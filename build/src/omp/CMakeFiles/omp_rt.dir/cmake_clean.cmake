@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_rt.dir/device_rt.cpp.o"
+  "CMakeFiles/omp_rt.dir/device_rt.cpp.o.d"
+  "CMakeFiles/omp_rt.dir/mapping.cpp.o"
+  "CMakeFiles/omp_rt.dir/mapping.cpp.o.d"
+  "CMakeFiles/omp_rt.dir/target.cpp.o"
+  "CMakeFiles/omp_rt.dir/target.cpp.o.d"
+  "CMakeFiles/omp_rt.dir/task.cpp.o"
+  "CMakeFiles/omp_rt.dir/task.cpp.o.d"
+  "libomp_rt.a"
+  "libomp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

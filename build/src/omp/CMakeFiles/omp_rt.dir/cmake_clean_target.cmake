@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomp_rt.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda2ompx.dir/cuda2ompx.cpp.o"
+  "CMakeFiles/cuda2ompx.dir/cuda2ompx.cpp.o.d"
+  "libcuda2ompx.a"
+  "libcuda2ompx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda2ompx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcuda2ompx.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/simt/fiber_switch_x86_64.S" "/root/repo/build/src/simt/CMakeFiles/simt.dir/fiber_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/block.cpp" "src/simt/CMakeFiles/simt.dir/block.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/block.cpp.o.d"
+  "/root/repo/src/simt/device.cpp" "src/simt/CMakeFiles/simt.dir/device.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/device.cpp.o.d"
+  "/root/repo/src/simt/fiber.cpp" "src/simt/CMakeFiles/simt.dir/fiber.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/fiber.cpp.o.d"
+  "/root/repo/src/simt/memory.cpp" "src/simt/CMakeFiles/simt.dir/memory.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/memory.cpp.o.d"
+  "/root/repo/src/simt/perf.cpp" "src/simt/CMakeFiles/simt.dir/perf.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/perf.cpp.o.d"
+  "/root/repo/src/simt/shared_arena.cpp" "src/simt/CMakeFiles/simt.dir/shared_arena.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/shared_arena.cpp.o.d"
+  "/root/repo/src/simt/stream.cpp" "src/simt/CMakeFiles/simt.dir/stream.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/stream.cpp.o.d"
+  "/root/repo/src/simt/warp.cpp" "src/simt/CMakeFiles/simt.dir/warp.cpp.o" "gcc" "src/simt/CMakeFiles/simt.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt.dir/block.cpp.o"
+  "CMakeFiles/simt.dir/block.cpp.o.d"
+  "CMakeFiles/simt.dir/device.cpp.o"
+  "CMakeFiles/simt.dir/device.cpp.o.d"
+  "CMakeFiles/simt.dir/fiber.cpp.o"
+  "CMakeFiles/simt.dir/fiber.cpp.o.d"
+  "CMakeFiles/simt.dir/fiber_switch_x86_64.S.o"
+  "CMakeFiles/simt.dir/memory.cpp.o"
+  "CMakeFiles/simt.dir/memory.cpp.o.d"
+  "CMakeFiles/simt.dir/perf.cpp.o"
+  "CMakeFiles/simt.dir/perf.cpp.o.d"
+  "CMakeFiles/simt.dir/shared_arena.cpp.o"
+  "CMakeFiles/simt.dir/shared_arena.cpp.o.d"
+  "CMakeFiles/simt.dir/stream.cpp.o"
+  "CMakeFiles/simt.dir/stream.cpp.o.d"
+  "CMakeFiles/simt.dir/warp.cpp.o"
+  "CMakeFiles/simt.dir/warp.cpp.o.d"
+  "libsimt.a"
+  "libsimt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

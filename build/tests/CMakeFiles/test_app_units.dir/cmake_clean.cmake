@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_units.dir/apps/app_units_test.cpp.o"
+  "CMakeFiles/test_app_units.dir/apps/app_units_test.cpp.o.d"
+  "test_app_units"
+  "test_app_units.pdb"
+  "test_app_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

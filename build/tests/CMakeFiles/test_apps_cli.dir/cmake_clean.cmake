@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cli.dir/apps/cli_test.cpp.o"
+  "CMakeFiles/test_apps_cli.dir/apps/cli_test.cpp.o.d"
+  "test_apps_cli"
+  "test_apps_cli.pdb"
+  "test_apps_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_correctness.dir/apps/apps_correctness_test.cpp.o"
+  "CMakeFiles/test_apps_correctness.dir/apps/apps_correctness_test.cpp.o.d"
+  "test_apps_correctness"
+  "test_apps_correctness.pdb"
+  "test_apps_correctness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

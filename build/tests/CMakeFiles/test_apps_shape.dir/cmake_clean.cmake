@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_shape.dir/apps/apps_shape_test.cpp.o"
+  "CMakeFiles/test_apps_shape.dir/apps/apps_shape_test.cpp.o.d"
+  "test_apps_shape"
+  "test_apps_shape.pdb"
+  "test_apps_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuda2ompx.dir/rewrite/cuda2ompx_test.cpp.o"
+  "CMakeFiles/test_cuda2ompx.dir/rewrite/cuda2ompx_test.cpp.o.d"
+  "test_cuda2ompx"
+  "test_cuda2ompx.pdb"
+  "test_cuda2ompx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuda2ompx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

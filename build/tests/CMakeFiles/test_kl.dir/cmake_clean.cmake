@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kl.dir/kl/kl_test.cpp.o"
+  "CMakeFiles/test_kl.dir/kl/kl_test.cpp.o.d"
+  "test_kl"
+  "test_kl.pdb"
+  "test_kl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kl_constant.dir/kl/kl_constant_test.cpp.o"
+  "CMakeFiles/test_kl_constant.dir/kl/kl_constant_test.cpp.o.d"
+  "test_kl_constant"
+  "test_kl_constant.pdb"
+  "test_kl_constant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kl_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

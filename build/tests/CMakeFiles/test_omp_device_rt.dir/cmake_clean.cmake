@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_device_rt.dir/omp/device_rt_test.cpp.o"
+  "CMakeFiles/test_omp_device_rt.dir/omp/device_rt_test.cpp.o.d"
+  "test_omp_device_rt"
+  "test_omp_device_rt.pdb"
+  "test_omp_device_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_device_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

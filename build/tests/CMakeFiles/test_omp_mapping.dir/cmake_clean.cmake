@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_mapping.dir/omp/mapping_test.cpp.o"
+  "CMakeFiles/test_omp_mapping.dir/omp/mapping_test.cpp.o.d"
+  "test_omp_mapping"
+  "test_omp_mapping.pdb"
+  "test_omp_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_target.dir/omp/target_test.cpp.o"
+  "CMakeFiles/test_omp_target.dir/omp/target_test.cpp.o.d"
+  "test_omp_target"
+  "test_omp_target.pdb"
+  "test_omp_target[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_task.dir/omp/task_test.cpp.o"
+  "CMakeFiles/test_omp_task.dir/omp/task_test.cpp.o.d"
+  "test_omp_task"
+  "test_omp_task.pdb"
+  "test_omp_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompx.dir/core/ompx_test.cpp.o"
+  "CMakeFiles/test_ompx.dir/core/ompx_test.cpp.o.d"
+  "test_ompx"
+  "test_ompx.pdb"
+  "test_ompx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompx_buffer.dir/core/ompx_buffer_test.cpp.o"
+  "CMakeFiles/test_ompx_buffer.dir/core/ompx_buffer_test.cpp.o.d"
+  "test_ompx_buffer"
+  "test_ompx_buffer.pdb"
+  "test_ompx_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompx_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

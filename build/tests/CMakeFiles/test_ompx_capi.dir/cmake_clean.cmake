@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompx_capi.dir/core/ompx_capi_test.cpp.o"
+  "CMakeFiles/test_ompx_capi.dir/core/ompx_capi_test.cpp.o.d"
+  "test_ompx_capi"
+  "test_ompx_capi.pdb"
+  "test_ompx_capi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompx_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompx_host_api.dir/core/ompx_host_api_test.cpp.o"
+  "CMakeFiles/test_ompx_host_api.dir/core/ompx_host_api_test.cpp.o.d"
+  "test_ompx_host_api"
+  "test_ompx_host_api.pdb"
+  "test_ompx_host_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompx_host_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

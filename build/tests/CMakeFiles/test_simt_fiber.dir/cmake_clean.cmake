@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_fiber.dir/simt/fiber_test.cpp.o"
+  "CMakeFiles/test_simt_fiber.dir/simt/fiber_test.cpp.o.d"
+  "test_simt_fiber"
+  "test_simt_fiber.pdb"
+  "test_simt_fiber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_launch.dir/simt/launch_test.cpp.o"
+  "CMakeFiles/test_simt_launch.dir/simt/launch_test.cpp.o.d"
+  "test_simt_launch"
+  "test_simt_launch.pdb"
+  "test_simt_launch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_memory.dir/simt/memory_test.cpp.o"
+  "CMakeFiles/test_simt_memory.dir/simt/memory_test.cpp.o.d"
+  "test_simt_memory"
+  "test_simt_memory.pdb"
+  "test_simt_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_perf.dir/simt/perf_test.cpp.o"
+  "CMakeFiles/test_simt_perf.dir/simt/perf_test.cpp.o.d"
+  "test_simt_perf"
+  "test_simt_perf.pdb"
+  "test_simt_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_property.dir/simt/property_test.cpp.o"
+  "CMakeFiles/test_simt_property.dir/simt/property_test.cpp.o.d"
+  "test_simt_property"
+  "test_simt_property.pdb"
+  "test_simt_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

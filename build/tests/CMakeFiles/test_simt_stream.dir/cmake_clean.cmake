@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_stream.dir/simt/stream_test.cpp.o"
+  "CMakeFiles/test_simt_stream.dir/simt/stream_test.cpp.o.d"
+  "test_simt_stream"
+  "test_simt_stream.pdb"
+  "test_simt_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

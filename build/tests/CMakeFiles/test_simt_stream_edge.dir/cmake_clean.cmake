@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_stream_edge.dir/simt/stream_edge_test.cpp.o"
+  "CMakeFiles/test_simt_stream_edge.dir/simt/stream_edge_test.cpp.o.d"
+  "test_simt_stream_edge"
+  "test_simt_stream_edge.pdb"
+  "test_simt_stream_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_stream_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

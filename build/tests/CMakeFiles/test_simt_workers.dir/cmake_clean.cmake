@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_workers.dir/simt/workers_test.cpp.o"
+  "CMakeFiles/test_simt_workers.dir/simt/workers_test.cpp.o.d"
+  "test_simt_workers"
+  "test_simt_workers.pdb"
+  "test_simt_workers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

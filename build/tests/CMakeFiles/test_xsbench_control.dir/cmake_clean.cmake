@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xsbench_control.dir/apps/xsbench_control_test.cpp.o"
+  "CMakeFiles/test_xsbench_control.dir/apps/xsbench_control_test.cpp.o.d"
+  "test_xsbench_control"
+  "test_xsbench_control.pdb"
+  "test_xsbench_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xsbench_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
