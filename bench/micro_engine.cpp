@@ -2,8 +2,18 @@
 // real wall time): fiber switch cost, barrier rendezvous, warp
 // collectives, direct-vs-cooperative launch overhead, stream dispatch.
 // These justify the engine design choices DESIGN.md documents (custom
-// asm context switch, direct mode, stack pooling).
+// asm context switch, direct mode, stack/fiber pooling).
+//
+// `micro_engine --json[=path]` skips the google-benchmark table and
+// emits a machine-readable summary of the engine hot-path metrics
+// (ns/switch, launches/s, fiber-reuse rate, work-steal count) instead;
+// the checked-in BENCH_micro_engine.json is produced this way.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/ompx.h"
 #include "simt/simt.h"
@@ -119,6 +129,139 @@ void BM_MappingEnterExit(benchmark::State& state) {
 }
 BENCHMARK(BM_MappingEnterExit);
 
+// --- machine-readable summary mode (--json[=path]) -----------------------
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Raw fiber context-switch cost, ns per one-way switch.
+double measure_switch_ns() {
+  simt::FiberStackPool pool;
+  bool stop = false;
+  simt::Fiber f(pool, [&] {
+    while (!stop) simt::Fiber::current()->yield();
+  });
+  const int iters = 2'000'000;
+  f.resume();  // warm
+  const double t0 = now_ms();
+  for (int i = 0; i < iters; ++i) f.resume();  // one switch in, one out
+  const double ms = now_ms() - t0;
+  stop = true;
+  f.resume();
+  return ms * 1e6 / (2.0 * iters);
+}
+
+int emit_json(const std::string& path) {
+  const double switch_ns = measure_switch_ns();
+
+  // Sync-free cooperative launch: the fiber-recycling fast path. One
+  // block per launch on one worker so launches/s isolates engine
+  // overhead, not host parallelism.
+  simt::EngineOptions opts;
+  opts.workers = 1;
+  simt::Device dev(simt::make_sim_a100_config(), opts);
+  simt::LaunchParams p;
+  p.grid = {16};
+  p.block = {256};
+  p.name = "json_sync_free";
+  const int warm = 20, iters = 200;
+  for (int i = 0; i < warm; ++i) dev.launch_sync(p, [] {});
+  std::uint64_t created = 0, reused = 0;
+  double t0 = now_ms();
+  for (int i = 0; i < iters; ++i) {
+    const simt::LaunchRecord r = dev.launch_sync(p, [] {});
+    created += r.stats.fibers_created;
+    reused += r.stats.fiber_reuses;
+  }
+  const double sync_free_ms = (now_ms() - t0) / iters;
+  const double reuse_rate =
+      created + reused == 0
+          ? 0.0
+          : static_cast<double>(reused) / static_cast<double>(created + reused);
+
+  // Barrier-heavy launch: the ready-queue batch-drain path.
+  p.name = "json_barrier16";
+  p.grid = {1};
+  const int barriers = 16;
+  auto barrier_kernel = [&] {
+    auto& t = simt::this_thread();
+    for (int i = 0; i < barriers; ++i) t.block->sync_threads(t);
+  };
+  for (int i = 0; i < warm; ++i) dev.launch_sync(p, barrier_kernel);
+  t0 = now_ms();
+  for (int i = 0; i < iters; ++i) dev.launch_sync(p, barrier_kernel);
+  const double barrier_ms = (now_ms() - t0) / iters;
+
+  // Work-stealing block distribution: many blocks, several workers.
+  simt::EngineOptions multi;
+  multi.workers = 4;
+  simt::Device dev4(simt::make_sim_a100_config(), multi);
+  p.name = "json_steal";
+  p.grid = {1024};
+  p.mode = simt::ExecMode::kDirect;
+  const simt::LaunchRecord steal_rec = dev4.launch_sync(p, [] {});
+
+  std::string out;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"bench\": \"micro_engine\",\n"
+      "  \"fiber_switch_ns\": %.1f,\n"
+      "  \"sync_free\": {\n"
+      "    \"grid\": 16, \"block\": 256, \"workers\": 1,\n"
+      "    \"ms_per_launch\": %.3f,\n"
+      "    \"launches_per_s\": %.0f,\n"
+      "    \"fibers_created\": %llu,\n"
+      "    \"fiber_reuses\": %llu,\n"
+      "    \"fiber_reuse_rate\": %.4f\n"
+      "  },\n",
+      switch_ns, sync_free_ms, 1000.0 / sync_free_ms,
+      static_cast<unsigned long long>(created),
+      static_cast<unsigned long long>(reused), reuse_rate);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"barrier_heavy\": {\n"
+      "    \"grid\": 1, \"block\": 256, \"barriers\": %d,\n"
+      "    \"ms_per_launch\": %.3f\n"
+      "  },\n"
+      "  \"work_stealing\": {\n"
+      "    \"grid\": 1024, \"block\": 256, \"workers\": 4,\n"
+      "    \"steals\": %llu\n"
+      "  }\n"
+      "}\n",
+      barriers, barrier_ms,
+      static_cast<unsigned long long>(steal_rec.stats.sched_steals));
+  out += buf;
+
+  if (path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "micro_engine: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return emit_json("");
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return emit_json(argv[i] + 7);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

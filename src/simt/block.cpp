@@ -1,5 +1,6 @@
 #include "simt/block.h"
 
+#include <bit>
 #include <stdexcept>
 #include <string>
 
@@ -21,12 +22,14 @@ bool in_kernel() { return t_ctx != nullptr; }
 
 BlockState::BlockState(Device& device, const LaunchParams& params,
                        Dim3 block_idx, const KernelFn& kernel,
-                       FiberStackPool& stacks)
+                       FiberPool& fibers)
     : device_(device), params_(params), block_idx_(block_idx),
-      kernel_(kernel), stacks_(stacks),
+      kernel_(kernel), fiber_pool_(fibers),
       nthreads_(static_cast<std::uint32_t>(params.block.count())),
       live_(nthreads_),
-      arena_(device.config().smem_per_block_max, params.dynamic_smem_bytes) {
+      arena_(device.config().smem_per_block_max, params.dynamic_smem_bytes),
+      use_ready_queue_(device.options().scheduler ==
+                       BlockScheduler::kReadyQueue) {
   const std::uint32_t ws = device.config().warp_size;
   const std::uint32_t nwarps = static_cast<std::uint32_t>(ceil_div(nthreads_, ws));
   warps_.reserve(nwarps);
@@ -57,7 +60,11 @@ void BlockState::setup_ctx(std::uint32_t flat, ThreadCtx& ctx) {
 
 void BlockState::run() {
   if (params_.mode == ExecMode::kCooperative) {
-    run_cooperative(stacks_);
+    if (use_ready_queue_) {
+      run_cooperative();
+    } else {
+      run_cooperative_sweep();
+    }
   } else {
     run_direct();
   }
@@ -72,11 +79,131 @@ void BlockState::run_direct() {
   }
 }
 
-void BlockState::run_cooperative(FiberStackPool& stacks) {
+// ---------------------------------------------------------------------------
+// Ready-queue scheduler (default).
+//
+// The queue holds exactly the runnable threads: every thread starts
+// enqueued (ascending), and a blocked thread is re-enqueued only by the
+// event that wakes it — barrier release enqueues the barrier's waiters,
+// a warp-epoch advance enqueues that warp's waiters, both in ascending
+// thread order. Scheduling work is therefore O(threads woken), not
+// O(nthreads) per round. An empty queue with unfinished threads is a
+// deadlock by construction (threads only leave the queue by finishing
+// or recording a wait state), so the census fires exactly when the
+// sweep's no-progress check would.
+//
+// Fibers are acquired lazily at a thread's first resume and recycled
+// through free_fibers_ the moment the thread finishes: a sync-free
+// block executes all nthreads_ threads on a single fiber.
+// ---------------------------------------------------------------------------
+
+void BlockState::rq_push(std::uint32_t flat) {
+  ready_[(rq_head_ + rq_count_) & rq_mask_] = flat;
+  rq_count_++;
+}
+
+std::uint32_t BlockState::rq_pop() {
+  const std::uint32_t flat = ready_[rq_head_];
+  rq_head_ = (rq_head_ + 1) & rq_mask_;
+  rq_count_--;
+  return flat;
+}
+
+bool BlockState::next_runnable(std::uint32_t& flat) {
+  if (drain_active_) {
+    while (drain_bits_ == 0) {
+      if (drain_word_ >= drain_map_.size()) {
+        drain_active_ = false;
+        goto ring;
+      }
+      drain_bits_ = drain_map_[drain_word_];
+      drain_map_[drain_word_] = 0;  // keep the swap buffer all-zero
+      drain_word_++;
+    }
+    flat = (drain_word_ - 1) * 64 +
+           static_cast<std::uint32_t>(std::countr_zero(drain_bits_));
+    drain_bits_ &= drain_bits_ - 1;
+    return true;
+  }
+ring:
+  if (rq_count_ == 0) return false;
+  flat = rq_pop();
+  return true;
+}
+
+Fiber* BlockState::acquire_fiber() {
+  if (!free_fibers_.empty()) {
+    // Re-arm lazily, on actual reuse: a block whose threads all suspend
+    // recycles nothing and should pay nothing.
+    Fiber* f = free_fibers_.back();
+    free_fibers_.pop_back();
+    f->reset();
+    counters_.fiber_reuses++;
+    return f;
+  }
+  const bool pooled = fiber_pool_.cached() > 0;
+  fibers_.push_back(fiber_pool_.acquire([this] { kernel_(); }));
+  if (pooled)
+    counters_.fiber_reuses++;
+  else
+    counters_.fibers_created++;
+  return fibers_.back().get();
+}
+
+void BlockState::recycle_fiber(Fiber* f) { free_fibers_.push_back(f); }
+
+void BlockState::run_cooperative() {
+  ready_.resize(std::bit_ceil(nthreads_));
+  rq_mask_ = static_cast<std::uint32_t>(ready_.size()) - 1;
+  rq_head_ = 0;
+  rq_count_ = nthreads_;
+  for (std::uint32_t i = 0; i < nthreads_; ++i) ready_[i] = i;
+  barrier_waitmap_.assign((nthreads_ + 63) / 64, 0);
+  drain_map_.assign(barrier_waitmap_.size(), 0);
+  // Pointer arrays only (the fibers themselves stay lazy): reserving up
+  // front avoids ~2 log2(nthreads) growth reallocations per block.
+  fibers_.reserve(nthreads_);
+  free_fibers_.reserve(nthreads_);
+
+  std::uint32_t finished = 0;
+  while (finished < nthreads_) {
+    std::uint32_t i;
+    if (!next_runnable(i)) deadlock("block scheduler");
+    // slots_[i].wait is already kNone: threads start that way and every
+    // wakeup clears it at enqueue time.
+    ThreadCtx& ctx = ctxs_[i];
+    if (ctx.fiber == nullptr) ctx.fiber = acquire_fiber();
+    t_ctx = &ctx;
+    ctx.fiber->resume();
+    t_ctx = nullptr;
+    if (ctx.fiber->done()) {
+      finished++;
+      Fiber* f = ctx.fiber;
+      ctx.fiber = nullptr;
+      slots_[i].wait = Wait::kDone;
+      on_thread_exit(i);
+      recycle_fiber(f);
+    }
+  }
+  // All fibers are finished here: donate them to the cross-launch pool
+  // (an exception unwinds past this instead, destroying any suspended
+  // fibers and returning their stacks). Raw free-list pointers first —
+  // they alias entries of fibers_.
+  free_fibers_.clear();
+  for (auto& f : fibers_) fiber_pool_.recycle(std::move(f));
+  fibers_.clear();
+}
+
+// Legacy reference scheduler: eager one-fiber-per-thread allocation and
+// an O(nthreads) sweep per round. Kept behind EngineOptions::scheduler
+// so differential tests can pin "results identical to the sweep".
+void BlockState::run_cooperative_sweep() {
+  FiberStackPool& stacks = fiber_pool_.stack_pool();
   fibers_.reserve(nthreads_);
   for (std::uint32_t i = 0; i < nthreads_; ++i) {
     fibers_.push_back(std::make_unique<Fiber>(stacks, [this] { kernel_(); }));
     ctxs_[i].fiber = fibers_[i].get();
+    counters_.fibers_created++;
   }
   std::uint32_t remaining = nthreads_;
   while (remaining > 0) {
@@ -91,6 +218,7 @@ void BlockState::run_cooperative(FiberStackPool& stacks) {
       progressed = true;
       if (f.done()) {
         remaining--;
+        slots_[i].wait = Wait::kDone;
         on_thread_exit(i);
       }
     }
@@ -109,8 +237,48 @@ bool BlockState::runnable(std::uint32_t i) const {
       return barrier_epoch_ != s.wait_epoch;
     case Wait::kWarp:
       return ctxs_[i].warp->epoch() != s.wait_epoch;
+    case Wait::kDone:
+      return false;
   }
   return true;
+}
+
+void BlockState::release_barrier() {
+  barrier_arrived_ = 0;
+  barrier_epoch_++;
+  counters_.block_barriers++;
+  if (!use_ready_queue_) return;  // sweep wakeups go through the epoch check
+  if (rq_count_ == 0) {
+    // Nothing else is runnable: snapshot the waiters and drain them
+    // straight off the bitmap (ascending) instead of round-tripping
+    // them through the ring. The snapshot is a buffer swap, not a copy:
+    // next_runnable zeroes each drain word as it loads it, and a drain
+    // always completes before the next release (a release needs every
+    // live thread at the barrier, and drain-pending threads are still
+    // suspended at this one), so the swapped-in buffer is all zeroes.
+    drain_map_.swap(barrier_waitmap_);
+    drain_active_ = true;
+    drain_word_ = 0;
+    drain_bits_ = 0;
+    return;
+  }
+  // Wake waiters in ascending thread order (low-to-high bit scan): the
+  // sweep resumed waiters in thread order, and warp rendezvous arrival
+  // order (hence last-arrival identity) must stay deterministic.
+  // Clearing the bit is what marks the thread runnable again (barrier
+  // waits are tracked only in the bitmap under the ready queue; their
+  // Slot stays kNone).
+  for (std::size_t w = 0; w < barrier_waitmap_.size(); ++w) {
+    std::uint64_t bits = barrier_waitmap_[w];
+    barrier_waitmap_[w] = 0;
+    while (bits != 0) {
+      const std::uint32_t flat = static_cast<std::uint32_t>(w * 64) +
+                                 static_cast<std::uint32_t>(
+                                     std::countr_zero(bits));
+      bits &= bits - 1;
+      rq_push(flat);
+    }
+  }
 }
 
 void BlockState::on_thread_exit(std::uint32_t flat) {
@@ -118,11 +286,8 @@ void BlockState::on_thread_exit(std::uint32_t flat) {
   ctxs_[flat].warp->on_lane_exit(ctxs_[flat].lane);
   // A barrier waiting only on now-exited threads releases (kernel-language
   // behaviour: exited threads no longer participate in __syncthreads).
-  if (live_ > 0 && barrier_arrived_ >= live_ && barrier_arrived_ > 0) {
-    barrier_arrived_ = 0;
-    barrier_epoch_++;
-    counters_.block_barriers++;
-  }
+  if (live_ > 0 && barrier_arrived_ >= live_ && barrier_arrived_ > 0)
+    release_barrier();
 }
 
 void BlockState::sync_threads(ThreadCtx& ctx) {
@@ -131,19 +296,38 @@ void BlockState::sync_threads(ThreadCtx& ctx) {
         "block barrier in ExecMode::kDirect; launch cooperatively");
   barrier_arrived_++;
   if (barrier_arrived_ >= live_) {
-    barrier_arrived_ = 0;
-    barrier_epoch_++;
-    counters_.block_barriers++;
+    release_barrier();
     return;
   }
   wait_barrier(ctx);
 }
 
 void BlockState::wait_barrier(ThreadCtx& ctx) {
-  Slot& s = slots_[ctx.flat_tid];
-  s.wait = Wait::kBarrier;
-  s.wait_epoch = barrier_epoch_;
+  if (use_ready_queue_) {
+    // The bitmap alone records the wait (the Slot stays kNone): one RMW
+    // instead of two stores, and release_barrier wakes by bit scan.
+    barrier_waitmap_[ctx.flat_tid / 64] |= 1ull << (ctx.flat_tid % 64);
+  } else {
+    Slot& s = slots_[ctx.flat_tid];
+    s.wait = Wait::kBarrier;
+    s.wait_epoch = barrier_epoch_;
+  }
   ctx.fiber->yield();
+}
+
+void BlockState::notify_warp_release(WarpState& warp) {
+  if (!use_ready_queue_) return;
+  // Enqueue the warp's suspended waiters in ascending lane (hence flat
+  // thread) order. The releasing lane is still running and is not on
+  // the queue; scanning one warp is O(warp_size) <= 64.
+  const std::uint32_t base = warp.warp_id() * device_.config().warp_size;
+  for (std::uint32_t l = 0; l < warp.width(); ++l) {
+    const std::uint32_t flat = base + l;
+    if (slots_[flat].wait == Wait::kWarp) {
+      slots_[flat].wait = Wait::kNone;  // runnable now; see release_barrier
+      rq_push(flat);
+    }
+  }
 }
 
 void BlockState::wait_warp(ThreadCtx& ctx, std::uint64_t epoch_at_entry) {
@@ -177,10 +361,12 @@ void BlockState::deadlock(const char* where) const {
                     "): ";
   std::uint32_t at_barrier = 0, at_warp = 0;
   for (std::uint32_t i = 0; i < nthreads_; ++i) {
-    if (fibers_[i]->done()) continue;
     if (slots_[i].wait == Wait::kBarrier) at_barrier++;
     if (slots_[i].wait == Wait::kWarp) at_warp++;
   }
+  // Under the ready queue, barrier waits live in the bitmap, not slots.
+  for (const std::uint64_t bits : barrier_waitmap_)
+    at_barrier += static_cast<std::uint32_t>(std::popcount(bits));
   msg += std::to_string(live_) + " live threads, " +
          std::to_string(at_barrier) + " at block barrier, " +
          std::to_string(at_warp) + " in warp collectives. Divergent "

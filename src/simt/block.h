@@ -1,12 +1,21 @@
 // Block runner: executes one thread block of a launch.
 //
-// In cooperative mode every GPU thread is a fiber; a single-threaded
-// round-robin scheduler resumes runnable fibers until all finish.
-// Threads suspend at block barriers and warp rendezvous; the scheduler
-// detects deadlock (no runnable fiber while threads remain), which is
-// how invalid divergent synchronization surfaces as an error instead of
-// a hang. In direct mode threads are plain calls — ~3x less host
-// overhead — and any blocking primitive throws.
+// In cooperative mode every GPU thread runs on a fiber; a
+// single-threaded ready-queue scheduler resumes runnable threads until
+// all finish. Fibers are allocated lazily and recycled: a thread that
+// runs to completion without ever suspending hands its fiber straight
+// to the next thread, so a sync-free block needs O(live-suspended)
+// fibers instead of O(block-size). Threads suspend at block barriers
+// and warp rendezvous; barrier release and warp-epoch advance enqueue
+// exactly their waiters, in ascending thread order within each wakeup
+// (warp rendezvous semantics depend on deterministic arrival order).
+// An empty ready queue with threads remaining is a deadlock — reported
+// with a census of who waits where, which is how invalid divergent
+// synchronization surfaces as an error instead of a hang. The legacy
+// O(nthreads)-per-round sweep scheduler is kept behind
+// EngineOptions::scheduler as a reference implementation; both produce
+// identical results. In direct mode threads are plain calls — ~3x less
+// host overhead — and any blocking primitive throws.
 #pragma once
 
 #include <cstdint>
@@ -34,12 +43,15 @@ struct BlockCounters {
   std::uint64_t parallel_handshakes = 0;
   std::uint64_t workshare_dispatches = 0;
   std::uint64_t globalized_bytes = 0;
+  // Host-engine diagnostics (never modeled; see LaunchStats).
+  std::uint64_t fibers_created = 0;
+  std::uint64_t fiber_reuses = 0;
 };
 
 class BlockState {
  public:
   BlockState(Device& device, const LaunchParams& params, Dim3 block_idx,
-             const KernelFn& kernel, FiberStackPool& stacks);
+             const KernelFn& kernel, FiberPool& fibers);
 
   BlockState(const BlockState&) = delete;
   BlockState& operator=(const BlockState&) = delete;
@@ -81,28 +93,53 @@ class BlockState {
   void wait_barrier(ThreadCtx& ctx);
   void wait_warp(ThreadCtx& ctx, std::uint64_t epoch_at_entry);
 
+  /// Called by WarpState when a rendezvous completes: enqueues the
+  /// warp's suspended waiters (ascending lane order) on the ready queue.
+  void notify_warp_release(WarpState& warp);
+
   BlockCounters counters_;  // accessed by WarpState on release
 
  private:
-  enum class Wait : std::uint8_t { kNone, kBarrier, kWarp };
+  // kDone doubles as the thread-lifecycle terminal state so the
+  // deadlock census can skip finished threads without consulting a
+  // (possibly recycled) fiber.
+  enum class Wait : std::uint8_t { kNone, kBarrier, kWarp, kDone };
 
   struct Slot {
     Wait wait = Wait::kNone;
     std::uint64_t wait_epoch = 0;
   };
 
-  void run_cooperative(FiberStackPool& stacks);
+  void run_cooperative();
+  void run_cooperative_sweep();
   void run_direct();
   void setup_ctx(std::uint32_t flat, ThreadCtx& ctx);
   [[nodiscard]] bool runnable(std::uint32_t i) const;
   void on_thread_exit(std::uint32_t flat);
+  void release_barrier();
   [[noreturn]] void deadlock(const char* where) const;
+
+  // Ready-queue plumbing. The queue is a fixed ring of nthreads_ slots:
+  // a thread is enqueued only on the blocked->runnable transition (or at
+  // start), so it can appear at most once and the ring never overflows.
+  void rq_push(std::uint32_t flat);
+  [[nodiscard]] std::uint32_t rq_pop();
+  /// Next runnable thread (drain batch first, then the ring); false
+  /// when nothing is runnable — the deadlock condition.
+  [[nodiscard]] bool next_runnable(std::uint32_t& flat);
+
+  // Fiber recycling: lazily acquire, reuse through a block-local free
+  // list backed by fibers_ (which owns every fiber this block holds);
+  // finished fibers are donated to the cross-launch FiberPool at the
+  // end of a clean run.
+  [[nodiscard]] Fiber* acquire_fiber();
+  void recycle_fiber(Fiber* f);
 
   Device& device_;
   const LaunchParams& params_;
   Dim3 block_idx_;
   const KernelFn& kernel_;
-  FiberStackPool& stacks_;
+  FiberPool& fiber_pool_;
   std::uint32_t nthreads_;
   std::uint32_t live_;
 
@@ -123,7 +160,38 @@ class BlockState {
 
   std::vector<ThreadCtx> ctxs_;
   std::vector<Slot> slots_;
+
+  // Ready queue (ring buffer of thread ids, power-of-two capacity
+  // >= nthreads_ so wraparound is a mask, not a division).
+  std::vector<std::uint32_t> ready_;
+  std::uint32_t rq_mask_ = 0;
+  std::uint32_t rq_head_ = 0;
+  std::uint32_t rq_count_ = 0;
+  bool use_ready_queue_ = true;
+
+  // Bitmap of threads suspended at the current block barrier (one bit
+  // per thread). Released by scanning set bits low-to-high, which gives
+  // the deterministic ascending wakeup order without sorting.
+  std::vector<std::uint64_t> barrier_waitmap_;
+
+  // Batch-drain fast path: a barrier that releases while the ready ring
+  // is empty (the common everyone-at-the-barrier case) snapshots the
+  // bitmap into drain_map_ and the scheduler pops waiters straight off
+  // it — one bit scan per wakeup instead of a ring push plus pop. The
+  // snapshot is taken at release time, so bits the releaser or woken
+  // threads set for the *next* barrier never join the current batch;
+  // and a new release cannot fire while the batch has pending threads
+  // (a release needs every live thread at the barrier, and pending
+  // threads are suspended at the previous one), so one buffer suffices.
+  std::vector<std::uint64_t> drain_map_;
+  bool drain_active_ = false;
+  std::uint32_t drain_word_ = 0;   // cursor into drain_map_
+  std::uint64_t drain_bits_ = 0;   // word being drained
+
+  // Declared after arena_ so suspended fibers (exception unwind) are
+  // destroyed — stacks returned to the pool — before the arena dies.
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<Fiber*> free_fibers_;
 };
 
 }  // namespace simt

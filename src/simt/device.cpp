@@ -24,6 +24,15 @@ FiberStackPool& thread_stack_pool() {
   return pool;
 }
 
+// Finished fibers are recycled whole across launches (object + machine
+// contexts + stack lease amount to several heap round-trips per
+// simulated thread otherwise). Constructed after the stack pool, so it
+// is destroyed first and cached fibers can return their stacks.
+FiberPool& thread_fiber_pool() {
+  thread_local FiberPool pool(thread_stack_pool());
+  return pool;
+}
+
 }  // namespace
 
 Device::Device(DeviceConfig cfg, EngineOptions opts)
@@ -66,6 +75,7 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
   stats.spill_in_shared = params.rt.spill_in_shared;
 
   BlockCounters total;
+  std::uint64_t steals_total = 0;
   const std::uint64_t nblocks = params.grid.count();
   const unsigned workers = std::max(
       1u, opts_.workers != 0 ? opts_.workers
@@ -74,7 +84,7 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
                        BlockCounters& acc) {
     for (std::uint64_t b = begin; b < end; ++b) {
       BlockState block(*this, params, params.grid.delinearize(b), kernel,
-                       thread_stack_pool());
+                       thread_fiber_pool());
       block.run();
       const BlockCounters& c = block.counters();
       acc.block_barriers += c.block_barriers;
@@ -84,27 +94,47 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
       acc.parallel_handshakes += c.parallel_handshakes;
       acc.workshare_dispatches += c.workshare_dispatches;
       acc.globalized_bytes += c.globalized_bytes;
+      acc.fibers_created += c.fibers_created;
+      acc.fiber_reuses += c.fiber_reuses;
     }
   };
   if (workers == 1 || nblocks < 2) {
     run_range(0, nblocks, total);
   } else {
     // Blocks are independent (CUDA semantics: no inter-block ordering),
-    // so they partition freely across host worker threads. Exceptions
-    // propagate after join; results are identical for any worker count.
+    // so workers pull chunks from a shared atomic queue instead of a
+    // static partition: an irregular block (XSBench/RSBench lookups)
+    // delays only its own chunk while idle workers keep stealing the
+    // rest. Results are identical for any worker count or chunk size;
+    // per-worker counter accumulators are merged at join so stats stay
+    // exact. Exceptions drain the queue (fail fast) and propagate.
     const unsigned n = static_cast<unsigned>(
         std::min<std::uint64_t>(workers, nblocks));
+    const std::uint64_t chunk =
+        opts_.steal_chunk_blocks != 0
+            ? opts_.steal_chunk_blocks
+            : std::max<std::uint64_t>(1, nblocks / (8ull * n));
+    std::atomic<std::uint64_t> next{0};
     std::vector<BlockCounters> accs(n);
+    std::vector<std::uint64_t> steals(n, 0);
     std::vector<std::exception_ptr> errs(n);
     std::vector<std::thread> pool;
     pool.reserve(n);
-    const std::uint64_t chunk = (nblocks + n - 1) / n;
     for (unsigned w = 0; w < n; ++w) {
       pool.emplace_back([&, w] {
         try {
-          run_range(w * chunk, std::min(nblocks, (w + 1) * chunk), accs[w]);
+          bool first = true;
+          for (;;) {
+            const std::uint64_t b0 =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (b0 >= nblocks) break;
+            if (!first) steals[w]++;
+            first = false;
+            run_range(b0, std::min(nblocks, b0 + chunk), accs[w]);
+          }
         } catch (...) {
           errs[w] = std::current_exception();
+          next.store(nblocks, std::memory_order_relaxed);
         }
       });
     }
@@ -118,6 +148,9 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
       total.parallel_handshakes += accs[w].parallel_handshakes;
       total.workshare_dispatches += accs[w].workshare_dispatches;
       total.globalized_bytes += accs[w].globalized_bytes;
+      total.fibers_created += accs[w].fibers_created;
+      total.fiber_reuses += accs[w].fiber_reuses;
+      steals_total += steals[w];
     }
   }
   stats.block_barriers = total.block_barriers;
@@ -127,6 +160,9 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
   stats.parallel_handshakes = total.parallel_handshakes;
   stats.workshare_dispatches = total.workshare_dispatches;
   stats.globalized_bytes = total.globalized_bytes;
+  stats.fibers_created = total.fibers_created;
+  stats.fiber_reuses = total.fiber_reuses;
+  stats.sched_steals = steals_total;
 
   LaunchRecord rec;
   rec.name = params.name;

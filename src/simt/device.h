@@ -49,6 +49,12 @@ struct DeviceConfig {
   }
 };
 
+/// Which cooperative block scheduler a device's launches use. Both
+/// produce identical results, counters, and modeled time; kReadyQueue
+/// is the fast path (O(waiters) wakeups, fiber recycling), kSweep the
+/// legacy O(nthreads)-per-round reference kept for differential tests.
+enum class BlockScheduler { kReadyQueue, kSweep };
+
 /// Engine-wide execution options (host-side knobs, not device model).
 struct EngineOptions {
   /// OS worker threads used to execute blocks. Defaults to the host's
@@ -57,6 +63,11 @@ struct EngineOptions {
   unsigned workers = 0;
   /// Fiber stack size per simulated GPU thread (0 = pool default).
   std::size_t fiber_stack_bytes = 0;
+  /// Cooperative block scheduler (results identical either way).
+  BlockScheduler scheduler = BlockScheduler::kReadyQueue;
+  /// Blocks grabbed per atomic fetch of the work-stealing launch queue
+  /// (0 = auto: ~8 chunks per worker, at least 1 block).
+  std::uint64_t steal_chunk_blocks = 0;
 };
 
 /// One completed kernel launch: measured stats + modeled time.
@@ -85,6 +96,7 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const DeviceConfig& config() const { return cfg_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
   DeviceMemory& memory() { return *mem_; }
   /// The __constant__ memory space (§2.5's fourth space): small,
   /// host-writable, broadcast-read by kernels. Same allocation API as

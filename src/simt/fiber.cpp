@@ -56,7 +56,10 @@ Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
       link_(std::make_unique<Context>()) {
   stack_size_ = pool_.stack_size();
   stack_ = pool_.lease();
+  arm();
+}
 
+void Fiber::arm() {
   // Seed the stack so the restore path of simt_fiber_swap "returns" into
   // simt_fiber_entry_thunk with this Fiber parked in r12. Layout must
   // mirror the save frame in fiber_switch_x86_64.S exactly.
@@ -129,6 +132,10 @@ Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
       link_(std::make_unique<Context>()) {
   stack_size_ = pool_.stack_size();
   stack_ = pool_.lease();
+  arm();
+}
+
+void Fiber::arm() {
   if (getcontext(&ctx_->uc) != 0)
     throw std::runtime_error("getcontext failed");
   ctx_->uc.uc_stack.ss_sp = stack_;
@@ -170,8 +177,48 @@ void Fiber::trampoline(Fiber* self) {
 
 #endif  // SIMT_FIBER_ASM
 
+void Fiber::reset() {
+  if (started_ && !done_)
+    throw std::logic_error("Fiber::reset on a suspended fiber");
+  started_ = false;
+  done_ = false;
+  exception_ = nullptr;
+  arm();
+}
+
+void Fiber::reset(EntryFn entry) {
+  if (started_ && !done_)
+    throw std::logic_error("Fiber::reset on a suspended fiber");
+  entry_ = std::move(entry);
+  started_ = false;
+  done_ = false;
+  exception_ = nullptr;
+  arm();
+}
+
 Fiber::~Fiber() {
   if (stack_ != nullptr) pool_.release(stack_);
+}
+
+FiberPool::FiberPool(FiberStackPool& stacks, std::size_t max_cached)
+    : stacks_(stacks), max_cached_(max_cached) {}
+
+std::unique_ptr<Fiber> FiberPool::acquire(Fiber::EntryFn entry) {
+  if (!free_.empty()) {
+    std::unique_ptr<Fiber> f = std::move(free_.back());
+    free_.pop_back();
+    f->reset(std::move(entry));
+    return f;
+  }
+  return std::make_unique<Fiber>(stacks_, std::move(entry));
+}
+
+void FiberPool::recycle(std::unique_ptr<Fiber> fiber) {
+  if (fiber == nullptr) return;
+  // A suspended fiber cannot be re-armed (reset() would throw); let it
+  // go — its destructor releases the stack back to the stack pool.
+  if (fiber->done() && free_.size() < max_cached_)
+    free_.push_back(std::move(fiber));
 }
 
 FiberStackPool::FiberStackPool(std::size_t stack_size, std::size_t max_cached)

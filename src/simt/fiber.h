@@ -38,6 +38,15 @@ class Fiber {
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
+  /// Re-arms a finished (or never-started) fiber so it can run again,
+  /// keeping its leased stack. This is the recycling primitive: a block
+  /// whose threads run to completion without suspending needs one fiber,
+  /// not one per thread. Throws if the fiber is suspended mid-run.
+  void reset();
+
+  /// Re-arms with a new entry function (same constraints as reset()).
+  void reset(EntryFn entry);
+
   /// Runs the fiber until it yields or finishes. Must be called from the
   /// scheduler context (never from inside another fiber's resume).
   /// An exception escaping the entry function is captured on the fiber
@@ -62,6 +71,10 @@ class Fiber {
  private:
   struct Context;  // opaque machine context
 
+  /// (Re)builds the suspended context so the next resume() enters the
+  /// trampoline at the top of the leased stack.
+  void arm();
+
   FiberStackPool& pool_;
   EntryFn entry_;
   void* stack_ = nullptr;          // base of the leased stack
@@ -71,6 +84,39 @@ class Fiber {
   std::exception_ptr exception_;   // escaped from entry, rethrown in resume
   bool started_ = false;
   bool done_ = false;
+};
+
+/// Recycles whole Fiber objects (and the stacks they lease) across
+/// launches on one OS thread. Constructing a Fiber costs several heap
+/// allocations (the object, two machine contexts, a stack lease); at
+/// one fiber per simulated thread per launch that overhead dominates
+/// barrier-heavy kernels, so the block runner re-arms pooled fibers
+/// with Fiber::reset(entry) instead. Only finished fibers are cached;
+/// anything else handed to recycle() is simply destroyed (releasing
+/// its stack). Not thread-safe: like FiberStackPool, one pool per OS
+/// thread.
+class FiberPool {
+ public:
+  explicit FiberPool(FiberStackPool& stacks, std::size_t max_cached = 4096);
+
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  /// A cached fiber re-armed with `entry`, or a newly constructed one.
+  std::unique_ptr<Fiber> acquire(Fiber::EntryFn entry);
+
+  /// Returns a fiber to the cache (or destroys it if suspended or the
+  /// cache is full). The fiber must have been acquired from a pool
+  /// backed by the same FiberStackPool.
+  void recycle(std::unique_ptr<Fiber> fiber);
+
+  [[nodiscard]] std::size_t cached() const { return free_.size(); }
+  [[nodiscard]] FiberStackPool& stack_pool() { return stacks_; }
+
+ private:
+  FiberStackPool& stacks_;
+  std::size_t max_cached_;
+  std::vector<std::unique_ptr<Fiber>> free_;
 };
 
 /// Recycles fiber stacks. mmap/munmap per GPU thread would dominate the

@@ -84,6 +84,14 @@ struct LaunchStats {
   std::uint64_t globalized_bytes = 0;     ///< locals globalized to device heap
   bool spill_in_shared = false;  ///< heap-to-shared optimization applied
 
+  // --- host-engine execution diagnostics. These describe how the
+  // simulator ran (fiber recycling, work stealing), never feed
+  // model_time(), and have no effect on modeled GPU time.
+  std::uint64_t fibers_created = 0;  ///< Fiber objects constructed
+  std::uint64_t fiber_reuses = 0;    ///< threads served by a recycled fiber
+  std::uint64_t sched_steals = 0;    ///< block chunks grabbed beyond each
+                                     ///< worker's first (dynamic rebalance)
+
   void reset() { *this = LaunchStats{}; }
 };
 

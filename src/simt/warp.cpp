@@ -159,6 +159,10 @@ void WarpState::release() {
   arrived_ = 0;
   op_ = WarpOp::kNone;
   op_mask_ = 0;
+  // Wake exactly this warp's suspended waiters (the releasing lane keeps
+  // running). Under the sweep scheduler this is a no-op; the epoch bump
+  // above is what unblocks them there.
+  block_.notify_warp_release(*this);
 }
 
 void WarpState::on_lane_exit(std::uint32_t lane) {

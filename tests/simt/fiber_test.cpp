@@ -1,15 +1,20 @@
 // Unit tests for the fiber layer: creation, yielding, interleaving,
-// stack pooling, and guard-page integrity.
+// recycling (reset / FiberPool), stack pooling, and guard-page
+// integrity.
 #include "simt/fiber.h"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "simt/simt.h"
 
 namespace {
 
 using simt::Fiber;
+using simt::FiberPool;
 using simt::FiberStackPool;
 
 TEST(Fiber, RunsToCompletionOnFirstResume) {
@@ -183,6 +188,142 @@ TEST(Fiber, SequentialFibersReuseOneStack) {
   }
   // 100 sequential fibers should not map 100 stacks.
   EXPECT_LE(pool.total_mapped() - mapped_before, 1u);
+}
+
+// --- recycling: Fiber::reset and FiberPool ---------------------------------
+
+TEST(FiberReset, FinishedFiberRunsAgain) {
+  FiberStackPool pool;
+  int runs = 0;
+  Fiber f(pool, [&] { runs++; });
+  f.resume();
+  EXPECT_TRUE(f.done());
+  f.reset();
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(FiberReset, NewEntryAndYieldStateWorkAfterReset) {
+  FiberStackPool pool;
+  std::vector<int> trace;
+  Fiber f(pool, [&] { trace.push_back(1); });
+  f.resume();
+  f.reset([&] {
+    trace.push_back(2);
+    Fiber::current()->yield();
+    trace.push_back(3);
+  });
+  f.resume();
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FiberReset, SuspendedFiberRefusesReset) {
+  FiberStackPool pool;
+  Fiber f(pool, [] { Fiber::current()->yield(); });
+  f.resume();  // now suspended mid-run
+  EXPECT_THROW(f.reset(), std::logic_error);
+  f.resume();  // let it finish so the stack unwinds normally
+  EXPECT_TRUE(f.done());
+}
+
+TEST(FiberReset, ExceptionFromRecycledFiberRethrowsFromResume) {
+  FiberStackPool pool;
+  Fiber f(pool, [] {});
+  f.resume();
+  f.reset([] { throw std::runtime_error("recycled boom"); });
+  try {
+    f.resume();
+    FAIL() << "expected the kernel exception to rethrow from resume()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "recycled boom");
+  }
+  EXPECT_TRUE(f.done());
+  // A fiber that threw is finished and can be re-armed again.
+  bool ran = false;
+  f.reset([&] { ran = true; });
+  f.resume();
+  EXPECT_TRUE(ran);
+}
+
+TEST(FiberPoolTest, AcquireRecycleReusesTheSameFiber) {
+  FiberStackPool stacks;
+  FiberPool pool(stacks);
+  auto f = pool.acquire([] {});
+  Fiber* first = f.get();
+  f->resume();
+  pool.recycle(std::move(f));
+  EXPECT_EQ(pool.cached(), 1u);
+  int x = 0;
+  auto g = pool.acquire([&] { x = 7; });
+  EXPECT_EQ(g.get(), first);  // same object, re-armed
+  g->resume();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(FiberPoolTest, SuspendedFiberIsDroppedNotCached) {
+  FiberStackPool stacks;
+  FiberPool pool(stacks);
+  auto f = pool.acquire([] { Fiber::current()->yield(); });
+  f->resume();  // suspended
+  pool.recycle(std::move(f));
+  EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(FiberRecycling, SyncFreeBlockConstructsFarFewerFibersThanThreads) {
+  // The ready-queue scheduler reuses a finished thread's fiber for the
+  // next thread: a sync-free block of N threads needs O(1) fibers, not
+  // N. (Counters include cross-launch FiberPool hits as reuses, so
+  // created + reuses == threads.)
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {256};
+  p.name = "sync_free_recycling";
+  const simt::LaunchRecord rec = dev.launch_sync(p, [] {});
+  EXPECT_EQ(rec.stats.fibers_created + rec.stats.fiber_reuses, 256u);
+  EXPECT_LE(rec.stats.fibers_created, 4u) << "sync-free block should run "
+                                             "on a handful of fibers";
+  EXPECT_GE(rec.stats.fiber_reuses, 252u);
+}
+
+TEST(FiberRecycling, BarrierKernelStillOneFiberPerThread) {
+  // Every thread suspends at the barrier, so recycling cannot kick in
+  // within the launch; all 64 fibers must exist simultaneously.
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {64};
+  p.name = "barrier_no_recycling";
+  const simt::LaunchRecord rec = dev.launch_sync(p, [] {
+    auto& t = simt::this_thread();
+    t.block->sync_threads(t);
+  });
+  EXPECT_EQ(rec.stats.fibers_created + rec.stats.fiber_reuses, 64u);
+}
+
+TEST(FiberRecycling, KernelExceptionFromRecycledFiberPropagates) {
+  // Force heavy recycling, then throw from a late thread: the rethrow
+  // must reach the launch site with the original message.
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {1};
+  p.block = {128};
+  p.name = "recycled_throw";
+  try {
+    dev.launch_sync(p, [] {
+      auto& t = simt::this_thread();
+      if (t.flat_tid == 100) throw std::runtime_error("thread 100 went bad");
+    });
+    FAIL() << "expected kernel exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("thread 100 went bad"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

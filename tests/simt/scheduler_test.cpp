@@ -1,0 +1,221 @@
+// Differential tests for the two cooperative block schedulers: the
+// default ready-queue scheduler (O(waiters) wakeups, fiber recycling,
+// batch drain) must produce results, counters, and modeled time
+// identical to the legacy O(nthreads)-per-round sweep, for any worker
+// count, on barrier-, warp-, and early-exit-heavy kernels. The
+// deadlock census must also keep its exact message shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/simt.h"
+
+namespace {
+
+using namespace simt;
+
+Device make_dev(BlockScheduler sched, unsigned workers) {
+  DeviceConfig c = make_sim_a100_config();
+  c.name = "sched-test";
+  EngineOptions o;
+  o.workers = workers;
+  o.scheduler = sched;
+  return Device(c, o);
+}
+
+struct RunResult {
+  std::vector<std::uint64_t> out;
+  LaunchRecord rec;
+};
+
+using KernelMaker = std::function<KernelFn(std::uint64_t* out)>;
+
+constexpr std::uint64_t kBlocks = 7;
+constexpr std::uint32_t kThreads = 64;
+
+RunResult run_one(BlockScheduler sched, unsigned workers,
+                  const KernelMaker& mk, const char* name) {
+  Device dev = make_dev(sched, workers);
+  RunResult r;
+  r.out.assign(kBlocks * kThreads, 0);
+  LaunchParams p;
+  p.grid = {kBlocks};
+  p.block = {kThreads};
+  p.name = name;
+  r.rec = dev.launch_sync(p, mk(r.out.data()));
+  return r;
+}
+
+/// Runs `mk` under both schedulers and several worker counts and checks
+/// every run against the ready-queue single-worker reference: same
+/// outputs, same semantic counters, bit-identical modeled time.
+void expect_identical_across_schedulers(const KernelMaker& mk,
+                                        const char* name) {
+  const RunResult ref = run_one(BlockScheduler::kReadyQueue, 1, mk, name);
+  for (const BlockScheduler sched :
+       {BlockScheduler::kReadyQueue, BlockScheduler::kSweep}) {
+    for (const unsigned workers : {1u, 3u}) {
+      const RunResult r = run_one(sched, workers, mk, name);
+      EXPECT_EQ(r.out, ref.out)
+          << name << ": outputs diverged (sched="
+          << (sched == BlockScheduler::kSweep ? "sweep" : "queue")
+          << ", workers=" << workers << ")";
+      EXPECT_EQ(r.rec.stats.block_barriers, ref.rec.stats.block_barriers);
+      EXPECT_EQ(r.rec.stats.warp_collectives, ref.rec.stats.warp_collectives);
+      EXPECT_EQ(r.rec.stats.warp_syncs, ref.rec.stats.warp_syncs);
+      EXPECT_EQ(r.rec.stats.atomics, ref.rec.stats.atomics);
+      EXPECT_EQ(r.rec.stats.globalized_bytes, ref.rec.stats.globalized_bytes);
+      // Modeled time must be bit-identical: execution diagnostics
+      // (fiber counts, steals) never feed the performance model.
+      EXPECT_EQ(r.rec.time.total_ms, ref.rec.time.total_ms);
+    }
+  }
+}
+
+TEST(SchedulerDifferential, BarrierHeavyTreeReduction) {
+  // Tree reduction over block-shared memory: a wrong or premature
+  // barrier wakeup reads a partial sum and corrupts the result.
+  expect_identical_across_schedulers(
+      [](std::uint64_t* out) -> KernelFn {
+        return [out] {
+          auto& t = this_thread();
+          const std::uint64_t n = t.block_dim.count();
+          const std::uint64_t flat = t.grid_dim.linear(t.block_idx) * n +
+                                     t.flat_tid;
+          auto* sh = static_cast<std::uint64_t*>(
+              t.block->shared_alloc(t, n * sizeof(std::uint64_t), 8));
+          sh[t.flat_tid] = flat * 3 + 1;
+          t.block->sync_threads(t);
+          for (std::uint64_t s = n / 2; s > 0; s /= 2) {
+            if (t.flat_tid < s) sh[t.flat_tid] += sh[t.flat_tid + s];
+            t.block->sync_threads(t);
+          }
+          out[flat] = sh[0] + t.flat_tid;
+        };
+      },
+      "barrier_tree");
+}
+
+TEST(SchedulerDifferential, WarpHeavyButterflyAndBallot) {
+  // Butterfly xor-shuffle reduction plus a ballot: warp rendezvous
+  // wakeups must deliver every lane the full-warp result.
+  expect_identical_across_schedulers(
+      [](std::uint64_t* out) -> KernelFn {
+        return [out] {
+          auto& t = this_thread();
+          const std::uint64_t flat =
+              t.grid_dim.linear(t.block_idx) * t.block_dim.count() +
+              t.flat_tid;
+          std::uint64_t v = flat + 1;
+          for (std::uint64_t d = 1; d < 32; d <<= 1)
+            v += t.warp->collective(t, WarpOp::kShflXor, v, d, ~0ull);
+          const std::uint64_t ballot = t.warp->collective(
+              t, WarpOp::kBallot, t.lane & 1, 0, ~0ull);
+          t.block->sync_threads(t);
+          out[flat] = v ^ ballot;
+        };
+      },
+      "warp_butterfly");
+}
+
+TEST(SchedulerDifferential, EarlyExitWavesReleaseBarriers) {
+  // Threads drop out in waves while survivors keep syncing: exited
+  // threads must release the barrier identically under both schedulers.
+  expect_identical_across_schedulers(
+      [](std::uint64_t* out) -> KernelFn {
+        return [out] {
+          auto& t = this_thread();
+          const std::uint64_t flat =
+              t.grid_dim.linear(t.block_idx) * t.block_dim.count() +
+              t.flat_tid;
+          auto* sh = static_cast<std::uint64_t*>(
+              t.block->shared_alloc(t, sizeof(std::uint64_t), 8));
+          if (t.flat_tid == 0) *sh = 0;
+          t.block->sync_threads(t);
+          for (std::uint32_t round = 0; round < 4; ++round) {
+            if (t.flat_tid % 4 == round && t.flat_tid != 0) {
+              out[flat] = 100 + round;
+              return;
+            }
+            *sh += 1;  // single-threaded block scheduler: no race
+            t.block->sync_threads(t);
+          }
+          out[flat] = *sh;
+        };
+      },
+      "early_exit_waves");
+}
+
+TEST(SchedulerDeadlock, CensusMessageShapeIdenticalAcrossSchedulers) {
+  // Thread 0 waits on a two-lane warp collective lane 1 never joins
+  // (lane 1 sits at the block barrier with everyone else): a genuine
+  // deadlock. Both schedulers must report the same precise census.
+  for (const BlockScheduler sched :
+       {BlockScheduler::kReadyQueue, BlockScheduler::kSweep}) {
+    Device dev = make_dev(sched, 1);
+    LaunchParams p;
+    p.grid = {1};
+    p.block = {kThreads};
+    p.name = "census";
+    try {
+      dev.launch_sync(p, [] {
+        auto& t = this_thread();
+        if (t.flat_tid == 0) {
+          t.warp->collective(t, WarpOp::kSync, 0, 0, 0b11);
+        } else {
+          t.block->sync_threads(t);
+        }
+      });
+      FAIL() << "expected a deadlock diagnosis";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("SIMT deadlock in block scheduler"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("(kernel 'census', block (0,0,0))"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("64 live threads, 63 at block barrier, "
+                         "1 in warp collectives"),
+                std::string::npos)
+          << msg;
+    }
+  }
+}
+
+TEST(SchedulerOptions, ExplicitStealChunkProducesSameResults) {
+  // steal_chunk_blocks only changes how blocks are batched onto
+  // workers, never what they compute.
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] {
+      auto& t = this_thread();
+      const std::uint64_t flat =
+          t.grid_dim.linear(t.block_idx) * t.block_dim.count() + t.flat_tid;
+      t.block->sync_threads(t);
+      out[flat] = flat * 13 + 5;
+    };
+  };
+  const RunResult ref = run_one(BlockScheduler::kReadyQueue, 1, mk, "chunk");
+  for (const std::uint64_t chunk : {1ull, 2ull, 64ull}) {
+    DeviceConfig c = make_sim_a100_config();
+    c.name = "sched-test";
+    EngineOptions o;
+    o.workers = 3;
+    o.steal_chunk_blocks = chunk;
+    Device dev(c, o);
+    std::vector<std::uint64_t> out(kBlocks * kThreads, 0);
+    LaunchParams p;
+    p.grid = {kBlocks};
+    p.block = {kThreads};
+    p.name = "chunk";
+    const LaunchRecord rec = dev.launch_sync(p, mk(out.data()));
+    EXPECT_EQ(out, ref.out) << "chunk=" << chunk;
+    EXPECT_EQ(rec.stats.block_barriers, ref.rec.stats.block_barriers);
+    EXPECT_EQ(rec.time.total_ms, ref.rec.time.total_ms);
+  }
+}
+
+}  // namespace
