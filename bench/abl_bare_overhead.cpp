@@ -22,8 +22,7 @@ double modeled_launch_ms(bool bare, unsigned teams, unsigned threads) {
   spec.mode = simt::ExecMode::kDirect;
   spec.name = bare ? "abl_bare" : "abl_runtime";
   spec.device = &dev;
-  ompx::launch(spec, [] {});
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [] {}).modeled_ms();
 }
 
 void print_table() {

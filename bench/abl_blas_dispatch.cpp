@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "blas/ompx_blas.h"
+#include "core/ompx.h"
 
 namespace {
 
@@ -21,7 +22,7 @@ std::vector<double> matrix(int n, unsigned salt) {
 }
 
 double modeled_gemm_ms(simt::Device& dev) {
-  return dev.last_launch().time.total_ms;
+  return ompx::launch_record(&dev).time.total_ms;
 }
 
 double direct_vendor_gemm(simt::Device& dev, int n, const double* a,

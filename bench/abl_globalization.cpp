@@ -34,7 +34,7 @@ Placement run_shared(simt::Device& dev, const std::vector<int>& in,
   spec.cost.global_bytes_per_thread = 8.5;
   spec.cost.shared_bytes_per_thread = (2 * kRadius + 2) * 4.0;
   spec.device = &dev;
-  ompx::launch(spec, [=] {
+  const ompx::LaunchResult r = ompx::launch(spec, [=] {
     int* tile = ompx::groupprivate<int>(kBlock + 2 * kRadius);
     const std::int64_t g = ompx::global_thread_id();
     const int l = ompx_thread_id_x() + kRadius;
@@ -48,7 +48,7 @@ Placement run_shared(simt::Device& dev, const std::vector<int>& in,
     for (int o = -kRadius; o <= kRadius; ++o) acc += tile[l + o];
     dout[g] = acc;
   });
-  return {"groupprivate (shared)", dev.last_launch().time.total_ms,
+  return {"groupprivate (shared)", r.modeled_ms(),
           std::accumulate(out.begin(), out.end(), 0LL)};
 }
 
@@ -88,7 +88,7 @@ Placement run_globalized(simt::Device& dev, const std::vector<int>& in,
     };
   });
   return {"globalized (device heap, generic mode)",
-          dev.last_launch().time.total_ms,
+          ompx::launch_record(&dev).time.total_ms,
           std::accumulate(out.begin(), out.end(), 0LL)};
 }
 
@@ -106,15 +106,14 @@ Placement run_private(simt::Device& dev, const std::vector<int>& in,
   spec.name = "tile_private";
   spec.cost.global_bytes_per_thread = 8.5 + (2 * kRadius) * 4.0 * 0.3;
   spec.device = &dev;
-  ompx::launch(spec, [=] {
+  const ompx::LaunchResult r = ompx::launch(spec, [=] {
     const std::int64_t g = ompx::global_thread_id();
     int acc = 0;
     for (int o = -kRadius; o <= kRadius; ++o)
       acc += din[g + kRadius + o];
     dout[g] = acc;
   });
-  return {"private / demoted (global reads, cached)",
-          dev.last_launch().time.total_ms,
+  return {"private / demoted (global reads, cached)", r.modeled_ms(),
           std::accumulate(out.begin(), out.end(), 0LL)};
 }
 

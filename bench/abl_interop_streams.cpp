@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ompx.h"
+#include "fig8_common.h"
 
 namespace {
 
@@ -72,7 +73,10 @@ double run_streams(simt::Device& dev, std::vector<double>& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace renders the 4-chain overlap as one Chrome-trace track per
+  // interop stream — the timeline this ablation is about.
+  bench::TraceGuard trace(argc, argv, "abl_interop_streams_trace.json");
   std::printf("=== Ablation A5 — depend(interopobj:) streams vs synchronous "
               "launches ===\n(%d independent chains x %d kernels)\n\n",
               kChains, kKernelsPerChain);

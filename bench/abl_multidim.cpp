@@ -29,14 +29,14 @@ double run_3d(simt::Device& dev, std::vector<float>& out) {
   spec.name = "multidim_3d";
   spec.cost = cost3d();
   spec.device = &dev;
-  ompx::launch(spec, [=] {
-    const unsigned x = ompx_block_id_x() * kBx + ompx_thread_id_x();
-    const unsigned y = ompx_block_id_y() * kBy + ompx_thread_id_y();
-    const unsigned z = ompx_block_id_z() * kBz + ompx_thread_id_z();
-    p[(z * kNy + y) * kNx + x] =
-        static_cast<float>(x) + 2.0f * y + 3.0f * z;
-  });
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [=] {
+           const unsigned x = ompx_block_id_x() * kBx + ompx_thread_id_x();
+           const unsigned y = ompx_block_id_y() * kBy + ompx_thread_id_y();
+           const unsigned z = ompx_block_id_z() * kBz + ompx_thread_id_z();
+           p[(z * kNy + y) * kNx + x] =
+               static_cast<float>(x) + 2.0f * y + 3.0f * z;
+         })
+      .modeled_ms();
 }
 
 double run_flat(simt::Device& dev, std::vector<float>& out) {
@@ -51,17 +51,17 @@ double run_flat(simt::Device& dev, std::vector<float>& out) {
   spec.name = "multidim_flat";
   spec.cost = cost3d();
   spec.device = &dev;
-  ompx::launch(spec, [=] {
-    // The pre-extension workaround (§2.8): translate the workload into
-    // one dimension and reconstruct the coordinates by hand.
-    const std::int64_t i = ompx::global_thread_id();
-    const unsigned x = static_cast<unsigned>(i % kNx);
-    const unsigned y = static_cast<unsigned>((i / kNx) % kNy);
-    const unsigned z = static_cast<unsigned>(i / (kNx * kNy));
-    p[(z * kNy + y) * kNx + x] =
-        static_cast<float>(x) + 2.0f * y + 3.0f * z;
-  });
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [=] {
+           // The pre-extension workaround (§2.8): translate the workload
+           // into one dimension and reconstruct the coordinates by hand.
+           const std::int64_t i = ompx::global_thread_id();
+           const unsigned x = static_cast<unsigned>(i % kNx);
+           const unsigned y = static_cast<unsigned>((i / kNx) % kNy);
+           const unsigned z = static_cast<unsigned>(i / (kNx * kNy));
+           p[(z * kNy + y) * kNx + x] =
+               static_cast<float>(x) + 2.0f * y + 3.0f * z;
+         })
+      .modeled_ms();
 }
 
 }  // namespace

@@ -22,23 +22,24 @@ double reduce_shfl(simt::Device& dev, double* result) {
   spec.cost.flops_per_thread = 12;
   spec.cost.global_bytes_per_thread = 8;
   spec.device = &dev;
-  ompx::launch(spec, [=] {
-    double v = 1.0;
-    const int ws = ompx_warp_size();
-    for (int d = ws / 2; d > 0; d /= 2)
-      v += ompx_shfl_down_sync_d(~0ull, v, static_cast<unsigned>(d));
-    // One shared slot per warp, then lane 0 of warp 0 combines.
-    double* warp_sums = ompx::groupprivate<double>(kThreads / 32);
-    const int warp = ompx_thread_id_x() / ws;
-    if (ompx_lane_id() == 0) warp_sums[warp] = v;
-    ompx_sync_thread_block();
-    if (ompx_thread_id_x() == 0) {
-      double s = 0;
-      for (int w = 0; w < ompx_block_dim_x() / ws; ++w) s += warp_sums[w];
-      ompx::atomic_add(result, s);
-    }
-  });
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [=] {
+           double v = 1.0;
+           const int ws = ompx_warp_size();
+           for (int d = ws / 2; d > 0; d /= 2)
+             v += ompx_shfl_down_sync_d(~0ull, v, static_cast<unsigned>(d));
+           // One shared slot per warp, then lane 0 of warp 0 combines.
+           double* warp_sums = ompx::groupprivate<double>(kThreads / 32);
+           const int warp = ompx_thread_id_x() / ws;
+           if (ompx_lane_id() == 0) warp_sums[warp] = v;
+           ompx_sync_thread_block();
+           if (ompx_thread_id_x() == 0) {
+             double s = 0;
+             for (int w = 0; w < ompx_block_dim_x() / ws; ++w)
+               s += warp_sums[w];
+             ompx::atomic_add(result, s);
+           }
+         })
+      .modeled_ms();
 }
 
 double reduce_shared(simt::Device& dev, double* result) {
@@ -52,18 +53,18 @@ double reduce_shared(simt::Device& dev, double* result) {
   spec.cost.global_bytes_per_thread = 8;
   spec.cost.shared_bytes_per_thread = 2.0 * 8.0 * 8.0;  // log2(256) passes
   spec.device = &dev;
-  ompx::launch(spec, [=] {
-    double* scratch = ompx::groupprivate<double>(kThreads);
-    const int tid = ompx_thread_id_x();
-    scratch[tid] = 1.0;
-    ompx_sync_thread_block();
-    for (int stride = kThreads / 2; stride > 0; stride /= 2) {
-      if (tid < stride) scratch[tid] += scratch[tid + stride];
-      ompx_sync_thread_block();
-    }
-    if (tid == 0) ompx::atomic_add(result, scratch[0]);
-  });
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [=] {
+           double* scratch = ompx::groupprivate<double>(kThreads);
+           const int tid = ompx_thread_id_x();
+           scratch[tid] = 1.0;
+           ompx_sync_thread_block();
+           for (int stride = kThreads / 2; stride > 0; stride /= 2) {
+             if (tid < stride) scratch[tid] += scratch[tid + stride];
+             ompx_sync_thread_block();
+           }
+           if (tid == 0) ompx::atomic_add(result, scratch[0]);
+         })
+      .modeled_ms();
 }
 
 double reduce_atomic(simt::Device& dev, double* result) {
@@ -77,8 +78,8 @@ double reduce_atomic(simt::Device& dev, double* result) {
   spec.cost.flops_per_thread = 2;
   spec.cost.global_bytes_per_thread = 8;
   spec.device = &dev;
-  ompx::launch(spec, [=] { ompx::atomic_add(result, 1.0); });
-  return dev.last_launch().time.total_ms;
+  return ompx::launch(spec, [=] { ompx::atomic_add(result, 1.0); })
+      .modeled_ms();
 }
 
 void print_table() {

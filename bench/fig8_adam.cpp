@@ -1,7 +1,8 @@
 // Regenerates Figure 8e (NVIDIA) and 8k (AMD): Adam.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_adam_trace.json");
   bench::run_fig8({
       "Adam", "8e", "8k",
       "ompx matches cuda on the A100 and is ~16.6% faster than hip on the "

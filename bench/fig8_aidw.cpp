@@ -1,7 +1,8 @@
 // Regenerates Figure 8d (NVIDIA) and 8j (AMD): AIDW.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_aidw_trace.json");
   bench::run_fig8({
       "AIDW", "8d", "8j",
       "on the MI250 every version aligns; on the A100 ompx matches "

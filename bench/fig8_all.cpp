@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "apps/harness.h"
+#include "fig8_common.h"
 
 namespace {
 
@@ -65,7 +65,8 @@ void print_system(simt::Device& dev) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_all_trace.json");
   std::printf("=== Figure 8 (complete grid) — execution time, modeled ms ===\n");
   std::printf("paper headline: \"OpenMP, augmented with our extensions, can "
               "not only match but\nalso in some cases exceed the performance "

@@ -7,8 +7,39 @@
 #include <vector>
 
 #include "apps/harness.h"
+#include "core/ompx.h"
 
 namespace bench {
+
+/// `--trace[=path]` support for the bench CLIs: if the flag is present,
+/// capture launch telemetry for the guard's lifetime and dump the
+/// Chrome trace-event JSON (chrome://tracing / Perfetto) on exit.
+class TraceGuard {
+ public:
+  TraceGuard(int argc, char** argv, const char* default_path = "trace.json") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace")
+        path_ = default_path;
+      else if (arg.rfind("--trace=", 0) == 0)
+        path_ = arg.substr(8);
+    }
+    if (!path_.empty()) ompx::Profiler::start();
+  }
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    ompx::Profiler::stop();
+    if (ompx::Profiler::dump(path_))
+      std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+    else
+      std::fprintf(stderr, "ERROR: cannot write trace to %s\n", path_.c_str());
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
 
 struct Fig8Spec {
   const char* app_name;          ///< registry name

@@ -1,7 +1,8 @@
 // Regenerates Figure 8b (NVIDIA) and 8h (AMD): RSBench.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_rsbench_trace.json");
   bench::run_fig8({
       "RSBench", "8b", "8h",
       "ompx exceeds the LLVM/Clang native version on both systems; on the "

@@ -1,7 +1,8 @@
 // Regenerates Figure 8f (NVIDIA) and 8l (AMD): Stencil 1D.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_stencil1d_trace.json");
   bench::run_fig8({
       "Stencil 1D", "8f", "8l",
       "ompx outperforms the native versions on both systems; omp is two "

@@ -1,7 +1,8 @@
 // Regenerates Figure 8c (NVIDIA) and 8i (AMD): SU3.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_su3_trace.json");
   bench::run_fig8({
       "SU3", "8c", "8i",
       "on the A100 ompx lags cuda by ~9% (24 vs 26 registers; 3.9 KiB vs "

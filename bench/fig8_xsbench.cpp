@@ -1,7 +1,8 @@
 // Regenerates Figure 8a (NVIDIA) and 8g (AMD): XSBench.
 #include "fig8_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceGuard trace(argc, argv, "fig8_xsbench_trace.json");
   bench::run_fig8({
       "XSBench", "8a", "8g",
       "ompx consistently outperforms the native versions compiled with "

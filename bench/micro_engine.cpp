@@ -182,6 +182,18 @@ int emit_json(const std::string& path) {
           ? 0.0
           : static_cast<double>(reused) / static_cast<double>(created + reused);
 
+  // Same launch with telemetry capture on: the traced-vs-untraced pair
+  // quantifies the profiler's per-launch cost (spans + counter folds).
+  // The untraced pass above already exercised the zero-overhead-off
+  // path (one relaxed atomic load per launch).
+  simt::Profiler::instance().start();
+  for (int i = 0; i < warm; ++i) dev.launch_sync(p, [] {});
+  t0 = now_ms();
+  for (int i = 0; i < iters; ++i) dev.launch_sync(p, [] {});
+  const double traced_ms = (now_ms() - t0) / iters;
+  simt::Profiler::instance().stop();
+  simt::Profiler::instance().reset();
+
   // Barrier-heavy launch: the ready-queue batch-drain path.
   p.name = "json_barrier16";
   p.grid = {1};
@@ -225,6 +237,11 @@ int emit_json(const std::string& path) {
   out += buf;
   std::snprintf(
       buf, sizeof buf,
+      "  \"trace_overhead\": {\n"
+      "    \"grid\": 16, \"block\": 256, \"workers\": 1,\n"
+      "    \"ms_per_launch_untraced\": %.3f,\n"
+      "    \"ms_per_launch_traced\": %.3f\n"
+      "  },\n"
       "  \"barrier_heavy\": {\n"
       "    \"grid\": 1, \"block\": 256, \"barriers\": %d,\n"
       "    \"ms_per_launch\": %.3f\n"
@@ -234,7 +251,7 @@ int emit_json(const std::string& path) {
       "    \"steals\": %llu\n"
       "  }\n"
       "}\n",
-      barriers, barrier_ms,
+      sync_free_ms, traced_ms, barriers, barrier_ms,
       static_cast<unsigned long long>(steal_rec.stats.sched_steals));
   out += buf;
 

@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < result.size(); ++i)
     max_err = std::max(max_err, std::fabs(static_cast<double>(result[i]) -
                                           ra[i]));
-  const auto rec = dev.last_launch();
+  const auto rec = ompx::launch_record(&dev);
   std::printf("heat2d: %dx%d grid, %d Jacobi steps on %s — max |err| = %.3g\n",
               nx, ny, steps, dev.config().name.c_str(), max_err);
   std::printf("per-step modeled: %.3f us (memory %.3f, shared %.3f, "

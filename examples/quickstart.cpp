@@ -84,7 +84,7 @@ int main() {
   std::printf("quickstart: OK — %d elements computed on %s "
               "(modeled kernel time %.3f us)\n",
               n, ompx::default_device().config().name.c_str(),
-              ompx::default_device().last_launch().time.total_ms * 1e3);
+              ompx::launch_record().time.total_ms * 1e3);
 
   // Free device and host memory.
   ompx_free(d_a);

@@ -5,13 +5,19 @@
 //   ./run_benchmark XSBench                         # all versions, both devices
 //   ./run_benchmark Adam ompx sim-mi250             # one cell
 //   ./run_benchmark Adam ompx sim-a100 10000 200 100  # paper CLI (scaled)
+//
+// `--trace[=path]` (anywhere on the line) captures launch telemetry for
+// the run and writes a Chrome trace-event JSON on exit.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/cli.h"
 #include "apps/harness.h"
+#include "core/ompx.h"
 
 namespace {
 
@@ -51,6 +57,29 @@ void print_row(const apps::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --trace[=path] before positional parsing; the RAII profiler
+  // stops capture and dumps the trace whenever main returns.
+  std::string trace_path;
+  {
+    std::vector<char*> kept;
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (i > 0 && arg == "--trace")
+        trace_path = "run_benchmark_trace.json";
+      else if (i > 0 && arg.rfind("--trace=", 0) == 0)
+        trace_path = arg.substr(8);
+      else
+        kept.push_back(argv[i]);
+    }
+    argc = static_cast<int>(kept.size());
+    std::copy(kept.begin(), kept.end(), argv);
+  }
+  std::unique_ptr<ompx::Profiler> profiler;
+  if (!trace_path.empty()) {
+    profiler = std::make_unique<ompx::Profiler>(trace_path);
+    std::fprintf(stderr, "tracing launches to %s\n", trace_path.c_str());
+  }
+
   if (argc < 2) {
     list_apps();
     return 0;

@@ -1,9 +1,11 @@
 #include "core/ompx_host.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "simt/device.h"
+#include "simt/profiler.h"
 #include "simt/stream.h"
 #include "simt/memory.h"
 
@@ -40,6 +42,32 @@ void device_synchronize(simt::Device& dev) { dev.synchronize(); }
 
 bool is_device_ptr(simt::Device& dev, const void* ptr) {
   return dev.memory().contains(ptr);
+}
+
+Profiler::Profiler(std::string dump_path) : dump_path_(std::move(dump_path)) {
+  start();
+}
+
+Profiler::~Profiler() {
+  stop();
+  if (!dump_path_.empty()) dump(dump_path_);
+}
+
+void Profiler::start() { simt::Profiler::instance().start(); }
+void Profiler::stop() { simt::Profiler::instance().stop(); }
+bool Profiler::enabled() { return simt::Profiler::instance().enabled(); }
+void Profiler::reset() { simt::Profiler::instance().reset(); }
+
+simt::ProfilerCounters Profiler::counters() {
+  return simt::Profiler::instance().counters();
+}
+
+std::string Profiler::trace_json() {
+  return simt::Profiler::instance().chrome_trace_json();
+}
+
+bool Profiler::dump(const std::string& path) {
+  return simt::Profiler::instance().dump_chrome_trace(path);
 }
 
 }  // namespace ompx
@@ -88,6 +116,12 @@ ompx_stream_t ompx_stream_create() {
   return ompx::default_device().create_stream();
 }
 
+void ompx_stream_destroy(ompx_stream_t stream) {
+  if (stream == nullptr) return;
+  auto* s = static_cast<simt::Stream*>(stream);
+  s->device().destroy_stream(s);
+}
+
 void ompx_stream_synchronize(ompx_stream_t stream) {
   if (stream == nullptr)
     throw std::invalid_argument("ompx_stream_synchronize: null stream");
@@ -125,6 +159,12 @@ ompx_event_t ompx_event_create() {
   return ompx::default_device().create_event();
 }
 
+void ompx_event_destroy(ompx_event_t event) {
+  if (event == nullptr) return;
+  auto* e = static_cast<simt::Event*>(event);
+  e->device().destroy_event(e);
+}
+
 void ompx_event_record(ompx_event_t event, ompx_stream_t stream) {
   if (event == nullptr || stream == nullptr)
     throw std::invalid_argument("ompx_event_record: null handle");
@@ -149,6 +189,48 @@ float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop) {
     throw std::invalid_argument("ompx_event_elapsed_ms: null event");
   return static_cast<float>(static_cast<simt::Event*>(stop)->modeled_ms() -
                             static_cast<simt::Event*>(start)->modeled_ms());
+}
+
+void ompx_profiler_start(void) { ompx::Profiler::start(); }
+void ompx_profiler_stop(void) { ompx::Profiler::stop(); }
+int ompx_profiler_enabled(void) { return ompx::Profiler::enabled() ? 1 : 0; }
+void ompx_profiler_reset(void) { ompx::Profiler::reset(); }
+
+int ompx_profiler_dump(const char* path) {
+  if (path == nullptr) return -1;
+  return ompx::Profiler::dump(path) ? 0 : -1;
+}
+
+int ompx_get_last_launch_info(ompx_launch_info_t* info) {
+  if (info == nullptr) return -1;
+  simt::LaunchRecord rec;
+  try {
+    rec = ompx::launch_record();
+  } catch (const std::logic_error&) {
+    return -1;  // nothing launched yet
+  }
+  *info = ompx_launch_info_t{};
+  std::strncpy(info->name, rec.name.c_str(), sizeof info->name - 1);
+  info->grid[0] = rec.grid.x;
+  info->grid[1] = rec.grid.y;
+  info->grid[2] = rec.grid.z;
+  info->block[0] = rec.block.x;
+  info->block[1] = rec.block.y;
+  info->block[2] = rec.block.z;
+  info->modeled_total_ms = rec.time.total_ms;
+  info->modeled_compute_ms = rec.time.compute_ms;
+  info->modeled_memory_ms = rec.time.memory_ms;
+  info->modeled_overhead_ms = rec.time.overhead_ms;
+  info->occupancy = rec.time.occupancy;
+  info->wall_ms = rec.wall_ms;
+  info->blocks = rec.stats.blocks;
+  info->threads = rec.stats.threads;
+  info->block_barriers = rec.stats.block_barriers;
+  info->warp_collectives = rec.stats.warp_collectives;
+  info->atomics = rec.stats.atomics;
+  info->parallel_handshakes = rec.stats.parallel_handshakes;
+  info->globalized_bytes = rec.stats.globalized_bytes;
+  return 0;
 }
 
 }  // extern "C"

@@ -41,6 +41,9 @@ typedef void* ompx_stream_t;
 typedef void* ompx_event_t;
 
 ompx_stream_t ompx_stream_create();
+/// Drains the stream's pending work, then releases the handle. The
+/// device's default stream cannot be destroyed; null is a no-op.
+void ompx_stream_destroy(ompx_stream_t stream);
 void ompx_stream_synchronize(ompx_stream_t stream);
 void ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
                        ompx_stream_t stream);
@@ -48,12 +51,51 @@ void ompx_memset_async(void* ptr, int value, std::size_t bytes,
                        ompx_stream_t stream);
 
 ompx_event_t ompx_event_create();
+/// Releases the event once no enqueued operation still references it;
+/// null is a no-op.
+void ompx_event_destroy(ompx_event_t event);
 void ompx_event_record(ompx_event_t event, ompx_stream_t stream);
 void ompx_event_synchronize(ompx_event_t event);
 /// Stream-orders `stream` after `event` (cudaStreamWaitEvent).
 void ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event);
 /// Modeled milliseconds between two recorded events.
 float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop);
+
+/// Launch telemetry (uniform across layers; see simt/profiler.h).
+/// start/stop toggle span capture process-wide; the off state costs one
+/// relaxed atomic load per operation. dump writes the capture as Chrome
+/// trace-event JSON (chrome://tracing / Perfetto); returns 0 on
+/// success, -1 on I/O failure. reset drops captured spans and counters.
+void ompx_profiler_start(void);
+void ompx_profiler_stop(void);
+int ompx_profiler_enabled(void);
+void ompx_profiler_reset(void);
+int ompx_profiler_dump(const char* path);
+
+/// Snapshot of the most recent completed launch on the default device —
+/// the C-API view of ompx::launch_record.
+typedef struct ompx_launch_info_t {
+  char name[64];
+  unsigned grid[3];
+  unsigned block[3];
+  double modeled_total_ms;
+  double modeled_compute_ms;
+  double modeled_memory_ms;
+  double modeled_overhead_ms;
+  double occupancy;
+  double wall_ms;
+  unsigned long long blocks;
+  unsigned long long threads;
+  unsigned long long block_barriers;
+  unsigned long long warp_collectives;
+  unsigned long long atomics;
+  unsigned long long parallel_handshakes;
+  unsigned long long globalized_bytes;
+} ompx_launch_info_t;
+
+/// Fills `info` from the last completed launch; 0 on success, -1 if no
+/// launch has completed yet (or info is null).
+int ompx_get_last_launch_info(ompx_launch_info_t* info);
 
 }  // extern "C"
 
@@ -75,5 +117,28 @@ T* malloc_n(std::size_t count, simt::Device* dev = nullptr) {
   return static_cast<T*>(
       malloc_on(dev != nullptr ? *dev : default_device(), count * sizeof(T)));
 }
+
+/// RAII capture window over the process-wide launch telemetry: the
+/// constructor starts span capture, the destructor stops it and — if a
+/// dump path was given — writes the Chrome trace. The static forms
+/// mirror the C API for non-scoped use.
+class Profiler {
+ public:
+  explicit Profiler(std::string dump_path = {});
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  static void start();
+  static void stop();
+  static bool enabled();
+  static void reset();
+  static simt::ProfilerCounters counters();
+  static std::string trace_json();
+  static bool dump(const std::string& path);
+
+ private:
+  std::string dump_path_;
+};
 
 }  // namespace ompx

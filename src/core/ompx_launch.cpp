@@ -44,9 +44,10 @@ simt::Device& default_device() {
 
 void set_default_device(simt::Device& dev) { t_default_device = &dev; }
 
-void launch(const LaunchSpec& spec, simt::KernelFn body) {
+LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {
   simt::Device& dev = spec.device != nullptr ? *spec.device : default_device();
   const simt::LaunchParams p = to_params(spec, dev);
+  LaunchResult result;
 
   if (spec.depend_interop != nullptr) {
     // §3.5: the interop object's semantics dictate the handling — the
@@ -59,18 +60,28 @@ void launch(const LaunchSpec& spec, simt::KernelFn body) {
       throw std::invalid_argument(
           "depend(interopobj): interop object belongs to another device");
     obj.stream->launch(p, std::move(body));
-    if (!spec.nowait) obj.stream->synchronize();
-    return;
+    if (!spec.nowait) {
+      obj.stream->synchronize();
+      result.completed = true;
+      result.record = dev.last_launch();
+    }
+    return result;
   }
 
   if (spec.nowait) {
     omp::TaskGraph::global().submit(
         [&dev, p, body = std::move(body)] { dev.launch_sync(p, body); },
         spec.depends);
-    return;
+    return result;
   }
 
-  dev.launch_sync(p, body);
+  result.completed = true;
+  result.record = dev.launch_sync(p, body);
+  return result;
+}
+
+simt::LaunchRecord launch_record(simt::Device* dev) {
+  return (dev != nullptr ? *dev : default_device()).last_launch();
 }
 
 void taskwait(const omp::Interop& obj) {

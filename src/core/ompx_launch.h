@@ -58,9 +58,28 @@ struct LaunchSpec {
   const char* name = "ompx_kernel";
 };
 
+/// What a launch hands back: a ticket saying whether the work already
+/// completed and, if so, the engine's record for it (measured stats +
+/// modeled time). Callers read launch measurements from here — no layer
+/// above core should reach into simt::Device internals for stats.
+struct LaunchResult {
+  /// True for the synchronous forms (plain, or depend_interop without
+  /// nowait). False for deferred work: the record is then empty; fetch
+  /// it after taskwait()/synchronization via launch_record().
+  bool completed = false;
+  simt::LaunchRecord record;
+  [[nodiscard]] double modeled_ms() const { return record.time.total_ms; }
+  [[nodiscard]] double wall_ms() const { return record.wall_ms; }
+};
+
 /// Launches `body` once per thread of the num_teams x thread_limit
 /// space. Synchronous unless nowait or depend_interop says otherwise.
-void launch(const LaunchSpec& spec, simt::KernelFn body);
+LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body);
+
+/// The most recent completed launch on `dev` (default device if null) —
+/// the sanctioned way to read stats for launches that went through a
+/// stream or task graph. Throws std::logic_error if nothing launched.
+simt::LaunchRecord launch_record(simt::Device* dev = nullptr);
 
 /// #pragma omp taskwait depend(interopobj: obj): synchronizes the
 /// stream carried by the interop object (Figure 5's stream sync).

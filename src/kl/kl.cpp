@@ -141,9 +141,8 @@ klError klStreamCreate(klStream_t* stream) {
 }
 
 klError klStreamDestroy(klStream_t stream) {
-  // Streams are device-owned in this engine; destroying is draining.
   if (stream == nullptr) return klSuccess;
-  return guarded([&] { stream->synchronize(); });
+  return guarded([&] { stream->device().destroy_stream(stream); });
 }
 
 klError klStreamSynchronize(klStream_t stream) {
@@ -192,6 +191,11 @@ klError klEventCreate(klEvent_t* ev) {
   return guarded([&] { *ev = current_device().create_event(); });
 }
 
+klError klEventDestroy(klEvent_t ev) {
+  if (ev == nullptr) return klSuccess;
+  return guarded([&] { ev->device().destroy_event(ev); });
+}
+
 klError klEventRecord(klEvent_t ev, klStream_t stream) {
   if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
   return guarded([&] {
@@ -216,6 +220,22 @@ klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop) {
 
 klError klDeviceSynchronize() {
   return guarded([&] { current_device().synchronize(); });
+}
+
+klError klProfilerStart() {
+  return guarded([] { simt::Profiler::instance().start(); });
+}
+
+klError klProfilerStop() {
+  return guarded([] { simt::Profiler::instance().stop(); });
+}
+
+klError klProfilerDump(const char* path) {
+  if (path == nullptr) return record_error(klErrorInvalidValue, "null path");
+  return guarded([&] {
+    if (!simt::Profiler::instance().dump_chrome_trace(path))
+      throw std::runtime_error(std::string("cannot write trace to ") + path);
+  });
 }
 
 namespace detail {

@@ -77,7 +77,9 @@ using klStream_t = simt::Stream*;
 using klEvent_t = simt::Event*;
 
 klError klStreamCreate(klStream_t* stream);
-klError klStreamDestroy(klStream_t stream);  // streams outlive; no-op keep
+/// Drains the stream's pending work, then releases it (cudaStreamDestroy).
+/// Null is a no-op; the default stream cannot be destroyed.
+klError klStreamDestroy(klStream_t stream);
 klError klStreamSynchronize(klStream_t stream);
 klError klMemcpyAsync(void* dst, const void* src, std::size_t bytes,
                       klMemcpyKind kind, klStream_t stream = nullptr);
@@ -97,6 +99,9 @@ klError klMemcpyToSymbol(void* symbol, const void* src, std::size_t bytes);
 klError klFreeConstant(void* ptr);
 
 klError klEventCreate(klEvent_t* ev);
+/// Releases the event once no enqueued operation still references it
+/// (cudaEventDestroy). Null is a no-op.
+klError klEventDestroy(klEvent_t ev);
 klError klEventRecord(klEvent_t ev, klStream_t stream = nullptr);
 klError klEventSynchronize(klEvent_t ev);
 /// Modeled milliseconds between two recorded events (the engine's
@@ -104,6 +109,13 @@ klError klEventSynchronize(klEvent_t ev);
 klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop);
 
 klError klDeviceSynchronize();
+
+/// Launch telemetry (cudaProfilerStart/Stop-shaped front of the uniform
+/// profiling API; see simt/profiler.h). klProfilerDump writes the
+/// capture as Chrome trace-event JSON.
+klError klProfilerStart();
+klError klProfilerStop();
+klError klProfilerDump(const char* path);
 
 // ------------------------------------------------------------- launch
 

@@ -28,9 +28,10 @@ inline Interop interop_init_targetsync(simt::Device& dev) {
   return Interop{&dev, dev.create_stream()};
 }
 
-/// #pragma omp interop destroy(obj): synchronizes and invalidates.
+/// #pragma omp interop destroy(obj): drains the stream, releases it
+/// back to the device runtime, and invalidates the object.
 inline void interop_destroy(Interop& obj) {
-  if (obj.valid()) obj.stream->synchronize();
+  if (obj.valid()) obj.device->destroy_stream(obj.stream);
   obj = interop_none;
 }
 

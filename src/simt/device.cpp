@@ -9,6 +9,7 @@
 
 #include "simt/block.h"
 #include "simt/memory.h"
+#include "simt/profiler.h"
 #include "simt/stream.h"
 
 namespace simt {
@@ -179,12 +180,29 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
     std::lock_guard lock(log_mu_);
     log_.push_back(rec);
   }
+  // Stream kernels are spanned by the executor (it knows the stream
+  // track and modeled start); only direct host-synchronous launches
+  // record here, on the device's sync track.
+  if (profiling_enabled() && !telemetry_detail::t_in_stream_op) {
+    TraceSpan span;
+    span.kind = SpanKind::kKernel;
+    span.name = rec.name;
+    span.dur_ms = rec.time.total_ms;
+    span.wall_ms = rec.wall_ms;
+    span.grid = rec.grid;
+    span.block = rec.block;
+    span.stats = rec.stats;
+    span.time = rec.time;
+    Profiler::instance().record(*this, span);
+  }
   return rec;
 }
 
 Stream& Device::default_stream() { return exec_->default_stream(); }
 Stream* Device::create_stream() { return exec_->create_stream(); }
 Event* Device::create_event() { return exec_->create_event(); }
+void Device::destroy_stream(Stream* stream) { exec_->destroy_stream(stream); }
+void Device::destroy_event(Event* event) { exec_->destroy_event(event); }
 
 void Device::synchronize() {
   exec_->synchronize_all();
@@ -228,8 +246,20 @@ double Device::modeled_transfer_ms_total() const {
 
 void Device::add_transfer(std::uint64_t bytes) {
   const double ms = model_transfer_ms(bytes);
-  std::lock_guard lock(log_mu_);
-  transfer_ms_total_ += ms;
+  {
+    std::lock_guard lock(log_mu_);
+    transfer_ms_total_ += ms;
+  }
+  // Stream memcpys are spanned by the executor; host-blocking transfers
+  // (mapping layers, ompx_memcpy) record on the sync track here.
+  if (profiling_enabled() && !telemetry_detail::t_in_stream_op) {
+    TraceSpan span;
+    span.kind = SpanKind::kMemcpy;
+    span.name = "memcpy";
+    span.dur_ms = ms;
+    span.bytes = bytes;
+    Profiler::instance().record(*this, span);
+  }
 }
 
 DeviceConfig make_sim_a100_config() {

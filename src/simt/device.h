@@ -114,10 +114,18 @@ class Device {
   /// synchronously, as the CUDA runtime does.
   void validate_launch(const LaunchParams& params) const { validate(params); }
 
-  /// Streams and events (owned by the device; live until destruction).
+  /// Streams and events (owned by the device). create_* handles live
+  /// until destroy_* or device teardown; the default stream always
+  /// exists and cannot be destroyed.
   Stream& default_stream();
   Stream* create_stream();
   Event* create_event();
+  /// Drains the stream's pending work, then releases it. Destroying the
+  /// default stream throws; nullptr is a no-op (CUDA tolerance).
+  void destroy_stream(Stream* stream);
+  /// Waits until no queued or in-flight op references the event, then
+  /// releases it. nullptr is a no-op.
+  void destroy_event(Event* event);
   /// Wait for every operation on every stream (cudaDeviceSynchronize),
   /// then rethrow any asynchronous error.
   void synchronize();

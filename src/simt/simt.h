@@ -9,6 +9,7 @@
 #include "simt/kernel.h"
 #include "simt/memory.h"
 #include "simt/perf.h"
+#include "simt/profiler.h"
 #include "simt/shared_arena.h"
 #include "simt/stream.h"
 #include "simt/warp.h"

@@ -6,10 +6,44 @@
 #include <thread>
 
 #include "simt/device.h"
+#include "simt/profiler.h"
 
 namespace simt {
 
+namespace {
+
+/// Marks the executor thread as inside a stream op so the inner
+/// launch_sync / add_transfer does not double-record: the executor
+/// records the span itself, with the stream track and modeled start.
+struct ScopedStreamOp {
+  bool prev;
+  ScopedStreamOp() : prev(telemetry_detail::t_in_stream_op) {
+    telemetry_detail::t_in_stream_op = true;
+  }
+  ~ScopedStreamOp() { telemetry_detail::t_in_stream_op = prev; }
+};
+
+const char* copy_kind_label(CopyKind k) {
+  switch (k) {
+    case CopyKind::kHostToDevice: return "memcpy H2D";
+    case CopyKind::kDeviceToHost: return "memcpy D2H";
+    case CopyKind::kDeviceToDevice: return "memcpy D2D";
+    case CopyKind::kHostToHost: return "memcpy H2H";
+  }
+  return "memcpy";
+}
+
+/// Flow-arrow id linking an event's record slice to the waits that
+/// observed that recording (generation 0 = never recorded, no arrow).
+std::uint64_t event_flow_id(std::uint64_t uid, std::uint64_t generation) {
+  return generation == 0 ? 0 : (uid << 20) + generation;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- Event
+
+Device& Event::device() const { return ex_.dev_; }
 
 void Event::synchronize() {
   std::unique_lock lock(ex_.mu_);
@@ -135,7 +169,51 @@ Stream* StreamExecutor::create_stream() {
 Event* StreamExecutor::create_event() {
   std::lock_guard lock(mu_);
   events_.emplace_back(new Event(*this));
+  events_.back()->uid_ = next_event_uid_++;
   return events_.back().get();
+}
+
+void StreamExecutor::destroy_stream(Stream* s) {
+  if (s == nullptr) return;
+  std::unique_lock lock(mu_);
+  if (!streams_.empty() && s == streams_.front().get())
+    throw std::invalid_argument("cannot destroy the default stream");
+  // Drain the stream's queued and in-flight work first (completed_ is
+  // bumped only after execute() returns, so this also covers the op the
+  // worker is currently running). The dependency-deadlock detector
+  // guarantees this terminates even for permanently blocked heads.
+  cv_complete_.wait(lock, [&] { return s->completed_ >= s->submitted_; });
+  destroyed_streams_max_ms_ =
+      std::max(destroyed_streams_max_ms_, s->modeled_ready_ms_);
+  queues_.erase(s->id_);
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->get() == s) {
+      streams_.erase(it);
+      break;
+    }
+  }
+}
+
+void StreamExecutor::destroy_event(Event* ev) {
+  if (ev == nullptr) return;
+  std::unique_lock lock(mu_);
+  // Queued EventRecord/EventWait ops hold a raw pointer to the event;
+  // wait until none remain (the worker notifies cv_complete_ per op).
+  cv_complete_.wait(lock, [&] { return !event_referenced_locked(ev); });
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->get() == ev) {
+      events_.erase(it);
+      break;
+    }
+  }
+}
+
+bool StreamExecutor::event_referenced_locked(const Event* ev) const {
+  if (inflight_event_ == ev) return true;
+  for (const auto& [id, q] : queues_)
+    for (const Op& op : q)
+      if (op.event == ev) return true;
+  return false;
 }
 
 void StreamExecutor::submit(Stream& s, Op op) {
@@ -201,6 +279,7 @@ void StreamExecutor::worker_loop() {
 
     Op op = std::move(queues_[s->id_].front());
     queues_[s->id_].pop_front();
+    inflight_event_ = op.event;  // pins the event against destroy_event
     lock.unlock();
     try {
       execute(*s, op);
@@ -209,17 +288,36 @@ void StreamExecutor::worker_loop() {
       if (async_error_ == nullptr) async_error_ = std::current_exception();
     }
     lock.lock();
+    inflight_event_ = nullptr;
     s->completed_++;
     cv_complete_.notify_all();
   }
 }
 
 void StreamExecutor::execute(Stream& s, Op& op) {
+  // Tracing-off cost on this path: this one relaxed load.
+  const bool prof = profiling_enabled();
+  ScopedStreamOp in_stream_op;
+  TraceSpan span;
+  std::chrono::steady_clock::time_point t0;
+  if (prof) t0 = std::chrono::steady_clock::now();
+
   switch (op.kind) {
     case Op::Kind::kKernel: {
       const LaunchRecord rec = dev_.launch_sync(op.params, op.kernel);
       std::lock_guard lock(mu_);
+      span.ts_ms = s.modeled_ready_ms_;
       s.modeled_ready_ms_ += rec.time.total_ms;
+      if (prof) {
+        span.kind = SpanKind::kKernel;
+        span.name = rec.name;
+        span.dur_ms = rec.time.total_ms;
+        span.wall_ms = rec.wall_ms;
+        span.grid = rec.grid;
+        span.block = rec.block;
+        span.stats = rec.stats;
+        span.time = rec.time;
+      }
       break;
     }
     case Op::Kind::kMemcpy: {
@@ -232,18 +330,39 @@ void StreamExecutor::execute(Stream& s, Op& op) {
           op.copy_kind != CopyKind::kHostToHost)
         dev_.add_transfer(op.bytes);
       std::lock_guard lock(mu_);
+      span.ts_ms = s.modeled_ready_ms_;
       s.modeled_ready_ms_ += ms;
+      if (prof) {
+        span.kind = SpanKind::kMemcpy;
+        span.name = copy_kind_label(op.copy_kind);
+        span.dur_ms = ms;
+        span.bytes = op.bytes;
+      }
       break;
     }
     case Op::Kind::kMemset: {
       dev_.memory().set(op.dst, op.value, op.bytes);
-      std::lock_guard lock(mu_);
-      s.modeled_ready_ms_ +=
+      const double ms =
           static_cast<double>(op.bytes) / (dev_.config().mem_bw_gbps * 1e6);
+      std::lock_guard lock(mu_);
+      span.ts_ms = s.modeled_ready_ms_;
+      s.modeled_ready_ms_ += ms;
+      if (prof) {
+        span.kind = SpanKind::kMemset;
+        span.name = "memset";
+        span.dur_ms = ms;
+        span.bytes = op.bytes;
+      }
       break;
     }
     case Op::Kind::kHostFn: {
       op.fn();
+      if (prof) {
+        std::lock_guard lock(mu_);
+        span.kind = SpanKind::kHostFn;
+        span.name = "host-fn";
+        span.ts_ms = s.modeled_ready_ms_;  // instantaneous on the model
+      }
       break;
     }
     case Op::Kind::kEventRecord: {
@@ -252,15 +371,41 @@ void StreamExecutor::execute(Stream& s, Op& op) {
       op.event->pending_ = false;
       op.event->generation_++;
       op.event->modeled_ms_ = s.modeled_ready_ms_;
+      if (prof) {
+        span.kind = SpanKind::kEventRecord;
+        span.name = "event record";
+        span.ts_ms = s.modeled_ready_ms_;
+        span.flow_id =
+            event_flow_id(op.event->uid_, op.event->generation_);
+      }
       cv_complete_.notify_all();
       break;
     }
     case Op::Kind::kEventWait: {
       std::lock_guard lock(mu_);
+      span.ts_ms = s.modeled_ready_ms_;
       s.modeled_ready_ms_ =
           std::max(s.modeled_ready_ms_, op.event->modeled_ms_);
+      if (prof) {
+        span.kind = SpanKind::kEventWait;
+        span.name = "event wait";
+        // The stall the wait imposed on this stream's timeline.
+        span.dur_ms = s.modeled_ready_ms_ - span.ts_ms;
+        span.flow_id =
+            event_flow_id(op.event->uid_, op.event->generation_);
+      }
       break;
     }
+  }
+
+  if (prof) {
+    span.track = s.id_ + 1;  // track 0 is the host-sync track
+    span.wall_ms = span.kind == SpanKind::kKernel
+                       ? span.wall_ms
+                       : std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    Profiler::instance().record(dev_, span);  // outside mu_: no lock nesting
   }
 }
 
@@ -277,7 +422,7 @@ void StreamExecutor::synchronize_all() {
 
 double StreamExecutor::modeled_now_ms() const {
   std::lock_guard lock(mu_);
-  double now = 0.0;
+  double now = destroyed_streams_max_ms_;
   for (const auto& sp : streams_) now = std::max(now, sp->modeled_ready_ms_);
   return now;
 }

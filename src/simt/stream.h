@@ -33,6 +33,8 @@ class StreamExecutor;
 /// wait on it. Create via Device::create_event().
 class Event {
  public:
+  /// The device whose executor owns this event.
+  [[nodiscard]] Device& device() const;
   /// Host-side wait until the marked point has executed.
   void synchronize();
   /// True once the marked point has executed (false if never recorded).
@@ -51,6 +53,7 @@ class Event {
   bool pending_ = false;    // an EventRecord op is enqueued
   double modeled_ms_ = 0.0;
   std::uint64_t generation_ = 0;
+  std::uint64_t uid_ = 0;   // stable id; seeds trace flow-arrow ids
 };
 
 /// An ordered queue of device operations. Create via
@@ -112,6 +115,13 @@ class StreamExecutor {
   Event* create_event();
   Stream& default_stream() { return *streams_.front(); }
 
+  /// Drains the stream's pending/in-flight ops, then releases it.
+  /// Destroying the default stream throws; nullptr is a no-op.
+  void destroy_stream(Stream* s);
+  /// Waits until no queued or in-flight op references the event, then
+  /// releases it. nullptr is a no-op.
+  void destroy_event(Event* ev);
+
   /// Host-side wait for every op on every stream submitted so far.
   void synchronize_all();
 
@@ -152,6 +162,8 @@ class StreamExecutor {
   Stream* pick_ready_locked();
   [[nodiscard]] bool head_blocked_locked(const Stream& s) const;
   void execute(Stream& s, Op& op);  // runs without the lock where possible
+  /// Under lock: any queued (or in-flight) op referencing `ev`?
+  [[nodiscard]] bool event_referenced_locked(const Event* ev) const;
 
   Device& dev_;
   mutable std::mutex mu_;
@@ -163,7 +175,10 @@ class StreamExecutor {
   std::exception_ptr async_error_;
   bool shutdown_ = false;
   std::uint64_t next_stream_id_ = 0;
+  std::uint64_t next_event_uid_ = 1;
   std::uint64_t total_submitted_ = 0;
+  const Event* inflight_event_ = nullptr;  // event of the op being executed
+  double destroyed_streams_max_ms_ = 0.0;  // keeps modeled_now_ms monotonic
   std::unique_ptr<std::thread> worker_;
 };
 

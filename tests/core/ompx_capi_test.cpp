@@ -4,6 +4,9 @@
 // is exercised individually rather than through the C++ templates.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/ompx.h"
@@ -161,6 +164,131 @@ TEST(CApiHost, EntryPointsHaveCLinkage) {
   for (auto* f : fns) EXPECT_NE(f, nullptr);
   void (*sync)() = &ompx_sync_thread_block;
   EXPECT_NE(sync, nullptr);
+  // Telemetry and lifecycle entry points added with the profiling API.
+  void (*profv[])() = {&ompx_profiler_start, &ompx_profiler_stop,
+                       &ompx_profiler_reset};
+  for (auto* f : profv) EXPECT_NE(f, nullptr);
+  int (*enabled)() = &ompx_profiler_enabled;
+  EXPECT_NE(enabled, nullptr);
+  int (*dump)(const char*) = &ompx_profiler_dump;
+  EXPECT_NE(dump, nullptr);
+  int (*info)(ompx_launch_info_t*) = &ompx_get_last_launch_info;
+  EXPECT_NE(info, nullptr);
+  void (*sdestroy)(ompx_stream_t) = &ompx_stream_destroy;
+  EXPECT_NE(sdestroy, nullptr);
+  void (*edestroy)(ompx_event_t) = &ompx_event_destroy;
+  EXPECT_NE(edestroy, nullptr);
+}
+
+// --- launch telemetry (uniform profiling API, C and C++ views) -----------
+
+namespace capi_profiler {
+
+/// One small named launch on the default device.
+void one_launch(const char* name) {
+  ompx::LaunchSpec spec;
+  spec.num_teams = {2};
+  spec.thread_limit = {32};
+  spec.name = name;
+  ompx::launch(spec, [] {});
+}
+
+}  // namespace capi_profiler
+
+TEST(CApiHost, ProfilerStartStopEnabledReset) {
+  ompx_profiler_stop();
+  ompx_profiler_reset();
+  EXPECT_EQ(ompx_profiler_enabled(), 0);
+  ompx_profiler_start();
+  EXPECT_EQ(ompx_profiler_enabled(), 1);
+  capi_profiler::one_launch("capi_traced");
+  ompx_profiler_stop();
+  EXPECT_EQ(ompx_profiler_enabled(), 0);
+  EXPECT_GE(ompx::Profiler::counters().launches, 1u);
+  ompx_profiler_reset();
+  EXPECT_EQ(ompx::Profiler::counters().launches, 0u);
+}
+
+TEST(CApiHost, ProfilerDumpWritesParseableTrace) {
+  ompx_profiler_reset();
+  ompx_profiler_start();
+  capi_profiler::one_launch("capi_dump");
+  ompx_profiler_stop();
+  const std::string path =
+      ::testing::TempDir() + "/ompx_capi_trace.json";
+  ASSERT_EQ(ompx_profiler_dump(path.c_str()), 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("capi_dump"), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  // Invalid path reports failure instead of throwing across the C ABI.
+  EXPECT_EQ(ompx_profiler_dump("/nonexistent-dir/trace.json"), -1);
+  ompx_profiler_reset();
+}
+
+TEST(CApiHost, ScopedProfilerMirrorsCApi) {
+  ompx_profiler_stop();
+  ompx_profiler_reset();
+  {
+    ompx::Profiler scoped;  // no dump path: capture window only
+    EXPECT_EQ(ompx_profiler_enabled(), 1);
+    capi_profiler::one_launch("scoped_traced");
+  }
+  EXPECT_EQ(ompx_profiler_enabled(), 0);
+  EXPECT_EQ(ompx::Profiler::counters().launches, 1u);
+  EXPECT_NE(ompx::Profiler::trace_json().find("scoped_traced"),
+            std::string::npos);
+  ompx::Profiler::reset();
+}
+
+TEST(CApiHost, GetLastLaunchInfo) {
+  EXPECT_EQ(ompx_get_last_launch_info(nullptr), -1);
+  capi_profiler::one_launch("capi_info_kernel");
+  ompx_launch_info_t info;
+  ASSERT_EQ(ompx_get_last_launch_info(&info), 0);
+  EXPECT_STREQ(info.name, "capi_info_kernel");
+  EXPECT_EQ(info.grid[0], 2u);
+  EXPECT_EQ(info.block[0], 32u);
+  EXPECT_EQ(info.blocks, 2ull);
+  EXPECT_EQ(info.threads, 64ull);
+  EXPECT_GE(info.modeled_total_ms, 0.0);
+  EXPECT_GE(info.wall_ms, 0.0);
+}
+
+TEST(CApiHost, LaunchReturnsCompletedTicket) {
+  ompx::LaunchSpec spec;
+  spec.num_teams = {3};
+  spec.thread_limit = {32};
+  spec.name = "ticket_kernel";
+  const ompx::LaunchResult r = ompx::launch(spec, [] {});
+  EXPECT_TRUE(r.completed);
+  EXPECT_STREQ(r.record.name.c_str(), "ticket_kernel");
+  EXPECT_EQ(r.record.stats.blocks, 3u);
+  EXPECT_GT(r.modeled_ms(), 0.0);
+  EXPECT_GE(r.wall_ms(), 0.0);
+  // launch_record() reads the same measurement back.
+  EXPECT_EQ(ompx::launch_record().name, "ticket_kernel");
+}
+
+TEST(CApiHost, StreamAndEventDestroy) {
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  std::vector<int> a(1024, 1), b(1024, 0);
+  void* d = ompx_malloc(a.size() * sizeof(int));
+  ompx_memcpy_async(d, a.data(), a.size() * sizeof(int), s);
+  ompx_memcpy_async(b.data(), d, a.size() * sizeof(int), s);
+  ompx_event_t ev = ompx_event_create();
+  ompx_event_record(ev, s);
+  ompx_stream_destroy(s);  // drains the two copies before releasing
+  EXPECT_EQ(a, b);
+  ompx_event_destroy(ev);
+  ompx_stream_destroy(nullptr);  // no-ops
+  ompx_event_destroy(nullptr);
+  ompx_free(d);
 }
 
 }  // namespace
