@@ -41,6 +41,34 @@ class TraceGuard {
   std::string path_;
 };
 
+/// `--san[=checks]` support for the bench CLIs: if the flag is present,
+/// the sanitizer runs for the guard's lifetime (default: all checks;
+/// `--san=race,mem` selects) and the destructor prints the
+/// "ompxsan: N error(s)" report to stderr — what the CI smoke greps.
+class SanGuard {
+ public:
+  SanGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--san")
+        checks_ = simt::kSanAll;
+      else if (arg.rfind("--san=", 0) == 0)
+        checks_ = simt::San::parse_checks(arg.substr(6).c_str());
+    }
+    if (checks_ != 0) ompx::San::enable(checks_);
+  }
+  ~SanGuard() {
+    if (checks_ == 0) return;
+    simt::San::instance().print_report();
+    ompx::San::disable();
+  }
+  SanGuard(const SanGuard&) = delete;
+  SanGuard& operator=(const SanGuard&) = delete;
+
+ private:
+  std::uint32_t checks_ = 0;
+};
+
 struct Fig8Spec {
   const char* app_name;          ///< registry name
   const char* nv_subfig;         ///< e.g. "8a"

@@ -207,6 +207,44 @@ int emit_json(const std::string& path) {
   for (int i = 0; i < iters; ++i) dev.launch_sync(p, barrier_kernel);
   const double barrier_ms = (now_ms() - t0) / iters;
 
+  // Sanitizer-off overhead: the same shared-memory traffic through the
+  // instrumented accessors (ompx::san) vs raw pointers, sanitizer
+  // disabled. The instrumented path must cost one relaxed atomic load
+  // per access — the pair below is the evidence.
+  p.name = "json_san_off";
+  p.grid = {16};
+  p.mode = simt::ExecMode::kCooperative;
+  const int rounds = 32;
+  auto raw_kernel = [&] {
+    auto& t = simt::this_thread();
+    auto* tile = static_cast<double*>(
+        t.block->shared_alloc(t, 256 * sizeof(double), alignof(double)));
+    double acc = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      tile[t.flat_tid] = static_cast<double>(t.flat_tid + r);
+      acc += tile[t.flat_tid];
+    }
+    benchmark::DoNotOptimize(acc);
+  };
+  auto checked_kernel = [&] {
+    auto tile = ompx::san::shared_array<double>(256);
+    auto& t = simt::this_thread();
+    double acc = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      tile[t.flat_tid] = static_cast<double>(t.flat_tid + r);
+      acc += tile[t.flat_tid];
+    }
+    benchmark::DoNotOptimize(acc);
+  };
+  for (int i = 0; i < warm; ++i) dev.launch_sync(p, raw_kernel);
+  t0 = now_ms();
+  for (int i = 0; i < iters; ++i) dev.launch_sync(p, raw_kernel);
+  const double raw_ms = (now_ms() - t0) / iters;
+  for (int i = 0; i < warm; ++i) dev.launch_sync(p, checked_kernel);
+  t0 = now_ms();
+  for (int i = 0; i < iters; ++i) dev.launch_sync(p, checked_kernel);
+  const double checked_ms = (now_ms() - t0) / iters;
+
   // Work-stealing block distribution: many blocks, several workers.
   simt::EngineOptions multi;
   multi.workers = 4;
@@ -246,13 +284,18 @@ int emit_json(const std::string& path) {
       "    \"grid\": 1, \"block\": 256, \"barriers\": %d,\n"
       "    \"ms_per_launch\": %.3f\n"
       "  },\n"
+      "  \"san_overhead\": {\n"
+      "    \"grid\": 16, \"block\": 256, \"rounds\": %d, \"san\": \"off\",\n"
+      "    \"ms_per_launch_raw\": %.3f,\n"
+      "    \"ms_per_launch_checked\": %.3f\n"
+      "  },\n"
       "  \"work_stealing\": {\n"
       "    \"grid\": 1024, \"block\": 256, \"workers\": 4,\n"
       "    \"steals\": %llu\n"
       "  }\n"
       "}\n",
-      sync_free_ms, traced_ms, barriers, barrier_ms,
-      static_cast<unsigned long long>(steal_rec.stats.sched_steals));
+      sync_free_ms, traced_ms, barriers, barrier_ms, rounds, raw_ms,
+      checked_ms, static_cast<unsigned long long>(steal_rec.stats.sched_steals));
   out += buf;
 
   if (path.empty()) {

@@ -3,9 +3,13 @@
 //
 //   ./cuda2ompx_tool < kernel.cu > kernel_ompx.cpp
 //   ./cuda2ompx_tool --no-launches < kernel.cu
+//   ./cuda2ompx_tool --lint < kernel.cu     # also lint the ported output
 //
 // Reads CUDA source on stdin, writes ompx source on stdout, and prints
 // a rewrite report (counts + anything left for a human) on stderr.
+// With --lint, the *rewritten* output is run through ompx_lint too —
+// anything the rewriter left behind shows up as unported-builtin, and
+// divergence/sync hazards survive the port unchanged.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -13,15 +17,19 @@
 #include <string>
 
 #include "rewrite/cuda2ompx.h"
+#include "rewrite/lint.h"
 
 int main(int argc, char** argv) {
   rewrite::Options opt;
+  bool lint = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-launches") == 0)
       opt.rewrite_launches = false;
+    else if (std::strcmp(argv[i], "--lint") == 0)
+      lint = true;
     else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--no-launches] < cuda.cu > ompx.cpp\n",
+                   "usage: %s [--no-launches] [--lint] < cuda.cu > ompx.cpp\n",
                    argv[0]);
       return 0;
     } else {
@@ -44,6 +52,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "needs a human:\n");
     for (const auto& u : report.unported)
       std::fprintf(stderr, "  ! %s\n", u.c_str());
+  }
+
+  if (lint) {
+    const auto findings = rewrite::lint_source(out);
+    if (findings.empty()) {
+      std::fprintf(stderr, "ompx_lint: clean\n");
+    } else {
+      std::fprintf(stderr, "ompx_lint: %zu finding(s)\n", findings.size());
+      std::fputs(rewrite::format_lint(findings, "<ported>").c_str(), stderr);
+      return 2;
+    }
   }
   return 0;
 }

@@ -1,0 +1,64 @@
+// ompx_lint — the static side of ompxsan as a standalone tool.
+//
+//   ./ompx_lint kernel.cpp [more.cpp ...]
+//   ./ompx_lint --no-unported ported/*.cpp   # divergence/sync rules only
+//
+// Lints each file for barrier-divergence hazards, unsynced
+// shared-memory reads, and unported CUDA builtins (see
+// rewrite/lint.h). Exits 1 if any finding survives the per-line
+// `ompx-lint-allow` suppressions, 0 on a clean run. CI runs this over
+// the six app ports.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rewrite/lint.h"
+
+int main(int argc, char** argv) {
+  rewrite::LintOptions opt;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-unported") == 0)
+      opt.check_unported = false;
+    else if (std::strcmp(argv[i], "--no-divergent-sync") == 0)
+      opt.check_divergent_sync = false;
+    else if (std::strcmp(argv[i], "--no-shared-sync") == 0)
+      opt.check_shared_sync = false;
+    else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--no-unported] [--no-divergent-sync] "
+                   "[--no-shared-sync] file [file ...]\n",
+                   argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "ompx_lint: no input files (see --help)\n");
+    return 2;
+  }
+
+  std::size_t total = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "ompx_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto findings = rewrite::lint_source(text.str(), opt);
+    total += findings.size();
+    std::fputs(rewrite::format_lint(findings, path).c_str(), stdout);
+  }
+  std::printf("ompx_lint: %zu finding(s) in %zu file(s)\n", total,
+              files.size());
+  return total == 0 ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 //
 // `--trace[=path]` (anywhere on the line) captures launch telemetry for
 // the run and writes a Chrome trace-event JSON on exit.
+// `--san[=checks]` runs the sanitizer for the whole invocation and
+// prints the "ompxsan: N error(s)" report to stderr on exit.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -57,9 +59,11 @@ void print_row(const apps::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --trace[=path] before positional parsing; the RAII profiler
-  // stops capture and dumps the trace whenever main returns.
+  // Strip --trace[=path] / --san[=checks] before positional parsing;
+  // the RAII guards dump the trace and the sanitizer report whenever
+  // main returns.
   std::string trace_path;
+  std::uint32_t san_checks = 0;
   {
     std::vector<char*> kept;
     for (int i = 0; i < argc; ++i) {
@@ -68,6 +72,10 @@ int main(int argc, char** argv) {
         trace_path = "run_benchmark_trace.json";
       else if (i > 0 && arg.rfind("--trace=", 0) == 0)
         trace_path = arg.substr(8);
+      else if (i > 0 && arg == "--san")
+        san_checks = simt::kSanAll;
+      else if (i > 0 && arg.rfind("--san=", 0) == 0)
+        san_checks = simt::San::parse_checks(arg.substr(6).c_str());
       else
         kept.push_back(argv[i]);
     }
@@ -79,6 +87,8 @@ int main(int argc, char** argv) {
     profiler = std::make_unique<ompx::Profiler>(trace_path);
     std::fprintf(stderr, "tracing launches to %s\n", trace_path.c_str());
   }
+  std::unique_ptr<ompx::San> san;
+  if (san_checks != 0) san = std::make_unique<ompx::San>(san_checks);
 
   if (argc < 2) {
     list_apps();

@@ -8,4 +8,5 @@
 #include "core/ompx_device.h"
 #include "core/ompx_host.h"
 #include "core/ompx_launch.h"
+#include "core/ompx_san.h"
 #include "omp/omp.h"

@@ -12,6 +12,7 @@
 
 #include "core/ompx_host.h"
 #include "core/ompx_launch.h"
+#include "core/ompx_san.h"
 
 namespace ompx {
 
@@ -49,6 +50,12 @@ class DeviceBuffer {
 
   /// Raw device pointer (valid to capture into kernel bodies).
   [[nodiscard]] T* data() const { return ptr_; }
+  /// Memcheck-instrumented view (ompxsan): element accesses through it
+  /// are validated against the device allocation registry when kSanMem
+  /// is on, and cost one relaxed atomic load when it is off.
+  [[nodiscard]] san::GlobalPtr<T> checked() const {
+    return san::GlobalPtr<T>(ptr_, count_);
+  }
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
   [[nodiscard]] bool empty() const { return count_ == 0; }

@@ -1,0 +1,23 @@
+#include "core/ompx_san.h"
+
+extern "C" {
+
+void ompx_san_enable(const char* checks) {
+  simt::San::instance().enable(simt::San::parse_checks(checks));
+}
+
+void ompx_san_disable(void) { simt::San::instance().disable(); }
+
+unsigned ompx_san_enabled(void) { return simt::San::instance().checks(); }
+
+void ompx_san_reset(void) { simt::San::instance().reset(); }
+
+unsigned long long ompx_san_error_count(void) {
+  return simt::San::instance().error_count();
+}
+
+unsigned long long ompx_san_report(void) {
+  return simt::San::instance().print_report();
+}
+
+}  // extern "C"

@@ -1,0 +1,261 @@
+// ompxsan user-facing layer (see simt/san.h for the engine core).
+//
+// Activation, uniform across the layers like the profiler:
+//
+//   C        ompx_san_enable("race,mem,sync"), ompx_san_report(), ...
+//   C++      ompx::San san;            // RAII window, report on exit
+//   kl       klSanEnable("race,mem")   // see kl/kl.h
+//   env      OMPX_SAN=race,mem,sync    // process-wide + exit report
+//   bench    fig8_* / run_benchmark --san[=checks]
+//
+// Instrumented accessors (how kernel accesses reach the sanitizer —
+// the engine never patches raw pointers):
+//
+//   ompx::san::Shared<T> flag;             // one shared variable
+//   auto tile = ompx::san::shared_array<double>(256);  // shared array
+//   tile[tid] = x;                         // racecheck-instrumented
+//   auto a = buf.checked();                // DeviceBuffer -> GlobalPtr
+//   a[i] = y;                              // memcheck-instrumented
+//
+// Racecheck accesses are record-and-continue (the access still
+// happens; the conflict is reported). Memcheck accesses that would be
+// unsafe are *skipped*: a bad load returns a 0xDD-poisoned value, a
+// bad store is dropped — compute-sanitizer's behaviour, and what keeps
+// a diagnosed kernel from corrupting the host process.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "simt/atomics.h"
+#include "simt/memory.h"
+#include "simt/san.h"
+
+extern "C" {
+
+/// Enables sanitizer checks. `checks` uses the OMPX_SAN syntax
+/// ("race,mem,sync", "all", ...); NULL or "" enables everything.
+void ompx_san_enable(const char* checks);
+/// Disables every check (recorded diagnostics are kept).
+void ompx_san_disable(void);
+/// Bitmask of enabled checks (0 = off).
+unsigned ompx_san_enabled(void);
+/// Drops recorded diagnostics and zeroes counters.
+void ompx_san_reset(void);
+/// Findings recorded since the last reset.
+unsigned long long ompx_san_error_count(void);
+/// Prints the report ("ompxsan: N error(s)" + diagnostics) to stderr;
+/// returns the error count.
+unsigned long long ompx_san_report(void);
+
+}  // extern "C"
+
+namespace ompx {
+
+/// RAII sanitizer window: the constructor enables the given checks,
+/// the destructor prints the report to stderr and disables them. The
+/// static forms mirror the C API for non-scoped use.
+class San {
+ public:
+  explicit San(std::uint32_t checks = simt::kSanAll,
+               bool report_on_exit = true)
+      : report_on_exit_(report_on_exit) {
+    simt::San::instance().enable(checks);
+  }
+  ~San() {
+    if (report_on_exit_) simt::San::instance().print_report();
+    simt::San::instance().disable();
+  }
+  San(const San&) = delete;
+  San& operator=(const San&) = delete;
+
+  static void enable(std::uint32_t checks = simt::kSanAll) {
+    simt::San::instance().enable(checks);
+  }
+  static void disable() { simt::San::instance().disable(); }
+  static std::uint32_t enabled() { return simt::San::instance().checks(); }
+  static void reset() { simt::San::instance().reset(); }
+  static std::uint64_t error_count() {
+    return simt::San::instance().error_count();
+  }
+  static std::string report() { return simt::San::instance().report(); }
+
+ private:
+  bool report_on_exit_;
+};
+
+namespace san {
+
+/// Proxy for one racecheck-instrumented element of shared memory. The
+/// access always proceeds; a same-epoch cross-thread conflict is
+/// recorded. Sanitizer off: one relaxed atomic load, then the raw
+/// access.
+template <typename T>
+class SharedRef {
+ public:
+  explicit SharedRef(T* p) : p_(p) {}
+
+  operator T() const {  // NOLINT(google-explicit-constructor): proxy
+    if (simt::san_enabled(simt::kSanRace | simt::kSanMem))
+      simt::san_shared_access(p_, sizeof(T), /*is_write=*/false);
+    return *p_;
+  }
+  SharedRef& operator=(T v) {
+    if (simt::san_enabled(simt::kSanRace | simt::kSanMem))
+      simt::san_shared_access(p_, sizeof(T), /*is_write=*/true);
+    *p_ = v;
+    return *this;
+  }
+  SharedRef& operator=(const SharedRef& o) {
+    return *this = static_cast<T>(o);
+  }
+  SharedRef& operator+=(T v) { return *this = static_cast<T>(*this) + v; }
+  SharedRef& operator-=(T v) { return *this = static_cast<T>(*this) - v; }
+  SharedRef& operator*=(T v) { return *this = static_cast<T>(*this) * v; }
+
+  /// atomicAdd through the instrumented path: atomics are rendezvous
+  /// points, not races — the shadow records nothing for them, but a
+  /// plain access racing this address still reports.
+  T atomic_add(T v) {
+    if (simt::san_enabled(simt::kSanRace | simt::kSanMem))
+      simt::san_shared_access(p_, sizeof(T), /*is_write=*/true,
+                              /*is_atomic=*/true);
+    return simt::atomic_add(p_, v);
+  }
+
+  [[nodiscard]] T* raw() const { return p_; }
+
+ private:
+  T* p_;
+};
+
+/// Racecheck-instrumented view of a shared-memory array (what
+/// shared_array<T>() returns; also constructible over any
+/// groupprivate/dynamic_groupprivate pointer).
+template <typename T>
+class SharedSpan {
+ public:
+  SharedSpan() = default;
+  SharedSpan(T* p, std::size_t count) : p_(p), count_(count) {}
+
+  [[nodiscard]] SharedRef<T> operator[](std::size_t i) const {
+    return SharedRef<T>(p_ + i);
+  }
+  [[nodiscard]] T* raw() const { return p_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  T* p_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Allocates `count` Ts of block-shared storage (same funnel as
+/// ompx::groupprivate) wrapped in the instrumented span.
+template <typename T>
+SharedSpan<T> shared_array(std::size_t count) {
+  auto& t = simt::this_thread();
+  T* p = static_cast<T*>(
+      t.block->shared_alloc(t, count * sizeof(T), alignof(T)));
+  return SharedSpan<T>(p, count);
+}
+
+/// One racecheck-instrumented shared variable (the Shared<T> of the
+/// paper's groupprivate(team:), with the sanitizer watching it).
+template <typename T>
+class Shared {
+ public:
+  Shared() {
+    auto& t = simt::this_thread();
+    p_ = static_cast<T*>(t.block->shared_alloc(t, sizeof(T), alignof(T)));
+  }
+
+  [[nodiscard]] SharedRef<T> ref() const { return SharedRef<T>(p_); }
+  operator T() const { return static_cast<T>(ref()); }  // NOLINT: proxy
+  Shared& operator=(T v) {
+    ref() = v;
+    return *this;
+  }
+  Shared& operator+=(T v) {
+    ref() += v;
+    return *this;
+  }
+  T atomic_add(T v) { return ref().atomic_add(v); }
+  [[nodiscard]] T* raw() const { return p_; }
+
+ private:
+  T* p_;
+};
+
+namespace detail {
+template <typename T>
+T poison_value() {
+  T v;
+  std::memset(&v, simt::kFreePattern, sizeof(T));
+  return v;
+}
+}  // namespace detail
+
+/// Proxy for one memcheck-instrumented element of global memory. An
+/// access the registry rejects (OOB / use-after-free / host pointer)
+/// is recorded and *skipped*: the load returns a 0xDD-poisoned value,
+/// the store is dropped.
+template <typename T>
+class GlobalRef {
+ public:
+  explicit GlobalRef(T* p) : p_(p) {}
+
+  operator T() const {  // NOLINT(google-explicit-constructor): proxy
+    if (simt::san_enabled(simt::kSanMem) &&
+        !simt::san_global_access(p_, sizeof(T), /*is_write=*/false))
+      return detail::poison_value<T>();
+    return *p_;
+  }
+  GlobalRef& operator=(T v) {
+    if (simt::san_enabled(simt::kSanMem) &&
+        !simt::san_global_access(p_, sizeof(T), /*is_write=*/true))
+      return *this;  // unsafe store dropped
+    *p_ = v;
+    return *this;
+  }
+  GlobalRef& operator=(const GlobalRef& o) {
+    return *this = static_cast<T>(o);
+  }
+  GlobalRef& operator+=(T v) { return *this = static_cast<T>(*this) + v; }
+  GlobalRef& operator-=(T v) { return *this = static_cast<T>(*this) - v; }
+
+  T atomic_add(T v) {
+    if (simt::san_enabled(simt::kSanMem) &&
+        !simt::san_global_access(p_, sizeof(T), /*is_write=*/true))
+      return detail::poison_value<T>();
+    return simt::atomic_add(p_, v);
+  }
+
+  [[nodiscard]] T* raw() const { return p_; }
+
+ private:
+  T* p_;
+};
+
+/// Memcheck-instrumented view of a global-memory range (what
+/// DeviceBuffer<T>::checked() returns; also constructible over any
+/// raw device pointer).
+template <typename T>
+class GlobalPtr {
+ public:
+  GlobalPtr() = default;
+  explicit GlobalPtr(T* p, std::size_t count = 0) : p_(p), count_(count) {}
+
+  [[nodiscard]] GlobalRef<T> operator[](std::size_t i) const {
+    return GlobalRef<T>(p_ + i);
+  }
+  [[nodiscard]] GlobalRef<T> operator*() const { return GlobalRef<T>(p_); }
+  [[nodiscard]] T* raw() const { return p_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  T* p_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace san
+}  // namespace ompx

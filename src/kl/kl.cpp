@@ -238,6 +238,22 @@ klError klProfilerDump(const char* path) {
   });
 }
 
+klError klSanEnable(const char* checks) {
+  return guarded(
+      [&] { simt::San::instance().enable(simt::San::parse_checks(checks)); });
+}
+
+klError klSanDisable() {
+  return guarded([] { simt::San::instance().disable(); });
+}
+
+klError klSanReport(unsigned long long* errors) {
+  return guarded([&] {
+    const std::uint64_t n = simt::San::instance().print_report();
+    if (errors != nullptr) *errors = n;
+  });
+}
+
 namespace detail {
 klError launch_erased(const simt::LaunchParams& p, klStream_t stream,
                       simt::KernelFn fn) {

@@ -117,6 +117,14 @@ klError klProfilerStart();
 klError klProfilerStop();
 klError klProfilerDump(const char* path);
 
+/// ompxsan (see simt/san.h): the kl face of the uniform sanitizer API.
+/// `checks` uses the OMPX_SAN syntax ("race,mem,sync", "all"); null or
+/// "" enables everything. klSanReport prints the report to stderr and
+/// stores the error count in *errors (which may be null).
+klError klSanEnable(const char* checks);
+klError klSanDisable();
+klError klSanReport(unsigned long long* errors);
+
 // ------------------------------------------------------------- launch
 
 /// Per-kernel attributes: code-generation profile (registers, binary

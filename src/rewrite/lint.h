@@ -1,0 +1,63 @@
+// ompx_lint — the static side of ompxsan (see simt/san.h for the
+// dynamic side). A pattern-level lint over kernel source (CUDA or
+// ported ompx/kl), not a compiler: it catches the defect classes the
+// paper's bare mode makes easy to write, before a single launch runs.
+//
+// Rules:
+//   divergent-sync        a block-wide barrier (__syncthreads /
+//                         ompx_sync_thread_block / kl::syncthreads)
+//                         under a condition that depends on the thread
+//                         id — the canonical barrier-divergence
+//                         deadlock the engine's census reports at
+//                         run time.
+//   unsynced-shared-read  a read of a shared-memory variable after a
+//                         write with no block barrier in between
+//                         (statement-granular: the reduction idiom
+//                         `a[tid] += a[tid+s];` does not flag).
+//   unported-builtin      CUDA builtins left in ported code
+//                         (threadIdx.x, __syncthreads, __shared__, ...)
+//                         — `kl::threadIdx()` and other ::-qualified
+//                         uses never flag.
+//
+// A finding on a line containing `ompx-lint-allow` (or whose previous
+// line contains it) is suppressed — the annotation mechanism the CI
+// dogfood run uses for deliberate patterns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rewrite {
+
+enum class LintRule {
+  kDivergentSync,
+  kUnsyncedSharedRead,
+  kUnportedBuiltin,
+};
+
+/// Stable kebab-case rule name (what the output and tests key on).
+const char* lint_rule_name(LintRule r);
+
+struct LintFinding {
+  LintRule rule = LintRule::kDivergentSync;
+  int line = 0;        ///< 1-based source line
+  std::string symbol;  ///< offending token / shared variable
+  std::string message;
+};
+
+struct LintOptions {
+  bool check_divergent_sync = true;
+  bool check_shared_sync = true;
+  bool check_unported = true;
+};
+
+/// Lints one translation unit's text. Comments and string literals are
+/// ignored; `ompx-lint-allow` suppresses per line.
+std::vector<LintFinding> lint_source(const std::string& source,
+                                     const LintOptions& options = {});
+
+/// "file:line: [rule-name] message" lines, one per finding.
+std::string format_lint(const std::vector<LintFinding>& findings,
+                        const std::string& filename = "<input>");
+
+}  // namespace rewrite

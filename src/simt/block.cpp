@@ -1,10 +1,14 @@
 #include "simt/block.h"
 
+#include <algorithm>
 #include <bit>
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
 #include "simt/device.h"
+#include "simt/san.h"
 
 namespace simt {
 
@@ -341,18 +345,114 @@ void* BlockState::shared_alloc(ThreadCtx& ctx, std::size_t bytes,
                                std::size_t align) {
   const std::uint32_t k = shared_alloc_ordinal_[ctx.flat_tid]++;
   if (k < shared_vars_.size()) {
-    if (shared_vars_[k].bytes != bytes)
-      throw std::logic_error(
-          "shared allocation size diverged across threads at ordinal " +
-          std::to_string(k) + ": " + std::to_string(shared_vars_[k].bytes) +
-          " vs " + std::to_string(bytes));
-    return shared_vars_[k].ptr;
+    const SharedVar& v = shared_vars_[k];
+    if (v.bytes != bytes || v.align != align) {
+      std::string msg =
+          "shared allocation mismatch at ordinal " + std::to_string(k) +
+          " (kernel '" + params_.name + "', block " + block_idx_.to_string() +
+          "): thread " + std::to_string(ctx.flat_tid) + " requested " +
+          std::to_string(bytes) + " byte(s) aligned " + std::to_string(align) +
+          ", but thread " + std::to_string(v.first_tid) + " established " +
+          std::to_string(v.bytes) + " byte(s) aligned " +
+          std::to_string(v.align) +
+          " — every thread of a block must reach identical shared/"
+          "groupprivate allocations";
+      SanDiag d;
+      d.kind = SanKind::kSharedAllocMismatch;
+      d.message = msg;
+      d.kernel = params_.name;
+      d.block = block_idx_;
+      d.tid_a = ctx.flat_tid;
+      d.tid_b = v.first_tid;
+      d.bytes = bytes;
+      San::instance().record(std::move(d));
+      throw std::logic_error(msg);
+    }
+    return v.ptr;
   }
   if (k != shared_vars_.size())
-    throw std::logic_error("shared allocation sequence diverged across threads");
+    throw std::logic_error(
+        "shared allocation sequence diverged across threads: thread " +
+        std::to_string(ctx.flat_tid) + " is at ordinal " + std::to_string(k) +
+        " but only " + std::to_string(shared_vars_.size()) +
+        " block-level shared variables exist (kernel '" + params_.name +
+        "', block " + block_idx_.to_string() + ")");
   void* p = arena_.allocate(bytes, align);
-  shared_vars_.push_back({p, bytes});
+  shared_vars_.push_back({p, bytes, align, ctx.flat_tid});
   return p;
+}
+
+bool BlockState::san_shared_access(ThreadCtx& ctx, const void* ptr,
+                                   std::size_t bytes, bool is_write,
+                                   bool is_atomic) {
+  if (!arena_.contains(ptr)) return false;
+  if (!san_enabled(kSanRace) || bytes == 0) return true;
+  // Atomics are ordered rendezvous points, never data races — they
+  // bypass the shadow entirely (and do not clear prior state: a plain
+  // access racing with a *different* plain access still reports).
+  if (is_atomic) return true;
+  if (san_shadow_.empty()) san_shadow_.resize(arena_.capacity());
+  const std::size_t off = arena_.offset_of(ptr);
+  const std::size_t end = std::min(off + bytes, san_shadow_.size());
+  const std::uint32_t me = ctx.flat_tid + 1;
+  const auto epoch = static_cast<std::uint32_t>(barrier_epoch_);
+  bool reported = false;
+  for (std::size_t i = off; i < end; ++i) {
+    SanShadowCell& c = san_shadow_[i];
+    std::uint32_t other = 0;
+    const char* kind = nullptr;
+    if (is_write) {
+      if (c.writer != 0 && c.writer != me && c.writer_epoch == epoch) {
+        other = c.writer;
+        kind = "write-after-write";
+      } else if (c.reader != 0 && c.reader != me && c.reader_epoch == epoch) {
+        other = c.reader;
+        kind = "write-after-read";
+      }
+      c.writer = me;
+      c.writer_epoch = epoch;
+    } else {
+      if (c.writer != 0 && c.writer != me && c.writer_epoch == epoch) {
+        other = c.writer;
+        kind = "read-after-write";
+      }
+      if (c.reader == 0 || c.reader_epoch != epoch) {
+        c.reader = me;
+        c.reader_epoch = epoch;
+      } else if (c.reader != me) {
+        c.reader = kManyReaders;
+      }
+    }
+    if (kind == nullptr || reported) continue;
+    reported = true;  // one diagnostic per access, but keep updating shadow
+    SanDiag d;
+    d.kind = SanKind::kSharedRace;
+    d.kernel = params_.name;
+    d.block = block_idx_;
+    d.tid_a = ctx.flat_tid;
+    d.tid_b = other == kManyReaders ? kSanManyThreads : other - 1;
+    d.addr = static_cast<const std::uint8_t*>(ptr) + (i - off);
+    d.bytes = bytes;
+    d.epoch = barrier_epoch_;
+    char buf[256];
+    char whobuf[32];
+    if (other == kManyReaders) {
+      std::snprintf(whobuf, sizeof whobuf, "several threads");
+    } else {
+      std::snprintf(whobuf, sizeof whobuf, "thread %u", other - 1);
+    }
+    std::snprintf(
+        buf, sizeof buf,
+        "shared-memory race (%s): thread %u %s %zu byte(s) at shared+%zu "
+        "also touched by %s in the same barrier interval (epoch %" PRIu64
+        ") (kernel '%s', block %s)",
+        kind, ctx.flat_tid, is_write ? "writes" : "reads", bytes, i,
+        whobuf, barrier_epoch_, params_.name,
+        block_idx_.to_string().c_str());
+    d.message = buf;
+    San::instance().record(std::move(d));
+  }
+  return true;
 }
 
 void BlockState::deadlock(const char* where) const {
@@ -372,6 +472,20 @@ void BlockState::deadlock(const char* where) const {
          std::to_string(at_warp) + " in warp collectives. Divergent "
          "synchronization (threads of one block taking sync paths that can "
          "never all meet) is the usual cause.";
+  if (at_barrier > 0) {
+    msg += " [barrier divergence: the stranded threads wait at barrier "
+           "epoch " + std::to_string(barrier_epoch_) +
+           ", which the remaining threads can never release]";
+    if (san_enabled(kSanSync)) {
+      SanDiag d;
+      d.kind = SanKind::kBarrierDivergence;
+      d.kernel = params_.name;
+      d.block = block_idx_;
+      d.epoch = barrier_epoch_;
+      d.message = msg;
+      San::instance().record(std::move(d));
+    }
+  }
   throw std::runtime_error(msg);
 }
 

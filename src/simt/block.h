@@ -67,8 +67,18 @@ class BlockState {
   /// Funnelled shared-memory allocation: the k-th call of every thread
   /// returns the same pointer (one block-level variable per call site
   /// ordinal, the library equivalent of a __shared__ declaration).
-  /// Sizes must agree across threads.
+  /// Sizes and alignments must agree across threads; disagreement is
+  /// diagnosed with both thread ids and both requests.
   void* shared_alloc(ThreadCtx& ctx, std::size_t bytes, std::size_t align);
+
+  /// ompxsan racecheck entry (see simt/san.h): records a shared-memory
+  /// access against the per-byte shadow cells. Returns false when `ptr`
+  /// is not in this block's shared arena (the caller may then treat it
+  /// as a global access); true when it was handled here — including
+  /// "handled by doing nothing" when kSanRace is off or the access is
+  /// atomic.
+  bool san_shared_access(ThreadCtx& ctx, const void* ptr, std::size_t bytes,
+                         bool is_write, bool is_atomic);
 
   /// Base of the dynamic shared segment (extern __shared__).
   void* dynamic_shared() { return arena_.dynamic_base(); }
@@ -83,6 +93,7 @@ class BlockState {
   [[nodiscard]] std::uint32_t live_threads() const { return live_; }
   [[nodiscard]] Device& device() { return device_; }
   [[nodiscard]] const LaunchParams& params() const { return params_; }
+  [[nodiscard]] Dim3 block_index() const { return block_idx_; }
   [[nodiscard]] const BlockCounters& counters() const { return counters_; }
   [[nodiscard]] std::size_t shared_high_water() const {
     return arena_.high_water();
@@ -150,13 +161,30 @@ class BlockState {
   std::uint32_t barrier_arrived_ = 0;
   std::uint64_t barrier_epoch_ = 0;
 
-  // Shared-allocation funnel.
+  // Shared-allocation funnel. first_tid remembers who established the
+  // variable so a mismatch diagnostic can name both threads.
   struct SharedVar {
     void* ptr;
     std::size_t bytes;
+    std::size_t align;
+    std::uint32_t first_tid;
   };
   std::vector<SharedVar> shared_vars_;
   std::vector<std::uint32_t> shared_alloc_ordinal_;  // per thread
+
+  // ompxsan racecheck shadow: one cell per shared-arena byte, allocated
+  // lazily on the first instrumented access. The block runs single-OS-
+  // threaded, so no locking. tids are stored +1 (0 = no access yet);
+  // reader == kManyReaders means several distinct threads read the byte
+  // this epoch. Epochs are the block barrier epoch truncated to 32 bits.
+  struct SanShadowCell {
+    std::uint32_t writer = 0;
+    std::uint32_t writer_epoch = 0;
+    std::uint32_t reader = 0;
+    std::uint32_t reader_epoch = 0;
+  };
+  static constexpr std::uint32_t kManyReaders = ~0u;
+  std::vector<SanShadowCell> san_shadow_;
 
   std::vector<ThreadCtx> ctxs_;
   std::vector<Slot> slots_;

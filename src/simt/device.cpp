@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "simt/block.h"
 #include "simt/memory.h"
 #include "simt/profiler.h"
+#include "simt/san.h"
 #include "simt/stream.h"
 
 namespace simt {
@@ -45,7 +47,35 @@ Device::Device(DeviceConfig cfg, EngineOptions opts)
     g_fiber_stack_bytes.store(opts_.fiber_stack_bytes);
 }
 
-Device::~Device() = default;
+Device::~Device() {
+  // Teardown leak report, unconditional (cheap: one registry walk). A
+  // process that exits with live device allocations almost always
+  // forgot its frees — CUDA's cudaErrorLeak analogue. Under kSanMem the
+  // leaks are additionally recorded as sanitizer diagnostics so they
+  // appear in the OMPX_SAN exit report.
+  const std::vector<LeakInfo> leaks = mem_->leak_report();
+  if (!leaks.empty()) {
+    std::uint64_t bytes = 0;
+    for (const LeakInfo& l : leaks) bytes += l.bytes;
+    std::fprintf(stderr,
+                 "[simt] device '%s': %zu allocation(s) (%llu bytes) still "
+                 "live at teardown\n",
+                 cfg_.name.c_str(), leaks.size(),
+                 static_cast<unsigned long long>(bytes));
+    if (san_enabled(kSanMem)) {
+      for (const LeakInfo& l : leaks) {
+        SanDiag d;
+        d.kind = SanKind::kLeak;
+        d.addr = l.ptr;
+        d.bytes = l.bytes;
+        d.message = "leaked device allocation of " + std::to_string(l.bytes) +
+                    " byte(s) still live at teardown of device '" + cfg_.name +
+                    "'";
+        San::instance().record(std::move(d));
+      }
+    }
+  }
+}
 
 void Device::validate(const LaunchParams& p) const {
   if (p.grid.count() == 0 || p.block.count() == 0)

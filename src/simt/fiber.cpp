@@ -18,6 +18,33 @@
 #include <immintrin.h>
 #endif
 
+// ASan cannot follow a manual stack switch: it tracks one stack per OS
+// thread and misattributes frames (or crashes in __asan_handle_no_return
+// when an exception unwinds on a fiber stack) unless each switch is
+// announced through the fiber API. The annotations compile away when
+// ASan is off.
+#if defined(__SANITIZE_ADDRESS__)
+#define SIMT_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SIMT_FIBER_ASAN 1
+#endif
+#endif
+#ifndef SIMT_FIBER_ASAN
+#define SIMT_FIBER_ASAN 0
+#endif
+
+#if SIMT_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#define SIMT_ASAN_START_SWITCH(save, bottom, size) \
+  __sanitizer_start_switch_fiber(save, bottom, size)
+#define SIMT_ASAN_FINISH_SWITCH(fake, bottom, size) \
+  __sanitizer_finish_switch_fiber(fake, bottom, size)
+#else
+#define SIMT_ASAN_START_SWITCH(save, bottom, size) ((void)0)
+#define SIMT_ASAN_FINISH_SWITCH(fake, bottom, size) ((void)0)
+#endif
+
 namespace simt {
 
 namespace {
@@ -88,7 +115,10 @@ void Fiber::resume() {
   Fiber* prev = t_current_fiber;
   t_current_fiber = this;
   started_ = true;
+  [[maybe_unused]] void* host_fake = nullptr;
+  SIMT_ASAN_START_SWITCH(&host_fake, stack_, stack_size_);
   simt_fiber_swap(&link_->sp, ctx_->sp);
+  SIMT_ASAN_FINISH_SWITCH(host_fake, nullptr, nullptr);
   t_current_fiber = prev;
   if (exception_) {
     auto e = exception_;
@@ -98,16 +128,26 @@ void Fiber::resume() {
 }
 
 void Fiber::yield() {
+  SIMT_ASAN_START_SWITCH(&asan_fake_stack_, asan_link_stack_,
+                         asan_link_stack_size_);
   simt_fiber_swap(&ctx_->sp, link_->sp);
+  SIMT_ASAN_FINISH_SWITCH(asan_fake_stack_, &asan_link_stack_,
+                          &asan_link_stack_size_);
 }
 
 void Fiber::trampoline(Fiber* self) {
+  SIMT_ASAN_FINISH_SWITCH(nullptr, &self->asan_link_stack_,
+                          &self->asan_link_stack_size_);
   try {
     self->entry_();
   } catch (...) {
     self->exception_ = std::current_exception();
   }
   self->done_ = true;
+  // nullptr save slot: the fiber is terminating, so ASan frees its fake
+  // stack instead of keeping it for a return that never happens.
+  SIMT_ASAN_START_SWITCH(nullptr, self->asan_link_stack_,
+                         self->asan_link_stack_size_);
   // Final switch back to the scheduler. The save slot is never resumed
   // again; it only exists because the swap routine unconditionally saves.
   simt_fiber_swap(&self->ctx_->sp, self->link_->sp);
@@ -152,7 +192,10 @@ void Fiber::resume() {
   Fiber* prev = t_current_fiber;
   t_current_fiber = this;
   started_ = true;
+  [[maybe_unused]] void* host_fake = nullptr;
+  SIMT_ASAN_START_SWITCH(&host_fake, stack_, stack_size_);
   swapcontext(&link_->uc, &ctx_->uc);
+  SIMT_ASAN_FINISH_SWITCH(host_fake, nullptr, nullptr);
   t_current_fiber = prev;
   if (exception_) {
     auto e = exception_;
@@ -162,16 +205,26 @@ void Fiber::resume() {
 }
 
 void Fiber::yield() {
+  SIMT_ASAN_START_SWITCH(&asan_fake_stack_, asan_link_stack_,
+                         asan_link_stack_size_);
   swapcontext(&ctx_->uc, &link_->uc);
+  SIMT_ASAN_FINISH_SWITCH(asan_fake_stack_, &asan_link_stack_,
+                          &asan_link_stack_size_);
 }
 
 void Fiber::trampoline(Fiber* self) {
+  SIMT_ASAN_FINISH_SWITCH(nullptr, &self->asan_link_stack_,
+                          &self->asan_link_stack_size_);
   try {
     self->entry_();
   } catch (...) {
     self->exception_ = std::current_exception();
   }
   self->done_ = true;
+  // nullptr save slot: the fiber is terminating, so ASan frees its fake
+  // stack instead of keeping it for a return that never happens.
+  SIMT_ASAN_START_SWITCH(nullptr, self->asan_link_stack_,
+                         self->asan_link_stack_size_);
   // uc_link returns to the scheduler when this function falls off the end.
 }
 

@@ -84,6 +84,12 @@ class Fiber {
   std::exception_ptr exception_;   // escaped from entry, rethrown in resume
   bool started_ = false;
   bool done_ = false;
+
+  // ASan fiber-switch bookkeeping (see SIMT_ASAN_* in fiber.cpp). Kept
+  // unconditionally so the layout never depends on sanitizer flags.
+  void* asan_fake_stack_ = nullptr;        // this fiber's fake-stack save
+  const void* asan_link_stack_ = nullptr;  // scheduler stack bottom
+  std::size_t asan_link_stack_size_ = 0;
 };
 
 /// Recycles whole Fiber objects (and the stacks they lease) across

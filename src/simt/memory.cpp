@@ -1,22 +1,34 @@
 #include "simt/memory.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <stdexcept>
 #include <string>
 
+#include "simt/san.h"
+
 namespace simt {
 
 namespace {
 constexpr std::size_t kAlignment = 256;  // cudaMalloc guarantees >= 256
+
+std::size_t round_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
 }
+}  // namespace
 
 DeviceMemory::~DeviceMemory() {
   std::lock_guard lock(mu_);
-  for (auto& [base, size] : allocs_) {
-    (void)size;
-    std::free(reinterpret_cast<void*>(base));
+  for (auto& [base, info] : allocs_) {
+    (void)base;
+    std::free(reinterpret_cast<void*>(info.real_base));
+  }
+  for (auto& [base, info] : quarantine_) {
+    (void)base;
+    std::free(reinterpret_cast<void*>(info.real_base));
   }
 }
 
@@ -24,22 +36,96 @@ void* DeviceMemory::allocate(std::size_t bytes) {
   if (bytes == 0) return nullptr;
   std::lock_guard lock(mu_);
   if (in_use_ + bytes > capacity_) throw std::bad_alloc();
-  void* p = std::aligned_alloc(kAlignment, (bytes + kAlignment - 1) / kAlignment * kAlignment);
+  AllocInfo info;
+  info.bytes = bytes;
+  // Redzone width is one alignment quantum so the user pointer keeps
+  // the 256-byte guarantee. Only taken while the memcheck is enabled:
+  // the registry remembers per allocation, so toggling the sanitizer
+  // mid-process stays consistent.
+  info.redzone = san_enabled(kSanMem) ? kAlignment : 0;
+  info.footprint = round_up(bytes, kAlignment) + 2 * info.redzone;
+  void* p = std::aligned_alloc(kAlignment, info.footprint);
   if (p == nullptr) throw std::bad_alloc();
-  allocs_.emplace(reinterpret_cast<std::uintptr_t>(p), bytes);
+  info.real_base = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t user = info.real_base + info.redzone;
+  if (info.redzone != 0) {
+    // Poison the leading redzone and everything past the user bytes
+    // (alignment padding included — an overrun into it is still OOB).
+    std::memset(p, kRedzonePattern, info.redzone);
+    std::memset(reinterpret_cast<void*>(user + bytes), kRedzonePattern,
+                info.footprint - info.redzone - bytes);
+  }
+  allocs_.emplace(user, info);
   in_use_ += bytes;
-  return p;
+  return reinterpret_cast<void*>(user);
+}
+
+void DeviceMemory::verify_redzones_locked(std::uintptr_t user_base,
+                                          const AllocInfo& info) {
+  if (info.redzone == 0) return;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(info.real_base);
+  const std::size_t lead = info.redzone;
+  const std::size_t tail_start = lead + info.bytes;
+  for (std::size_t i = 0; i < info.footprint; ++i) {
+    if (i >= lead && i < tail_start) continue;
+    if (bytes[i] == kRedzonePattern) continue;
+    SanDiag d;
+    d.kind = SanKind::kRedzoneCorruption;
+    d.addr = reinterpret_cast<const void*>(info.real_base + i);
+    d.bytes = 1;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "redzone corrupted at free: byte %+" PRIdPTR
+                  " relative to the %zu-byte allocation at 0x%" PRIxPTR
+                  " was overwritten (0x%02x)",
+                  static_cast<std::intptr_t>(info.real_base + i) -
+                      static_cast<std::intptr_t>(user_base),
+                  info.bytes, user_base, bytes[i]);
+    d.message = buf;
+    San::instance().record(std::move(d));
+    return;  // one finding per allocation is enough
+  }
 }
 
 void DeviceMemory::deallocate(void* ptr) {
   if (ptr == nullptr) return;
   std::lock_guard lock(mu_);
-  auto it = allocs_.find(reinterpret_cast<std::uintptr_t>(ptr));
-  if (it == allocs_.end())
-    throw std::invalid_argument("DeviceMemory::deallocate: not a live device allocation");
-  in_use_ -= it->second;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = allocs_.find(addr);
+  if (it == allocs_.end()) {
+    if (quarantine_.count(addr) != 0)
+      throw std::invalid_argument(
+          "DeviceMemory::deallocate: double free (allocation was already "
+          "freed and is held in the sanitizer quarantine)");
+    throw std::invalid_argument(
+        "DeviceMemory::deallocate: not a live device allocation");
+  }
+  AllocInfo info = it->second;
+  in_use_ -= info.bytes;
   allocs_.erase(it);
-  std::free(ptr);
+  verify_redzones_locked(addr, info);
+  // Poison-on-free, unconditionally: a stale read of freed memory sees
+  // 0xDD garbage instead of plausible data, with or without ompxsan.
+  std::memset(ptr, kFreePattern, info.bytes);
+  if (!san_enabled(kSanMem)) {
+    std::free(reinterpret_cast<void*>(info.real_base));
+    return;
+  }
+  // Quarantine: keep the storage resident so instrumented accesses to
+  // it classify as use-after-free instead of landing in a recycled
+  // allocation. Bounded FIFO so long runs don't hoard memory.
+  quarantine_bytes_ += info.footprint;
+  quarantine_.emplace(addr, info);
+  quarantine_order_.push_back(addr);
+  while (quarantine_bytes_ > kQuarantineCap && !quarantine_order_.empty()) {
+    const std::uintptr_t oldest = quarantine_order_.front();
+    quarantine_order_.pop_front();
+    auto qit = quarantine_.find(oldest);
+    if (qit == quarantine_.end()) continue;
+    quarantine_bytes_ -= qit->second.footprint;
+    std::free(reinterpret_cast<void*>(qit->second.real_base));
+    quarantine_.erase(qit);
+  }
 }
 
 bool DeviceMemory::contains(const void* ptr) const {
@@ -48,13 +134,13 @@ bool DeviceMemory::contains(const void* ptr) const {
   auto it = allocs_.upper_bound(addr);
   if (it == allocs_.begin()) return false;
   --it;
-  return addr < it->first + it->second;
+  return addr < it->first + it->second.bytes;
 }
 
 std::size_t DeviceMemory::allocation_size(const void* ptr) const {
   std::lock_guard lock(mu_);
   auto it = allocs_.find(reinterpret_cast<std::uintptr_t>(ptr));
-  return it == allocs_.end() ? 0 : it->second;
+  return it == allocs_.end() ? 0 : it->second.bytes;
 }
 
 std::uint64_t DeviceMemory::bytes_in_use() const {
@@ -67,6 +153,69 @@ std::uint64_t DeviceMemory::live_allocations() const {
   return allocs_.size();
 }
 
+std::vector<LeakInfo> DeviceMemory::leak_report() const {
+  std::lock_guard lock(mu_);
+  std::vector<LeakInfo> leaks;
+  leaks.reserve(allocs_.size());
+  for (const auto& [base, info] : allocs_)
+    leaks.push_back({reinterpret_cast<const void*>(base), info.bytes});
+  return leaks;
+}
+
+MemAccessCheck DeviceMemory::check_access(const void* ptr,
+                                          std::size_t bytes) const {
+  if (bytes == 0) bytes = 1;
+  std::lock_guard lock(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  MemAccessCheck out;
+
+  // Live allocation at or below addr: in-bounds, overrun, or a hit in
+  // its footprint (tail redzone / padding).
+  auto it = allocs_.upper_bound(addr);
+  if (it != allocs_.begin()) {
+    auto prev = std::prev(it);
+    const std::uintptr_t user = prev->first;
+    const AllocInfo& info = prev->second;
+    if (addr < user + info.bytes) {
+      out.base = user;
+      out.size = info.bytes;
+      out.status = addr + bytes <= user + info.bytes
+                       ? MemAccessCheck::Status::kOk
+                       : MemAccessCheck::Status::kOob;
+      return out;
+    }
+    if (addr < info.real_base + info.footprint) {
+      out.base = user;
+      out.size = info.bytes;
+      out.status = MemAccessCheck::Status::kOob;
+      return out;
+    }
+  }
+  // Leading redzone of the next allocation (underrun).
+  if (it != allocs_.end()) {
+    const AllocInfo& next = it->second;
+    if (addr + bytes > next.real_base && addr >= next.real_base) {
+      out.base = it->first;
+      out.size = next.bytes;
+      out.status = MemAccessCheck::Status::kOob;
+      return out;
+    }
+  }
+  // Quarantined (freed) allocations, full footprint.
+  auto qit = quarantine_.upper_bound(addr);
+  if (qit != quarantine_.begin()) {
+    auto prev = std::prev(qit);
+    const AllocInfo& info = prev->second;
+    if (addr < info.real_base + info.footprint) {
+      out.base = prev->first;
+      out.size = info.bytes;
+      out.status = MemAccessCheck::Status::kFreed;
+      return out;
+    }
+  }
+  return out;  // kUnknown
+}
+
 void DeviceMemory::validate_device_range(const void* ptr, std::size_t bytes,
                                          const char* what) const {
   std::lock_guard lock(mu_);
@@ -74,7 +223,8 @@ void DeviceMemory::validate_device_range(const void* ptr, std::size_t bytes,
   auto it = allocs_.upper_bound(addr);
   if (it != allocs_.begin()) {
     --it;
-    if (addr >= it->first && addr + bytes <= it->first + it->second) return;
+    if (addr >= it->first && addr + bytes <= it->first + it->second.bytes)
+      return;
   }
   throw std::out_of_range(std::string(what) +
                           ": range is not within a live device allocation");

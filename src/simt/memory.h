@@ -6,16 +6,51 @@
 // distinction (is_device_ptr), device capacity, and double-free /
 // invalid-free errors — the failure modes libomptarget and the CUDA
 // runtime check for.
+//
+// The registry doubles as the memcheck substrate for ompxsan (see
+// simt/san.h): with kSanMem enabled, allocations grow poisoned
+// redzones (verified on free, so raw-pointer overruns surface),
+// freed blocks are quarantined so use-after-free is detectable, and
+// check_access() classifies an arbitrary pointer range for the
+// instrumented accessors. Independent of the sanitizer, every free
+// poison-fills the payload (0xDD) and leak_report() lists what is
+// still live — Device teardown logs it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace simt {
 
 enum class CopyKind { kHostToDevice, kDeviceToHost, kDeviceToDevice, kHostToHost };
+
+/// Fill patterns (AddressSanitizer-style conventions).
+inline constexpr unsigned char kRedzonePattern = 0xAB;  ///< guard bands
+inline constexpr unsigned char kFreePattern = 0xDD;     ///< freed payload
+
+/// Result of classifying a pointer range against the registry
+/// (ompxsan memcheck; see DeviceMemory::check_access).
+struct MemAccessCheck {
+  enum class Status {
+    kOk,       ///< fully inside one live allocation
+    kOob,      ///< touches a live allocation's redzone / runs past it
+    kFreed,    ///< inside a quarantined (freed) allocation
+    kUnknown,  ///< no allocation of this space involved
+  };
+  Status status = Status::kUnknown;
+  std::uintptr_t base = 0;  ///< user base of the allocation involved
+  std::size_t size = 0;     ///< its user size in bytes
+};
+
+/// One live allocation, as reported at device teardown.
+struct LeakInfo {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+};
 
 class DeviceMemory {
  public:
@@ -28,11 +63,15 @@ class DeviceMemory {
 
   /// Allocates `bytes` of device memory (256-byte aligned, like CUDA).
   /// Returns nullptr for bytes == 0. Throws std::bad_alloc when the
-  /// device capacity would be exceeded.
+  /// device capacity would be exceeded. With kSanMem enabled the block
+  /// is bracketed by poisoned redzones (not counted against capacity).
   void* allocate(std::size_t bytes);
 
   /// Frees a pointer returned by allocate(). Throws std::invalid_argument
   /// on non-device or already-freed pointers. nullptr is a no-op.
+  /// Always poison-fills the payload (kFreePattern); verifies redzone
+  /// poison when present (corruption becomes a SanDiag); quarantines
+  /// the block instead of releasing it while kSanMem is enabled.
   void deallocate(void* ptr);
 
   /// True if `ptr` points into any live device allocation (interior
@@ -45,6 +84,17 @@ class DeviceMemory {
   [[nodiscard]] std::uint64_t bytes_in_use() const;
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t live_allocations() const;
+
+  /// Every live allocation (base pointer + user size), for the
+  /// teardown leak report.
+  [[nodiscard]] std::vector<LeakInfo> leak_report() const;
+
+  /// Classifies the byte range [ptr, ptr+bytes) for the memcheck
+  /// accessors: inside a live allocation, out of its bounds (redzone /
+  /// overrun / underrun), inside a quarantined free, or unknown to
+  /// this space. bytes == 0 is treated as 1.
+  [[nodiscard]] MemAccessCheck check_access(const void* ptr,
+                                            std::size_t bytes) const;
 
   /// Copies with device-pointer validation appropriate to `kind`.
   /// Returns the byte count (for transfer accounting by the caller).
@@ -62,14 +112,31 @@ class DeviceMemory {
                       std::size_t height, CopyKind kind) const;
 
  private:
+  /// Registry entry. real_base == user base and redzone == 0 for
+  /// allocations made while the sanitizer was off.
+  struct AllocInfo {
+    std::size_t bytes = 0;         ///< user size
+    std::uintptr_t real_base = 0;  ///< what aligned_alloc returned
+    std::size_t redzone = 0;       ///< guard bytes on each side
+    std::size_t footprint = 0;     ///< total bytes from real_base
+  };
+
   void validate_device_range(const void* ptr, std::size_t bytes,
                              const char* what) const;
+  void verify_redzones_locked(std::uintptr_t user_base, const AllocInfo& info);
 
   std::uint64_t capacity_;
   mutable std::mutex mu_;
   std::uint64_t in_use_ = 0;
-  // base pointer -> size; ordered so interior-pointer lookup is O(log n).
-  std::map<std::uintptr_t, std::size_t> allocs_;
+  // user base pointer -> info; ordered so interior-pointer lookup is
+  // O(log n).
+  std::map<std::uintptr_t, AllocInfo> allocs_;
+  // Quarantine of freed blocks (kSanMem): storage stays resident so
+  // use-after-free is classifiable; bounded FIFO eviction.
+  std::map<std::uintptr_t, AllocInfo> quarantine_;
+  std::deque<std::uintptr_t> quarantine_order_;
+  std::uint64_t quarantine_bytes_ = 0;
+  static constexpr std::uint64_t kQuarantineCap = 64ull << 20;
 };
 
 }  // namespace simt

@@ -10,7 +10,7 @@ namespace simt {
 
 namespace telemetry_detail {
 std::atomic<bool> g_enabled{false};
-thread_local bool t_in_stream_op = false;
+constinit thread_local bool t_in_stream_op = false;
 }  // namespace telemetry_detail
 
 namespace {

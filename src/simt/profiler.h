@@ -96,7 +96,7 @@ extern std::atomic<bool> g_enabled;
 /// True on an executor thread while it runs a stream op: the executor
 /// records the span itself (it knows the stream track and modeled
 /// start), so the inner launch_sync/add_transfer must not double-record.
-extern thread_local bool t_in_stream_op;
+extern constinit thread_local bool t_in_stream_op;
 }  // namespace telemetry_detail
 
 /// The hot-path guard: one relaxed atomic load when tracing is off.

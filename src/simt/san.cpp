@@ -1,0 +1,227 @@
+#include "simt/san.h"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "simt/block.h"
+#include "simt/device.h"
+#include "simt/kernel.h"
+#include "simt/memory.h"
+
+namespace simt {
+
+namespace san_detail {
+constinit std::atomic<std::uint32_t> g_checks{0};
+}  // namespace san_detail
+
+namespace {
+
+/// OMPX_SAN=race,mem,sync: enable at process start, print the report
+/// to stderr at exit. Lives in this TU, which links in whenever any
+/// layer references the sanitizer.
+struct EnvActivation {
+  EnvActivation() {
+    const char* spec = std::getenv("OMPX_SAN");
+    if (spec == nullptr || spec[0] == '\0') return;
+    San::instance().enable(San::parse_checks(spec));
+    std::atexit([] { San::instance().print_report(stderr); });
+  }
+} g_env_activation;
+
+}  // namespace
+
+const char* san_kind_name(SanKind k) {
+  switch (k) {
+    case SanKind::kSharedRace: return "shared-race";
+    case SanKind::kGlobalOob: return "out-of-bounds";
+    case SanKind::kUseAfterFree: return "use-after-free";
+    case SanKind::kHostPointer: return "host-pointer";
+    case SanKind::kRedzoneCorruption: return "redzone-corruption";
+    case SanKind::kInvalidWarpMask: return "invalid-warp-mask";
+    case SanKind::kBarrierDivergence: return "barrier-divergence";
+    case SanKind::kSharedAllocMismatch: return "shared-alloc-mismatch";
+    case SanKind::kLeak: return "leak";
+  }
+  return "?";
+}
+
+San& San::instance() {
+  static San* s = new San;  // leaked: see header
+  return *s;
+}
+
+void San::enable(std::uint32_t checks) {
+  san_detail::g_checks.fetch_or(checks & kSanAll, std::memory_order_relaxed);
+}
+
+void San::disable() {
+  san_detail::g_checks.store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t San::parse_checks(const char* spec) {
+  if (spec == nullptr) return kSanAll;
+  const std::string s = spec;
+  if (s.empty() || s == "1" || s == "on" || s == "true" || s == "all")
+    return kSanAll;
+  std::uint32_t checks = 0;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    if (tok == "race") checks |= kSanRace;
+    else if (tok == "mem") checks |= kSanMem;
+    else if (tok == "sync") checks |= kSanSync;
+    else if (tok == "all") checks |= kSanAll;
+    // unknown tokens are ignored (forward compatibility)
+    pos = comma + 1;
+  }
+  return checks == 0 ? kSanAll : checks;
+}
+
+void San::reset() {
+  std::lock_guard lock(mu_);
+  diags_.clear();
+  for (auto& c : by_kind_) c = 0;
+  total_.store(0, std::memory_order_relaxed);
+}
+
+void San::record(SanDiag diag) {
+  std::lock_guard lock(mu_);
+  by_kind_[static_cast<std::size_t>(diag.kind)]++;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (diags_.size() < kMaxStored) diags_.push_back(std::move(diag));
+}
+
+std::uint64_t San::count(SanKind k) const {
+  std::lock_guard lock(mu_);
+  return by_kind_[static_cast<std::size_t>(k)];
+}
+
+std::vector<SanDiag> San::diagnostics() const {
+  std::lock_guard lock(mu_);
+  return diags_;
+}
+
+std::string San::report() const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  std::string out = "== ompxsan report ==\n";
+  out += "ompxsan: " + std::to_string(total) + " error(s)\n";
+  if (total == 0) return out;
+  constexpr SanKind kKinds[] = {
+      SanKind::kSharedRace,        SanKind::kGlobalOob,
+      SanKind::kUseAfterFree,      SanKind::kHostPointer,
+      SanKind::kRedzoneCorruption, SanKind::kInvalidWarpMask,
+      SanKind::kBarrierDivergence, SanKind::kSharedAllocMismatch,
+      SanKind::kLeak};
+  for (SanKind k : kKinds) {
+    const std::uint64_t n = by_kind_[static_cast<std::size_t>(k)];
+    if (n != 0)
+      out += "  " + std::string(san_kind_name(k)) + ": " + std::to_string(n) +
+             "\n";
+  }
+  for (const SanDiag& d : diags_)
+    out += "  [" + std::string(san_kind_name(d.kind)) + "] " + d.message + "\n";
+  if (total > diags_.size())
+    out += "  (" + std::to_string(total - diags_.size()) +
+           " further diagnostics elided)\n";
+  return out;
+}
+
+std::uint64_t San::print_report(std::FILE* f) const {
+  if (f == nullptr) f = stderr;
+  const std::string r = report();
+  std::fputs(r.c_str(), f);
+  return error_count();
+}
+
+// --- hooks ---------------------------------------------------------------
+
+void san_shared_access(const void* ptr, std::size_t bytes, bool is_write,
+                       bool is_atomic) {
+  if (!in_kernel()) return;
+  ThreadCtx& t = this_thread();
+  if (t.block->san_shared_access(t, ptr, bytes, is_write, is_atomic)) return;
+  // Not a shared-arena pointer: treat it as a global access so a
+  // Shared<T> wrapped around the wrong pointer still gets memcheck.
+  if (san_enabled(kSanMem)) (void)san_global_access(ptr, bytes, is_write);
+}
+
+namespace {
+
+std::string ptr_str(const void* p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%" PRIxPTR,
+                reinterpret_cast<std::uintptr_t>(p));
+  return buf;
+}
+
+std::string where_str(const ThreadCtx& t) {
+  return std::string(" (kernel '") + t.block->params().name + "', block " +
+         t.block_idx.to_string() + ", thread " + std::to_string(t.flat_tid) +
+         ")";
+}
+
+}  // namespace
+
+bool san_global_access(const void* ptr, std::size_t bytes, bool is_write) {
+  if (!in_kernel()) return true;
+  ThreadCtx& t = this_thread();
+  using Status = MemAccessCheck::Status;
+  MemAccessCheck chk = t.device->memory().check_access(ptr, bytes);
+  if (chk.status == Status::kOk) return true;
+  if (chk.status == Status::kUnknown) {
+    const MemAccessCheck cchk =
+        t.device->constant_memory().check_access(ptr, bytes);
+    if (cchk.status == Status::kOk) return true;
+    if (cchk.status != Status::kUnknown) chk = cchk;
+  }
+
+  const char* verb = is_write ? "write" : "read";
+  SanDiag d;
+  d.kernel = t.block->params().name;
+  d.block = t.block_idx;
+  d.tid_a = t.flat_tid;
+  d.addr = ptr;
+  d.bytes = bytes;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  switch (chk.status) {
+    case Status::kOob: {
+      d.kind = SanKind::kGlobalOob;
+      std::string rel;
+      if (addr >= chk.base + chk.size)
+        rel = std::to_string(addr - (chk.base + chk.size)) +
+              " bytes past the end";
+      else if (addr < chk.base)
+        rel = std::to_string(chk.base - addr) + " bytes before the start";
+      else
+        rel = "overrunning the end";
+      d.message = "out-of-bounds " + std::string(verb) + " of " +
+                  std::to_string(bytes) + " byte(s) at " + ptr_str(ptr) +
+                  ", " + rel + " of the " + std::to_string(chk.size) +
+                  "-byte allocation at " +
+                  ptr_str(reinterpret_cast<void*>(chk.base)) + where_str(t);
+      break;
+    }
+    case Status::kFreed:
+      d.kind = SanKind::kUseAfterFree;
+      d.message = "use-after-free " + std::string(verb) + " of " +
+                  std::to_string(bytes) + " byte(s) at " + ptr_str(ptr) +
+                  " inside the freed " + std::to_string(chk.size) +
+                  "-byte allocation at " +
+                  ptr_str(reinterpret_cast<void*>(chk.base)) + where_str(t);
+      break;
+    default:
+      d.kind = SanKind::kHostPointer;
+      d.message = "kernel " + std::string(verb) + " of " +
+                  std::to_string(bytes) + " byte(s) through " + ptr_str(ptr) +
+                  ", which is not a device allocation "
+                  "(host pointer reached kernel code?)" + where_str(t);
+      break;
+  }
+  San::instance().record(std::move(d));
+  return false;
+}
+
+}  // namespace simt

@@ -1,0 +1,175 @@
+// ompxsan — the engine's compute-sanitizer (the analogue of NVIDIA's
+// compute-sanitizer for this CPU-hosted reproduction).
+//
+// Three opt-in check families, combinable as a bitmask:
+//
+//  * kSanRace  — shared-memory racecheck. The cooperative block
+//    scheduler runs every thread of a block on one OS thread with a
+//    deterministic interleave, so a shadow cell per shared-arena byte
+//    (last writer, last reader, each stamped with the block's barrier
+//    epoch) detects RAW/WAW/WAR pairs *exactly*: two different threads
+//    touching overlapping bytes inside the same barrier interval, at
+//    least one write. Accesses flow in through the instrumented
+//    accessors (ompx::san::Shared<T> / san_shared_access), never by
+//    patching raw pointers — the sanitizer sees what you route
+//    through it.
+//  * kSanMem   — device memcheck. Instrumented global-memory accesses
+//    (ompx::san::GlobalPtr<T> / DeviceBuffer::checked()) are validated
+//    against DeviceMemory's registry: out-of-bounds, use-after-free
+//    (freed blocks are quarantined while the check is on), and
+//    host-pointer-in-kernel. Allocations additionally grow redzones
+//    whose poison pattern is verified on free, so plain raw-pointer
+//    overruns surface too, and frees poison-fill the payload (0xDD).
+//  * kSanSync  — divergence/sync checks. Warp collective masks are
+//    validated against the warp's live lanes (naming an exited lane is
+//    an error, not a silent drop), and a deadlock whose census shows
+//    threads stranded at the block barrier is reported as a named
+//    barrier-divergence diagnostic with the barrier epoch.
+//
+// The off state costs one relaxed atomic load per instrumented access
+// (san_enabled), mirroring simt/profiler.h. Activation is uniform
+// across the layers: San::instance().enable(), ompx_san_enable (C),
+// ompx::San (RAII), klSanEnable (kl), OMPX_SAN=race,mem,sync (env,
+// which also prints the report at process exit), and --san on the
+// bench CLIs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simt/dim.h"
+
+namespace simt {
+
+/// Check families (bitmask).
+inline constexpr std::uint32_t kSanRace = 1u;  ///< shared-memory racecheck
+inline constexpr std::uint32_t kSanMem = 2u;   ///< device memcheck
+inline constexpr std::uint32_t kSanSync = 4u;  ///< divergence/sync checks
+inline constexpr std::uint32_t kSanAll = kSanRace | kSanMem | kSanSync;
+
+namespace san_detail {
+/// The sanitizer switch. Read relaxed on every instrumented access;
+/// written only by San::enable/disable.
+extern constinit std::atomic<std::uint32_t> g_checks;
+}  // namespace san_detail
+
+/// The hot-path guard: one relaxed atomic load when the sanitizer is
+/// off. `checks` is any OR of kSanRace/kSanMem/kSanSync.
+inline bool san_enabled(std::uint32_t checks) {
+  return (san_detail::g_checks.load(std::memory_order_relaxed) & checks) != 0;
+}
+
+/// Diagnostic categories — the "exact diagnostic" tests assert on.
+enum class SanKind : std::uint8_t {
+  kSharedRace,          ///< RAW/WAW/WAR on shared memory, same epoch
+  kGlobalOob,           ///< access outside a live allocation's bounds
+  kUseAfterFree,        ///< access to a freed (quarantined) allocation
+  kHostPointer,         ///< kernel access through a non-device pointer
+  kRedzoneCorruption,   ///< redzone poison damaged, found at free
+  kInvalidWarpMask,     ///< collective mask vs live/member lanes
+  kBarrierDivergence,   ///< deadlock census: threads stranded at barrier
+  kSharedAllocMismatch, ///< groupprivate size/align diverged per thread
+  kLeak,                ///< live allocation at device teardown
+};
+
+const char* san_kind_name(SanKind k);
+
+/// One sanitizer finding. tid fields are flat thread ids within the
+/// block (~0u = not applicable; kSanManyThreads = several distinct).
+struct SanDiag {
+  SanKind kind = SanKind::kSharedRace;
+  std::string message;       ///< full human-readable diagnostic
+  std::string kernel;        ///< launch name ("" for host-side findings)
+  Dim3 block{0, 0, 0};       ///< block index of the offending access
+  std::uint32_t tid_a = ~0u; ///< second (reporting) thread of a pair
+  std::uint32_t tid_b = ~0u; ///< first (recorded) thread of a pair
+  const void* addr = nullptr;
+  std::size_t bytes = 0;
+  std::uint64_t epoch = 0;   ///< barrier epoch of the conflict
+};
+
+/// Sentinel for "several distinct threads" in SanDiag::tid_b.
+inline constexpr std::uint32_t kSanManyThreads = 0xFFFFFFFEu;
+
+/// The process-wide sanitizer: switch, diagnostic sink, report
+/// formatter. Thread-safe; the singleton is leaked so atexit reports
+/// and late host-side findings (device teardown) stay safe.
+class San {
+ public:
+  static San& instance();
+
+  /// Turns the given check families on (OR into the current mask).
+  void enable(std::uint32_t checks = kSanAll);
+  /// Turns every check off (diagnostics are kept until reset()).
+  void disable();
+  [[nodiscard]] std::uint32_t checks() const {
+    return san_detail::g_checks.load(std::memory_order_relaxed);
+  }
+
+  /// Parses "race,mem,sync" / "all" / "1" (OMPX_SAN syntax) into a
+  /// check mask. Unknown tokens are ignored; an empty or pure-boolean
+  /// value means every check.
+  static std::uint32_t parse_checks(const char* spec);
+
+  /// Drops every recorded diagnostic and zeroes the counters (the
+  /// enabled mask is untouched).
+  void reset();
+
+  /// Appends a finding. The first kMaxStored diagnostics are kept
+  /// verbatim; later ones only count (the report says how many were
+  /// elided). Never throws.
+  void record(SanDiag diag);
+
+  /// Total findings recorded since the last reset (including elided).
+  [[nodiscard]] std::uint64_t error_count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// Findings of one category.
+  [[nodiscard]] std::uint64_t count(SanKind k) const;
+  /// Copy of the stored diagnostics (at most kMaxStored).
+  [[nodiscard]] std::vector<SanDiag> diagnostics() const;
+
+  /// Human-readable report. Always contains the line
+  /// "ompxsan: <N> error(s)" so scripts can assert on zero.
+  [[nodiscard]] std::string report() const;
+  /// Writes report() to `f` (default stderr); returns error_count().
+  std::uint64_t print_report(std::FILE* f = nullptr) const;
+
+  static constexpr std::size_t kMaxStored = 256;
+
+ private:
+  San() = default;
+
+  mutable std::mutex mu_;
+  std::vector<SanDiag> diags_;
+  std::uint64_t by_kind_[9] = {};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+// --- instrumented-access hooks (called by the ompx::san accessors and
+// --- any layer that wants checked loads/stores) --------------------------
+
+/// Racecheck hook: records a shared-memory access by the calling GPU
+/// thread. Outside a kernel, or for a pointer that is not in the
+/// calling block's shared arena, this is a no-op (a pointer that is
+/// device-global instead falls through to san_global_access when
+/// kSanMem is also on). Call only under san_enabled(kSanRace).
+void san_shared_access(const void* ptr, std::size_t bytes, bool is_write,
+                       bool is_atomic = false);
+
+/// Memcheck hook: validates a global-memory access by the calling GPU
+/// thread against the device's allocation registry. Returns true when
+/// the access is safe to perform; false when it must be skipped (OOB /
+/// use-after-free / host pointer — a diagnostic has been recorded).
+/// Outside a kernel it is a no-op returning true (host code touches
+/// simulated device memory legitimately). Call only under
+/// san_enabled(kSanMem).
+[[nodiscard]] bool san_global_access(const void* ptr, std::size_t bytes,
+                                     bool is_write);
+
+}  // namespace simt

@@ -37,6 +37,19 @@ class SharedArena {
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
+  /// True if `p` points into this arena's storage (ompxsan uses this to
+  /// route an instrumented access to the racecheck shadow cells).
+  [[nodiscard]] bool contains(const void* p) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const auto b = reinterpret_cast<std::uintptr_t>(buf_.data());
+    return a >= b && a < b + buf_.size();
+  }
+  /// Byte offset of `p` from the arena base. Only valid when contains(p).
+  [[nodiscard]] std::size_t offset_of(const void* p) const {
+    return static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(p) -
+                                    reinterpret_cast<std::uintptr_t>(buf_.data()));
+  }
+
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t dynamic_bytes_;

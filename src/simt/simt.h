@@ -10,6 +10,7 @@
 #include "simt/memory.h"
 #include "simt/perf.h"
 #include "simt/profiler.h"
+#include "simt/san.h"
 #include "simt/shared_arena.h"
 #include "simt/stream.h"
 #include "simt/warp.h"

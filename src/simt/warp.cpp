@@ -1,13 +1,39 @@
 #include "simt/warp.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
 #include "simt/block.h"
+#include "simt/device.h"
 #include "simt/kernel.h"
+#include "simt/san.h"
 
 namespace simt {
+
+namespace {
+
+/// kSanSync: record an invalid-mask / divergent-collective finding
+/// before the throw that reports it to the kernel (record-and-throw:
+/// the exception carries the story to the launch site, the SanDiag to
+/// the report).
+void record_mask_diag(BlockState& block, std::uint32_t flat_tid,
+                      std::string msg) {
+  if (!san_enabled(kSanSync)) return;
+  SanDiag d;
+  d.kind = SanKind::kInvalidWarpMask;
+  d.kernel = block.params().name;
+  d.block = block.block_index();
+  d.tid_a = flat_tid;
+  d.message = std::move(msg);
+  d.message += std::string(" (kernel '") + block.params().name + "', block " +
+               block.block_index().to_string() + ", thread " +
+               std::to_string(flat_tid) + ")";
+  San::instance().record(std::move(d));
+}
+
+}  // namespace
 
 WarpState::WarpState(BlockState& block, std::uint32_t warp_id, std::uint32_t width)
     : block_(block), warp_id_(warp_id), width_(width),
@@ -24,24 +50,57 @@ std::uint64_t WarpState::collective(ThreadCtx& ctx, WarpOp op,
         "warp collective in ExecMode::kDirect; launch cooperatively");
   const std::uint32_t lane = ctx.lane;
   const LaneMask bit = 1ull << lane;
+  const LaneMask requested = mask;
   mask &= member_mask_;
-  if (mask == 0)
+  if (mask == 0) {
+    record_mask_diag(block_, ctx.flat_tid,
+                     "warp collective: empty lane mask");
     throw std::invalid_argument("warp collective: empty lane mask");
-  if ((mask & bit) == 0)
-    throw std::logic_error("warp collective: calling lane " +
-                           std::to_string(lane) + " not in its own mask");
+  }
+  if ((mask & bit) == 0) {
+    std::string what = "warp collective: calling lane " +
+                       std::to_string(lane) + " not in its own mask";
+    record_mask_diag(block_, ctx.flat_tid, what);
+    throw std::logic_error(what);
+  }
+  // kSanSync: a *partial* mask that explicitly names an already-exited
+  // lane can never rendezvous — CUDA hangs; we diagnose. The default
+  // full mask (~0ull, or all member lanes) is exempt: "everyone still
+  // here" is its documented meaning, and exited lanes stop counting.
+  if (san_enabled(kSanSync) && requested != ~0ull && mask != member_mask_ &&
+      (mask & ~live_mask_) != 0) {
+    const auto dead = mask & ~live_mask_;
+    std::string what =
+        "warp collective: mask names exited lane(s) (mask 0x" +
+        [&] {
+          char b[24];
+          std::snprintf(b, sizeof b, "%llx, dead 0x%llx",
+                        static_cast<unsigned long long>(requested),
+                        static_cast<unsigned long long>(dead));
+          return std::string(b);
+        }() +
+        ") — the collective could never complete on real hardware";
+    record_mask_diag(block_, ctx.flat_tid, what);
+    throw std::logic_error(what);
+  }
 
   if (arrived_ == 0) {
     op_ = op;
     op_mask_ = mask & live_mask_;
   } else {
-    if (op != op_)
-      throw std::logic_error(
+    if (op != op_) {
+      std::string what =
           "warp collective: lanes of one warp reached different collective "
-          "operations (divergent collectives are not supported)");
-    if ((mask & live_mask_) != op_mask_)
-      throw std::logic_error(
-          "warp collective: lanes passed different masks to one collective");
+          "operations (divergent collectives are not supported)";
+      record_mask_diag(block_, ctx.flat_tid, what);
+      throw std::logic_error(what);
+    }
+    if ((mask & live_mask_) != op_mask_) {
+      std::string what =
+          "warp collective: lanes passed different masks to one collective";
+      record_mask_diag(block_, ctx.flat_tid, what);
+      throw std::logic_error(what);
+    }
   }
   value_[lane] = value;
   param_[lane] = param;
@@ -168,11 +227,16 @@ void WarpState::release() {
 void WarpState::on_lane_exit(std::uint32_t lane) {
   const LaneMask bit = 1ull << lane;
   live_mask_ &= ~bit;
-  if (arrived_ != 0 && (op_mask_ & bit) != 0 && (arrived_ & bit) == 0)
-    throw std::logic_error(
+  if (arrived_ != 0 && (op_mask_ & bit) != 0 && (arrived_ & bit) == 0) {
+    std::string what =
         "thread exited its kernel while named in a pending warp collective "
         "mask (warp " + std::to_string(warp_id_) + ", lane " +
-        std::to_string(lane) + ")");
+        std::to_string(lane) + ")";
+    record_mask_diag(block_, warp_id_ * block_.device().config().warp_size +
+                                 lane,
+                     what);
+    throw std::logic_error(what);
+  }
 }
 
 }  // namespace simt
