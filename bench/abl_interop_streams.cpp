@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   // interop stream — the timeline this ablation is about.
   bench::TraceGuard trace(argc, argv, "abl_interop_streams_trace.json");
   bench::SanGuard san(argc, argv);
+  bench::ShardGuard shard(argc, argv);
   std::printf("=== Ablation A5 — depend(interopobj:) streams vs synchronous "
               "launches ===\n(%d independent chains x %d kernels)\n\n",
               kChains, kKernelsPerChain);

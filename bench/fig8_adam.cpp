@@ -4,6 +4,7 @@
 int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_adam_trace.json");
   bench::SanGuard san(argc, argv);
+  bench::ShardGuard shard(argc, argv);
   bench::run_fig8({
       "Adam", "8e", "8k",
       "ompx matches cuda on the A100 and is ~16.6% faster than hip on the "

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,34 @@ class SanGuard {
 
  private:
   std::uint32_t checks_ = 0;
+};
+
+/// `--devices=N` support for the bench CLIs: shard every plain
+/// synchronous ompx::launch across the first N registry devices
+/// (ompx::set_shard_devices) for the guard's lifetime. N is clamped
+/// to [1, device count]; results are bit-identical to a single-device
+/// run and the combined LaunchRecord lands on the primary device.
+class ShardGuard {
+ public:
+  ShardGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--devices=", 0) == 0) devices_ = std::atoi(arg.c_str() + 10);
+    }
+    if (devices_ > 1) {
+      ompx::set_shard_devices(devices_);
+      std::fprintf(stderr, "sharding launches across %d device(s)\n",
+                   ompx::shard_devices());
+    }
+  }
+  ~ShardGuard() {
+    if (devices_ > 1) ompx::set_shard_devices(1);
+  }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  int devices_ = 1;
 };
 
 struct Fig8Spec {

@@ -4,6 +4,7 @@
 int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_stencil1d_trace.json");
   bench::SanGuard san(argc, argv);
+  bench::ShardGuard shard(argc, argv);
   bench::run_fig8({
       "Stencil 1D", "8f", "8l",
       "ompx outperforms the native versions on both systems; omp is two "

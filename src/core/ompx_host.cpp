@@ -15,27 +15,53 @@ void* malloc_on(simt::Device& dev, std::size_t bytes) {
   return dev.memory().allocate(bytes);
 }
 
-void free_on(simt::Device& dev, void* ptr) { dev.memory().deallocate(ptr); }
+void free_on(simt::Device& dev, void* ptr) {
+  // Route to the owning device: freeing through the wrong current
+  // device must not report "not a device pointer" (the original
+  // single-device-registry bug). Unresolved pointers fall through to
+  // `dev`, whose registry produces the invalid-free diagnostic.
+  simt::Device* owner = simt::resolve_device(ptr);
+  (owner != nullptr ? *owner : dev).memory().deallocate(ptr);
+}
 
 void memcpy_on(simt::Device& dev, void* dst, const void* src,
                std::size_t bytes) {
-  const bool dst_dev = dev.memory().contains(dst);
-  const bool src_dev = dev.memory().contains(src);
+  // Resolve each endpoint against the whole registry, not just `dev`:
+  // classifying a copy by a single device's registry misreads another
+  // device's pointer as a host pointer (wrong direction, no transfer
+  // accounting, memcheck false negatives).
+  simt::Device* dst_dev = simt::resolve_device(dst);
+  simt::Device* src_dev = simt::resolve_device(src);
+  if (dst_dev != nullptr && src_dev != nullptr) {
+    // Same device: ordinary D2D. Two devices: a peer copy, costed with
+    // the peer link (or host staging) and accounted on both devices.
+    simt::peer_copy(*dst_dev, dst, *src_dev, src, bytes);
+    return;
+  }
   simt::CopyKind kind;
-  if (dst_dev && src_dev)
-    kind = simt::CopyKind::kDeviceToDevice;
-  else if (dst_dev)
+  simt::Device* owner;
+  if (dst_dev != nullptr) {
     kind = simt::CopyKind::kHostToDevice;
-  else if (src_dev)
+    owner = dst_dev;
+  } else if (src_dev != nullptr) {
     kind = simt::CopyKind::kDeviceToHost;
-  else
+    owner = src_dev;
+  } else {
     kind = simt::CopyKind::kHostToHost;
-  dev.memory().copy(dst, src, bytes, kind);
-  if (dst_dev != src_dev) dev.add_transfer(bytes);
+    owner = &dev;
+  }
+  owner->memory().copy(dst, src, bytes, kind);
+  if (kind != simt::CopyKind::kHostToHost) owner->add_transfer(bytes);
 }
 
 void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes) {
-  dev.memory().set(ptr, value, bytes);
+  simt::Device* owner = simt::resolve_device(ptr);
+  (owner != nullptr ? *owner : dev).memory().set(ptr, value, bytes);
+}
+
+double memcpy_peer(simt::Device& dst_dev, void* dst, simt::Device& src_dev,
+                   const void* src, std::size_t bytes) {
+  return simt::peer_copy(dst_dev, dst, src_dev, src, bytes);
 }
 
 void device_synchronize(simt::Device& dev) { dev.synchronize(); }
@@ -72,123 +98,272 @@ bool Profiler::dump(const std::string& path) {
 
 }  // namespace ompx
 
+namespace {
+
+thread_local ompx_result_t t_last_result = OMPX_SUCCESS;
+thread_local std::string t_last_detail;
+
+ompx_result_t record_result(ompx_result_t r, const char* what) {
+  t_last_result = r;
+  t_last_detail = (r == OMPX_SUCCESS || what == nullptr) ? "" : what;
+  return r;
+}
+
+/// Runs `fn` with every escaping exception translated into an
+/// ompx_result_t (the kl layer's guarded() pattern): nothing ever
+/// unwinds across the extern "C" boundary.
+template <typename Fn>
+ompx_result_t guarded(Fn&& fn) {
+  try {
+    fn();
+    return record_result(OMPX_SUCCESS, nullptr);
+  } catch (const std::bad_alloc& e) {
+    return record_result(OMPX_ERROR_MEMORY_ALLOCATION, e.what());
+  } catch (const std::invalid_argument& e) {
+    return record_result(OMPX_ERROR_INVALID_VALUE, e.what());
+  } catch (const std::out_of_range& e) {
+    return record_result(OMPX_ERROR_INVALID_VALUE, e.what());
+  } catch (const std::exception& e) {
+    return record_result(OMPX_ERROR_LAUNCH_FAILURE, e.what());
+  } catch (...) {
+    return record_result(OMPX_ERROR_UNKNOWN, "non-standard exception");
+  }
+}
+
+/// Registry device for a C-API index, or null (with the thread's last
+/// result set to OMPX_ERROR_INVALID_DEVICE).
+simt::Device* checked_device(const char* who, int index) {
+  const auto& reg = simt::device_registry();
+  if (index < 0 || index >= static_cast<int>(reg.size())) {
+    const std::string msg = std::string(who) + ": bad device index " +
+                            std::to_string(index);
+    record_result(OMPX_ERROR_INVALID_DEVICE, msg.c_str());
+    return nullptr;
+  }
+  return reg[static_cast<std::size_t>(index)];
+}
+
+}  // namespace
+
 extern "C" {
 
+const char* ompx_result_string(ompx_result_t result) {
+  switch (result) {
+    case OMPX_SUCCESS: return "success";
+    case OMPX_ERROR_INVALID_VALUE: return "invalid value";
+    case OMPX_ERROR_MEMORY_ALLOCATION: return "memory allocation failure";
+    case OMPX_ERROR_INVALID_DEVICE: return "invalid device index";
+    case OMPX_ERROR_LAUNCH_FAILURE: return "launch failure";
+    case OMPX_ERROR_UNKNOWN: return "unknown error";
+  }
+  return "unrecognized ompx_result_t";
+}
+
+ompx_result_t ompx_get_last_result(void) {
+  const ompx_result_t r = t_last_result;
+  t_last_result = OMPX_SUCCESS;
+  return r;
+}
+
+ompx_result_t ompx_peek_last_result(void) { return t_last_result; }
+
+const char* ompx_last_result_detail(void) { return t_last_detail.c_str(); }
+
 void* ompx_malloc(std::size_t bytes) {
-  return ompx::malloc_on(ompx::default_device(), bytes);
+  void* p = nullptr;
+  guarded([&] { p = ompx::malloc_on(ompx::default_device(), bytes); });
+  return p;
 }
 
-void ompx_free(void* ptr) { ompx::free_on(ompx::default_device(), ptr); }
-
-void ompx_memcpy(void* dst, const void* src, std::size_t bytes) {
-  ompx::memcpy_on(ompx::default_device(), dst, src, bytes);
+ompx_result_t ompx_free(void* ptr) {
+  return guarded([&] { ompx::free_on(ompx::default_device(), ptr); });
 }
 
-void ompx_memset(void* ptr, int value, std::size_t bytes) {
-  ompx::memset_on(ompx::default_device(), ptr, value, bytes);
+ompx_result_t ompx_memcpy(void* dst, const void* src, std::size_t bytes) {
+  return guarded(
+      [&] { ompx::memcpy_on(ompx::default_device(), dst, src, bytes); });
 }
 
-void ompx_device_synchronize() {
-  ompx::device_synchronize(ompx::default_device());
+ompx_result_t ompx_memset(void* ptr, int value, std::size_t bytes) {
+  return guarded(
+      [&] { ompx::memset_on(ompx::default_device(), ptr, value, bytes); });
+}
+
+ompx_result_t ompx_device_synchronize() {
+  return guarded([&] { ompx::device_synchronize(ompx::default_device()); });
 }
 
 int ompx_get_num_devices() {
   return static_cast<int>(simt::device_registry().size());
 }
 
-int ompx_get_device() {
-  simt::Device* cur = &ompx::default_device();
-  const auto& reg = simt::device_registry();
-  for (std::size_t i = 0; i < reg.size(); ++i)
-    if (reg[i] == cur) return static_cast<int>(i);
-  return -1;  // a non-registry device is current
+int ompx_get_device() { return ompx::default_device_index(); }
+
+ompx_result_t ompx_set_device(int index) {
+  simt::Device* dev = checked_device("ompx_set_device", index);
+  if (dev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] { ompx::set_default_device(*dev); });
 }
 
-void ompx_set_device(int index) {
-  const auto& reg = simt::device_registry();
-  if (index < 0 || index >= static_cast<int>(reg.size()))
-    throw std::invalid_argument("ompx_set_device: bad device index " +
-                                std::to_string(index));
-  ompx::set_default_device(*reg[static_cast<std::size_t>(index)]);
+ompx_result_t ompx_memcpy_peer(void* dst, int dst_device, const void* src,
+                               int src_device, std::size_t bytes) {
+  simt::Device* ddev = checked_device("ompx_memcpy_peer", dst_device);
+  if (ddev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  simt::Device* sdev = checked_device("ompx_memcpy_peer", src_device);
+  if (sdev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] { simt::peer_copy(*ddev, dst, *sdev, src, bytes); });
+}
+
+ompx_result_t ompx_device_enable_peer_access(int peer_device,
+                                             unsigned int flags) {
+  if (flags != 0) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_device_enable_peer_access: flags must be 0");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  simt::Device* peer =
+      checked_device("ompx_device_enable_peer_access", peer_device);
+  if (peer == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] { ompx::default_device().enable_peer_access(*peer); });
+}
+
+ompx_result_t ompx_device_disable_peer_access(int peer_device) {
+  simt::Device* peer =
+      checked_device("ompx_device_disable_peer_access", peer_device);
+  if (peer == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] { ompx::default_device().disable_peer_access(*peer); });
+}
+
+ompx_result_t ompx_device_can_access_peer(int* can_access, int device,
+                                          int peer_device) {
+  if (can_access == nullptr) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_device_can_access_peer: null result pointer");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  simt::Device* dev = checked_device("ompx_device_can_access_peer", device);
+  if (dev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  simt::Device* peer =
+      checked_device("ompx_device_can_access_peer", peer_device);
+  if (peer == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  // Every simulated device can reach every other one (single process);
+  // a device is not its own peer, as in CUDA.
+  *can_access = dev != peer ? 1 : 0;
+  return record_result(OMPX_SUCCESS, nullptr);
 }
 
 ompx_stream_t ompx_stream_create() {
-  return ompx::default_device().create_stream();
+  void* s = nullptr;
+  guarded([&] { s = ompx::default_device().create_stream(); });
+  return s;
 }
 
-void ompx_stream_destroy(ompx_stream_t stream) {
-  if (stream == nullptr) return;
-  auto* s = static_cast<simt::Stream*>(stream);
-  s->device().destroy_stream(s);
+ompx_result_t ompx_stream_destroy(ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr) return;
+    auto* s = static_cast<simt::Stream*>(stream);
+    s->device().destroy_stream(s);
+  });
 }
 
-void ompx_stream_synchronize(ompx_stream_t stream) {
-  if (stream == nullptr)
-    throw std::invalid_argument("ompx_stream_synchronize: null stream");
-  static_cast<simt::Stream*>(stream)->synchronize();
+ompx_result_t ompx_stream_synchronize(ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_stream_synchronize: null stream");
+    static_cast<simt::Stream*>(stream)->synchronize();
+  });
 }
 
-void ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
-                       ompx_stream_t stream) {
-  if (stream == nullptr)
-    throw std::invalid_argument("ompx_memcpy_async: null stream");
-  auto* s = static_cast<simt::Stream*>(stream);
-  auto& mem = s->device().memory();
-  const bool dst_dev = mem.contains(dst);
-  const bool src_dev = mem.contains(src);
-  simt::CopyKind kind;
-  if (dst_dev && src_dev)
-    kind = simt::CopyKind::kDeviceToDevice;
-  else if (dst_dev)
-    kind = simt::CopyKind::kHostToDevice;
-  else if (src_dev)
-    kind = simt::CopyKind::kDeviceToHost;
-  else
-    kind = simt::CopyKind::kHostToHost;
-  s->memcpy_async(dst, src, bytes, kind);
+ompx_result_t ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
+                                ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_memcpy_async: null stream");
+    auto* s = static_cast<simt::Stream*>(stream);
+    // Direction inference is registry-wide, like ompx_memcpy. A true
+    // cross-device pair cannot be expressed as a single-stream op;
+    // execute it as a synchronous peer copy ordered after the stream's
+    // pending work (the CUDA fallback for non-peer async copies is
+    // also synchronous staging).
+    simt::Device* dst_dev = simt::resolve_device(dst);
+    simt::Device* src_dev = simt::resolve_device(src);
+    if (dst_dev != nullptr && src_dev != nullptr && dst_dev != src_dev) {
+      s->synchronize();
+      simt::peer_copy(*dst_dev, dst, *src_dev, src, bytes);
+      return;
+    }
+    simt::CopyKind kind;
+    if (dst_dev != nullptr && src_dev != nullptr)
+      kind = simt::CopyKind::kDeviceToDevice;
+    else if (dst_dev != nullptr)
+      kind = simt::CopyKind::kHostToDevice;
+    else if (src_dev != nullptr)
+      kind = simt::CopyKind::kDeviceToHost;
+    else
+      kind = simt::CopyKind::kHostToHost;
+    s->memcpy_async(dst, src, bytes, kind);
+  });
 }
 
-void ompx_memset_async(void* ptr, int value, std::size_t bytes,
-                       ompx_stream_t stream) {
-  if (stream == nullptr)
-    throw std::invalid_argument("ompx_memset_async: null stream");
-  static_cast<simt::Stream*>(stream)->memset_async(ptr, value, bytes);
+ompx_result_t ompx_memset_async(void* ptr, int value, std::size_t bytes,
+                                ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_memset_async: null stream");
+    static_cast<simt::Stream*>(stream)->memset_async(ptr, value, bytes);
+  });
 }
 
 ompx_event_t ompx_event_create() {
-  return ompx::default_device().create_event();
+  void* e = nullptr;
+  guarded([&] { e = ompx::default_device().create_event(); });
+  return e;
 }
 
-void ompx_event_destroy(ompx_event_t event) {
-  if (event == nullptr) return;
-  auto* e = static_cast<simt::Event*>(event);
-  e->device().destroy_event(e);
+ompx_result_t ompx_event_destroy(ompx_event_t event) {
+  return guarded([&] {
+    if (event == nullptr) return;
+    auto* e = static_cast<simt::Event*>(event);
+    e->device().destroy_event(e);
+  });
 }
 
-void ompx_event_record(ompx_event_t event, ompx_stream_t stream) {
-  if (event == nullptr || stream == nullptr)
-    throw std::invalid_argument("ompx_event_record: null handle");
-  static_cast<simt::Stream*>(stream)->record(
-      *static_cast<simt::Event*>(event));
+ompx_result_t ompx_event_record(ompx_event_t event, ompx_stream_t stream) {
+  return guarded([&] {
+    if (event == nullptr || stream == nullptr)
+      throw std::invalid_argument("ompx_event_record: null handle");
+    static_cast<simt::Stream*>(stream)->record(
+        *static_cast<simt::Event*>(event));
+  });
 }
 
-void ompx_event_synchronize(ompx_event_t event) {
-  if (event == nullptr)
-    throw std::invalid_argument("ompx_event_synchronize: null event");
-  static_cast<simt::Event*>(event)->synchronize();
+ompx_result_t ompx_event_synchronize(ompx_event_t event) {
+  return guarded([&] {
+    if (event == nullptr)
+      throw std::invalid_argument("ompx_event_synchronize: null event");
+    static_cast<simt::Event*>(event)->synchronize();
+  });
 }
 
-void ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event) {
-  if (event == nullptr || stream == nullptr)
-    throw std::invalid_argument("ompx_stream_wait_event: null handle");
-  static_cast<simt::Stream*>(stream)->wait(*static_cast<simt::Event*>(event));
+ompx_result_t ompx_stream_wait_event(ompx_stream_t stream,
+                                     ompx_event_t event) {
+  return guarded([&] {
+    if (event == nullptr || stream == nullptr)
+      throw std::invalid_argument("ompx_stream_wait_event: null handle");
+    static_cast<simt::Stream*>(stream)->wait(
+        *static_cast<simt::Event*>(event));
+  });
 }
 
 float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop) {
-  if (start == nullptr || stop == nullptr)
-    throw std::invalid_argument("ompx_event_elapsed_ms: null event");
-  return static_cast<float>(static_cast<simt::Event*>(stop)->modeled_ms() -
-                            static_cast<simt::Event*>(start)->modeled_ms());
+  float out = -1.0f;
+  guarded([&] {
+    if (start == nullptr || stop == nullptr)
+      throw std::invalid_argument("ompx_event_elapsed_ms: null event");
+    out = static_cast<float>(static_cast<simt::Event*>(stop)->modeled_ms() -
+                             static_cast<simt::Event*>(start)->modeled_ms());
+  });
+  return out;
 }
 
 void ompx_profiler_start(void) { ompx::Profiler::start(); }
@@ -204,11 +379,8 @@ int ompx_profiler_dump(const char* path) {
 int ompx_get_last_launch_info(ompx_launch_info_t* info) {
   if (info == nullptr) return -1;
   simt::LaunchRecord rec;
-  try {
-    rec = ompx::launch_record();
-  } catch (const std::logic_error&) {
+  if (guarded([&] { rec = ompx::launch_record(); }) != OMPX_SUCCESS)
     return -1;  // nothing launched yet
-  }
   *info = ompx_launch_info_t{};
   std::strncpy(info->name, rec.name.c_str(), sizeof info->name - 1);
   info->grid[0] = rec.grid.x;

@@ -2,14 +2,23 @@
 // kernel-language runtime APIs, adapted from the user-facing APIs of
 // Doerfert et al. (PACT'22, "Breaking the Vendor Lock").
 //
-//   CUDA                      ompx
-//   cudaMalloc(&p, n)         p = ompx_malloc(n)
-//   cudaFree(p)               ompx_free(p)
-//   cudaMemcpy(d, s, n, k)    ompx_memcpy(d, s, n)   (direction inferred)
-//   cudaMemset(p, v, n)       ompx_memset(p, v, n)
-//   cudaDeviceSynchronize()   ompx_device_synchronize()
+//   CUDA                             ompx
+//   cudaMalloc(&p, n)                p = ompx_malloc(n)
+//   cudaFree(p)                      ompx_free(p)
+//   cudaMemcpy(d, s, n, k)           ompx_memcpy(d, s, n)  (direction inferred)
+//   cudaMemset(p, v, n)              ompx_memset(p, v, n)
+//   cudaDeviceSynchronize()          ompx_device_synchronize()
+//   cudaSetDevice(i)                 ompx_set_device(i)    (per host thread)
+//   cudaMemcpyPeer(d,dd,s,sd,n)      ompx_memcpy_peer(d, dd, s, sd, n)
+//   cudaDeviceEnablePeerAccess(p,f)  ompx_device_enable_peer_access(p, f)
+//   cudaDeviceCanAccessPeer(&c,d,p)  ompx_device_can_access_peer(&c, d, p)
 //
 // C++ forms live in namespace ompx and accept an explicit device.
+//
+// Every extern "C" entry point is exception-safe across the C boundary:
+// engine failures are translated into an ompx_result_t (returned where
+// the signature allows, always retrievable via ompx_get_last_result),
+// never thrown into C callers. The C++ forms keep throwing.
 #pragma once
 
 #include <cstddef>
@@ -19,20 +28,66 @@
 
 extern "C" {
 
-/// Allocates on the current default ompx device.
-void* ompx_malloc(std::size_t bytes);
-void ompx_free(void* ptr);
-/// Copies with the direction inferred from which pointers are device
-/// pointers (like cudaMemcpyDefault).
-void ompx_memcpy(void* dst, const void* src, std::size_t bytes);
-void ompx_memset(void* ptr, int value, std::size_t bytes);
-void ompx_device_synchronize();
+/// Status codes for the C entry points (cudaError_t analogue). Each
+/// host thread keeps its own last-result slot: ompx_get_last_result()
+/// reads and clears it (cudaGetLastError), ompx_peek_last_result()
+/// reads without clearing, and ompx_last_result_detail() returns a
+/// human-readable message for the most recent failure.
+typedef enum ompx_result_t {
+  OMPX_SUCCESS = 0,
+  OMPX_ERROR_INVALID_VALUE = 1,
+  OMPX_ERROR_MEMORY_ALLOCATION = 2,
+  OMPX_ERROR_INVALID_DEVICE = 3,
+  OMPX_ERROR_LAUNCH_FAILURE = 4,
+  OMPX_ERROR_UNKNOWN = 999,
+} ompx_result_t;
 
-/// Device management (omp_get_num_devices / omp_set_default_device
-/// shaped, but for the ompx default device).
+const char* ompx_result_string(ompx_result_t result);
+ompx_result_t ompx_get_last_result(void);
+ompx_result_t ompx_peek_last_result(void);
+const char* ompx_last_result_detail(void);
+
+/// Allocates on the current default ompx device; nullptr (with the
+/// thread's last result set) when the device is out of memory.
+void* ompx_malloc(std::size_t bytes);
+ompx_result_t ompx_free(void* ptr);
+/// Copies with the direction inferred from which pointers are device
+/// pointers (like cudaMemcpyDefault). The owning devices are resolved
+/// against the whole registry, so copies touching a non-current
+/// device — including device-to-device copies across two devices —
+/// are classified and accounted correctly.
+ompx_result_t ompx_memcpy(void* dst, const void* src, std::size_t bytes);
+ompx_result_t ompx_memset(void* ptr, int value, std::size_t bytes);
+ompx_result_t ompx_device_synchronize();
+
+/// Device management (cudaGetDeviceCount / cudaSetDevice shaped). The
+/// current device is *per host thread*, exactly like CUDA: a
+/// std::thread starts at device 0 regardless of what other threads
+/// selected. ompx_get_device returns the cached registry index in
+/// O(1), or -1 if a non-registry device was installed through the C++
+/// ompx::set_default_device API.
 int ompx_get_num_devices();
 int ompx_get_device();
-void ompx_set_device(int index);
+ompx_result_t ompx_set_device(int index);
+
+/// Peer (device-to-device) copies — cudaMemcpyPeer. Both pointers are
+/// bounds-validated against their own device's allocation registry.
+/// With peer access enabled in either direction the copy is modeled at
+/// the peer-link bandwidth of the slower endpoint; otherwise it stages
+/// through the host (two host-link legs). Time and bytes are accounted
+/// on both devices.
+ompx_result_t ompx_memcpy_peer(void* dst, int dst_device, const void* src,
+                               int src_device, std::size_t bytes);
+/// cudaDeviceEnablePeerAccess: lets the *current* device reach
+/// `peer_device` over the peer link (directional; idempotent here).
+/// `flags` must be 0, as in CUDA.
+ompx_result_t ompx_device_enable_peer_access(int peer_device,
+                                             unsigned int flags);
+ompx_result_t ompx_device_disable_peer_access(int peer_device);
+/// Writes 1 to *can_access (simulated devices are all peers) after
+/// validating both indices; 0 only for device == peer.
+ompx_result_t ompx_device_can_access_peer(int* can_access, int device,
+                                          int peer_device);
 
 /// Streams and events, mirroring the CUDA runtime's handles. A stream
 /// here is the same object an interop `targetsync` carries, so these
@@ -43,22 +98,23 @@ typedef void* ompx_event_t;
 ompx_stream_t ompx_stream_create();
 /// Drains the stream's pending work, then releases the handle. The
 /// device's default stream cannot be destroyed; null is a no-op.
-void ompx_stream_destroy(ompx_stream_t stream);
-void ompx_stream_synchronize(ompx_stream_t stream);
-void ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
-                       ompx_stream_t stream);
-void ompx_memset_async(void* ptr, int value, std::size_t bytes,
-                       ompx_stream_t stream);
+ompx_result_t ompx_stream_destroy(ompx_stream_t stream);
+ompx_result_t ompx_stream_synchronize(ompx_stream_t stream);
+ompx_result_t ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
+                                ompx_stream_t stream);
+ompx_result_t ompx_memset_async(void* ptr, int value, std::size_t bytes,
+                                ompx_stream_t stream);
 
 ompx_event_t ompx_event_create();
 /// Releases the event once no enqueued operation still references it;
 /// null is a no-op.
-void ompx_event_destroy(ompx_event_t event);
-void ompx_event_record(ompx_event_t event, ompx_stream_t stream);
-void ompx_event_synchronize(ompx_event_t event);
+ompx_result_t ompx_event_destroy(ompx_event_t event);
+ompx_result_t ompx_event_record(ompx_event_t event, ompx_stream_t stream);
+ompx_result_t ompx_event_synchronize(ompx_event_t event);
 /// Stream-orders `stream` after `event` (cudaStreamWaitEvent).
-void ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event);
-/// Modeled milliseconds between two recorded events.
+ompx_result_t ompx_stream_wait_event(ompx_stream_t stream, ompx_event_t event);
+/// Modeled milliseconds between two recorded events; -1.0f (with the
+/// thread's last result set) on null handles.
 float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop);
 
 /// Launch telemetry (uniform across layers; see simt/profiler.h).
@@ -102,12 +158,26 @@ int ompx_get_last_launch_info(ompx_launch_info_t* info);
 namespace ompx {
 
 void* malloc_on(simt::Device& dev, std::size_t bytes);
+/// Frees `ptr` on its *owning* device (resolved registry-wide); `dev`
+/// is only the fallback for pointers no device claims, so a free
+/// routed through the wrong current device still succeeds, as in CUDA.
 void free_on(simt::Device& dev, void* ptr);
-/// Direction-inferring copy on an explicit device.
+/// Direction-inferring copy. Each pointer is resolved against the
+/// whole device registry, not just `dev`: host/device direction comes
+/// from the owning devices, and a copy whose endpoints live on two
+/// different devices becomes a peer copy (simt::peer_copy) — costed
+/// with the peer link and accounted on both devices.
 void memcpy_on(simt::Device& dev, void* dst, const void* src,
                std::size_t bytes);
+/// memset on `ptr`'s owning device (`dev` is the fallback).
 void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes);
 void device_synchronize(simt::Device& dev);
+
+/// cudaMemcpyPeer with explicit devices; returns the modeled
+/// milliseconds (peer link, or two host-link legs when neither
+/// endpoint has peer access enabled toward the other).
+double memcpy_peer(simt::Device& dst_dev, void* dst, simt::Device& src_dev,
+                   const void* src, std::size_t bytes);
 
 /// True if `ptr` points into `dev`'s memory space.
 bool is_device_ptr(simt::Device& dev, const void* ptr);

@@ -1,11 +1,26 @@
 #include "core/ompx_launch.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
+
+#include "simt/stream.h"
 
 namespace ompx {
 
 namespace {
-thread_local simt::Device* t_default_device = nullptr;
+
+/// The calling thread's current device plus its registry index, cached
+/// together so ompx_get_device never rescans the registry. Null device
+/// means "never set": registry index 0.
+struct CurrentDevice {
+  simt::Device* dev = nullptr;
+  int index = 0;
+};
+thread_local CurrentDevice t_current;
+
+std::atomic<int> g_shard_devices{1};
 
 simt::LaunchParams to_params(const LaunchSpec& spec, const simt::Device& dev) {
   simt::LaunchParams p;
@@ -38,14 +53,50 @@ simt::LaunchParams to_params(const LaunchSpec& spec, const simt::Device& dev) {
 }  // namespace
 
 simt::Device& default_device() {
-  return t_default_device != nullptr ? *t_default_device
-                                     : *simt::device_registry()[0];
+  return t_current.dev != nullptr ? *t_current.dev
+                                  : *simt::device_registry()[0];
 }
 
-void set_default_device(simt::Device& dev) { t_default_device = &dev; }
+void set_default_device(simt::Device& dev) {
+  t_current.dev = &dev;
+  // Cache the registry index now (one scan per set, not per get).
+  const auto& reg = simt::device_registry();
+  t_current.index = -1;
+  for (std::size_t i = 0; i < reg.size(); ++i)
+    if (reg[i] == &dev) t_current.index = static_cast<int>(i);
+}
+
+int default_device_index() {
+  return t_current.dev != nullptr ? t_current.index : 0;
+}
+
+void set_shard_devices(int n) {
+  const int cap = static_cast<int>(simt::device_registry().size());
+  g_shard_devices.store(std::clamp(n, 1, cap), std::memory_order_relaxed);
+}
+
+int shard_devices() {
+  return g_shard_devices.load(std::memory_order_relaxed);
+}
 
 LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {
   simt::Device& dev = spec.device != nullptr ? *spec.device : default_device();
+
+  // Plain synchronous launches honor the process-wide shard override
+  // (--devices=N): split across the first N registry devices, primary
+  // first. Stream-bound and deferred launches are never sharded.
+  if (!spec.nowait && spec.depend_interop == nullptr) {
+    const int n = shard_devices();
+    if (n > 1) {
+      std::vector<simt::Device*> devs{&dev};
+      for (simt::Device* d : simt::device_registry()) {
+        if (static_cast<int>(devs.size()) >= n) break;
+        if (d != &dev) devs.push_back(d);
+      }
+      if (devs.size() > 1) return shard_launch(spec, devs, std::move(body));
+    }
+  }
+
   const simt::LaunchParams p = to_params(spec, dev);
   LaunchResult result;
 
@@ -77,6 +128,105 @@ LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {
 
   result.completed = true;
   result.record = dev.launch_sync(p, body);
+  return result;
+}
+
+LaunchResult shard_launch(const LaunchSpec& spec,
+                          const std::vector<simt::Device*>& devices,
+                          simt::KernelFn body) {
+  if (spec.nowait || spec.depend_interop != nullptr)
+    throw std::invalid_argument(
+        "shard_launch: only plain synchronous launches can be sharded");
+  if (devices.empty())
+    throw std::invalid_argument("shard_launch: empty device list");
+  simt::Device& primary = *devices.front();
+  const simt::LaunchParams base = to_params(spec, primary);
+
+  // Shard along the largest grid axis; a grid too small for the device
+  // count just uses fewer shards.
+  const std::uint32_t extents[3] = {base.grid.x, base.grid.y, base.grid.z};
+  int axis = 0;
+  if (extents[1] > extents[axis]) axis = 1;
+  if (extents[2] > extents[axis]) axis = 2;
+  const std::uint32_t total = extents[axis];
+  const std::uint32_t nshards = static_cast<std::uint32_t>(
+      std::min<std::size_t>(devices.size(), total));
+
+  LaunchResult result;
+  result.completed = true;
+  if (nshards <= 1) {
+    result.record = primary.launch_sync(base, body);
+    return result;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<simt::LaunchRecord> shards(nshards);
+  std::vector<simt::Event*> done(nshards, nullptr);
+  std::uint32_t begin = 0;
+  for (std::uint32_t i = 0; i < nshards; ++i) {
+    const std::uint32_t extent = total / nshards + (i < total % nshards);
+    simt::LaunchParams p = base;
+    p.logical_grid = base.grid;
+    p.log = false;  // only the combined record enters a launch log
+    switch (axis) {
+      case 0: p.grid.x = extent; p.grid_offset.x = begin; break;
+      case 1: p.grid.y = extent; p.grid_offset.y = begin; break;
+      default: p.grid.z = extent; p.grid_offset.z = begin; break;
+    }
+    simt::Device& dev = *devices[i];
+    simt::Stream& st = dev.default_stream();
+    simt::LaunchRecord* slot = &shards[i];
+    st.launch(p, body,
+              [slot](const simt::LaunchRecord& rec) { *slot = rec; });
+    done[i] = dev.create_event();
+    st.record(*done[i]);
+    begin += extent;
+  }
+
+  // Join on the per-device events, then surface any async error the
+  // shard raised (the executor parks it; synchronize rethrows).
+  for (std::uint32_t i = 0; i < nshards; ++i) {
+    done[i]->synchronize();
+    devices[i]->destroy_event(done[i]);
+    devices[i]->synchronize();
+  }
+
+  // Combine: stats sum over shards; modeled time is the max (the shards
+  // run concurrently on distinct devices); occupancy is blocks-weighted.
+  simt::LaunchRecord rec;
+  rec.name = base.name;
+  rec.grid = base.grid;
+  rec.block = base.block;
+  double occ_weighted = 0.0;
+  for (const simt::LaunchRecord& s : shards) {
+    rec.stats.blocks += s.stats.blocks;
+    rec.stats.threads += s.stats.threads;
+    rec.stats.block_barriers += s.stats.block_barriers;
+    rec.stats.warp_collectives += s.stats.warp_collectives;
+    rec.stats.warp_syncs += s.stats.warp_syncs;
+    rec.stats.atomics += s.stats.atomics;
+    rec.stats.parallel_handshakes += s.stats.parallel_handshakes;
+    rec.stats.workshare_dispatches += s.stats.workshare_dispatches;
+    rec.stats.globalized_bytes += s.stats.globalized_bytes;
+    rec.stats.fibers_created += s.stats.fibers_created;
+    rec.stats.fiber_reuses += s.stats.fiber_reuses;
+    rec.stats.sched_steals += s.stats.sched_steals;
+    rec.time.compute_ms = std::max(rec.time.compute_ms, s.time.compute_ms);
+    rec.time.memory_ms = std::max(rec.time.memory_ms, s.time.memory_ms);
+    rec.time.overhead_ms = std::max(rec.time.overhead_ms, s.time.overhead_ms);
+    rec.time.total_ms = std::max(rec.time.total_ms, s.time.total_ms);
+    occ_weighted += s.time.occupancy * static_cast<double>(s.stats.blocks);
+  }
+  if (rec.stats.blocks != 0)
+    rec.time.occupancy = occ_weighted / static_cast<double>(rec.stats.blocks);
+  rec.stats.runtime_init = shards.front().stats.runtime_init;
+  rec.stats.generic_mode = shards.front().stats.generic_mode;
+  rec.stats.spill_in_shared = shards.front().stats.spill_in_shared;
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  primary.append_launch_record(rec);
+  result.record = rec;
   return result;
 }
 

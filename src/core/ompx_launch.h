@@ -89,8 +89,39 @@ void taskwait(const omp::Interop& obj);
 void taskwait();
 
 /// The device an unqualified ompx call targets (registry index 0 by
-/// default; set per host thread).
+/// default; set *per host thread*, CUDA cudaSetDevice semantics — a new
+/// std::thread starts back at device 0).
 simt::Device& default_device();
 void set_default_device(simt::Device& dev);
+/// Registry index of the calling thread's default device, cached at
+/// set_default_device time so ompx_get_device is O(1). Returns -1 when
+/// a device outside the registry was installed.
+int default_device_index();
+
+/// Splits a synchronous launch across `devices`: the grid is divided
+/// along its largest axis into one shard per device, each shard runs on
+/// its device's default stream with its true gridDim/blockIdx geometry
+/// (blocks see the full logical grid, offset per shard, so
+/// global-id-indexed kernels need no changes), and the shards are
+/// joined with events. The per-shard records are combined into one
+/// LaunchRecord — stats summed, modeled time the max over shards (they
+/// run concurrently), grid the full logical grid — which is appended to
+/// the launch log of devices[0] and returned. devices[0] is the
+/// "primary": kernels still capture pointers into whatever device the
+/// data lives on (cross-device access is legal in the simulation, as
+/// under UVA). Throws std::invalid_argument for nowait/interop specs or
+/// an empty device list; with one device (or a 1-wide axis) it degrades
+/// to a plain synchronous launch.
+LaunchResult shard_launch(const LaunchSpec& spec,
+                          const std::vector<simt::Device*>& devices,
+                          simt::KernelFn body);
+
+/// Process-wide shard override consulted by plain synchronous
+/// ompx::launch calls: with n > 1, such launches transparently shard
+/// across the first n registry devices (primary first). Benchmarks set
+/// this from --devices=N; 1 (the default) disables sharding. Clamped
+/// to [1, registry size].
+void set_shard_devices(int n);
+int shard_devices();
 
 }  // namespace ompx

@@ -118,6 +118,55 @@ klError klMemcpy(void* dst, const void* src, std::size_t bytes,
   });
 }
 
+namespace {
+simt::Device* checked_device(int index, klError* err) {
+  const auto& reg = simt::device_registry();
+  if (index < 0 || index >= static_cast<int>(reg.size())) {
+    *err = record_error(klErrorInvalidDevice,
+                        "device index " + std::to_string(index));
+    return nullptr;
+  }
+  return reg[static_cast<std::size_t>(index)];
+}
+}  // namespace
+
+klError klMemcpyPeer(void* dst, int dst_device, const void* src,
+                     int src_device, std::size_t bytes) {
+  klError err = klSuccess;
+  simt::Device* ddev = checked_device(dst_device, &err);
+  if (ddev == nullptr) return err;
+  simt::Device* sdev = checked_device(src_device, &err);
+  if (sdev == nullptr) return err;
+  return guarded([&] { simt::peer_copy(*ddev, dst, *sdev, src, bytes); });
+}
+
+klError klDeviceEnablePeerAccess(int peer_device, unsigned int flags) {
+  if (flags != 0) return record_error(klErrorInvalidValue, "flags must be 0");
+  klError err = klSuccess;
+  simt::Device* peer = checked_device(peer_device, &err);
+  if (peer == nullptr) return err;
+  return guarded([&] { current_device().enable_peer_access(*peer); });
+}
+
+klError klDeviceDisablePeerAccess(int peer_device) {
+  klError err = klSuccess;
+  simt::Device* peer = checked_device(peer_device, &err);
+  if (peer == nullptr) return err;
+  return guarded([&] { current_device().disable_peer_access(*peer); });
+}
+
+klError klDeviceCanAccessPeer(int* can_access, int device, int peer_device) {
+  if (can_access == nullptr)
+    return record_error(klErrorInvalidValue, "null result pointer");
+  klError err = klSuccess;
+  simt::Device* dev = checked_device(device, &err);
+  if (dev == nullptr) return err;
+  simt::Device* peer = checked_device(peer_device, &err);
+  if (peer == nullptr) return err;
+  *can_access = dev != peer ? 1 : 0;
+  return klSuccess;
+}
+
 klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
                    std::size_t spitch, std::size_t width, std::size_t height,
                    klMemcpyKind kind) {

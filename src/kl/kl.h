@@ -67,6 +67,19 @@ enum klMemcpyKind : int {
 };
 
 klError klMemcpy(void* dst, const void* src, std::size_t bytes, klMemcpyKind kind);
+/// cudaMemcpyPeer: copy between two devices' allocations, each
+/// bounds-validated against its own device. Modeled at the peer-link
+/// bandwidth once peer access is enabled (either direction suffices),
+/// else staged through the host at two host-link legs.
+klError klMemcpyPeer(void* dst, int dst_device, const void* src,
+                     int src_device, std::size_t bytes);
+/// cudaDeviceEnablePeerAccess: current device gains access to
+/// `peer_device` (directional; idempotent). `flags` must be 0.
+klError klDeviceEnablePeerAccess(int peer_device, unsigned int flags = 0);
+klError klDeviceDisablePeerAccess(int peer_device);
+/// cudaDeviceCanAccessPeer: *can = 1 for any two distinct registry
+/// devices (single-process simulation), 0 when device == peer.
+klError klDeviceCanAccessPeer(int* can_access, int device, int peer_device);
 /// cudaMemcpy2D: `height` rows of `width` bytes with row pitches.
 klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
                    std::size_t spitch, std::size_t width, std::size_t height,

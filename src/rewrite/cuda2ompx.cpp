@@ -154,6 +154,21 @@ int rewrite_host_api(std::string& s, Report* r) {
                  "ompx_device_synchronize()");
   total += apply(s, std::regex(R"(\bcudaSetDevice\s*\()"), "ompx_set_device(");
 
+  // Multi-device queries and peer copies. The out-parameter forms
+  // become plain assignments from the ompx return value.
+  total += apply(s, std::regex(R"(\bcudaGetDeviceCount\s*\(\s*&\s*([\w.\->\[\]]+)\s*\)\s*;)"),
+                 "$1 = ompx_get_num_devices();");
+  total += apply(s, std::regex(R"(\bcudaGetDevice\s*\(\s*&\s*([\w.\->\[\]]+)\s*\)\s*;)"),
+                 "$1 = ompx_get_device();");
+  total += apply(s, std::regex(R"(\bcudaMemcpyPeer\s*\()"),
+                 "ompx_memcpy_peer(");
+  total += apply(s, std::regex(R"(\bcudaDeviceEnablePeerAccess\s*\()"),
+                 "ompx_device_enable_peer_access(");
+  total += apply(s, std::regex(R"(\bcudaDeviceDisablePeerAccess\s*\()"),
+                 "ompx_device_disable_peer_access(");
+  total += apply(s, std::regex(R"(\bcudaDeviceCanAccessPeer\s*\()"),
+                 "ompx_device_can_access_peer(");
+
   // Streams and events.
   total += apply(s, std::regex("\\bcudaStream_t\\b"), "ompx_stream_t");
   total += apply(s, std::regex("\\bcudaEvent_t\\b"), "ompx_event_t");

@@ -109,6 +109,21 @@ const std::unordered_set<std::string>& cuda_builtins() {
   return s;
 }
 
+/// CUDA peer-copy host APIs (also rule 3). Kept separate from
+/// cuda_builtins() so the diagnostic can name the exact replacement —
+/// a half-ported multi-device app otherwise compiles host-side and
+/// fails only at link time.
+const std::unordered_set<std::string>& peer_copy_builtins() {
+  static const std::unordered_set<std::string> s = {
+      "cudaMemcpyPeer",
+      "cudaMemcpyPeerAsync",
+      "cudaDeviceEnablePeerAccess",
+      "cudaDeviceDisablePeerAccess",
+      "cudaDeviceCanAccessPeer",
+  };
+  return s;
+}
+
 struct Word {
   std::string text;
   std::size_t pos;
@@ -267,6 +282,13 @@ class Linter {
              "unported CUDA builtin '" + w +
                  "' — port it to the ompx/kl equivalent (see README mapping "
                  "table)");
+    }
+    if (opt_.check_unported && peer_copy_builtins().count(w) != 0 &&
+        !preceded_by_scope(i_)) {
+      report(LintRule::kUnportedBuiltin, line_, w,
+             "unported CUDA peer-copy API '" + w +
+                 "' — port it to ompx_memcpy_peer / "
+                 "ompx_device_enable_peer_access (or klMemcpyPeer)");
     }
     stmt_ += w;
     i_ = end;

@@ -52,7 +52,11 @@ void BlockState::setup_ctx(std::uint32_t flat, ThreadCtx& ctx) {
   ctx.thread_idx = params_.block.delinearize(flat);
   ctx.block_idx = block_idx_;
   ctx.block_dim = params_.block;
-  ctx.grid_dim = params_.grid;
+  // A shard of a multi-device launch reports the full logical grid, so
+  // gridDim-based indexing (global_thread_id, grid-stride loops) sees
+  // the same geometry as the unsharded launch.
+  ctx.grid_dim = params_.logical_grid.count() != 0 ? params_.logical_grid
+                                                   : params_.grid;
   ctx.flat_tid = flat;
   ctx.warp_id = flat / ws;
   ctx.lane = flat % ws;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -114,8 +115,11 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
   auto run_range = [&](std::uint64_t begin, std::uint64_t end,
                        BlockCounters& acc) {
     for (std::uint64_t b = begin; b < end; ++b) {
-      BlockState block(*this, params, params.grid.delinearize(b), kernel,
-                       thread_fiber_pool());
+      Dim3 idx = params.grid.delinearize(b);
+      idx.x += params.grid_offset.x;
+      idx.y += params.grid_offset.y;
+      idx.z += params.grid_offset.z;
+      BlockState block(*this, params, idx, kernel, thread_fiber_pool());
       block.run();
       const BlockCounters& c = block.counters();
       acc.block_barriers += c.block_barriers;
@@ -206,7 +210,7 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-  {
+  if (params.log) {
     std::lock_guard lock(log_mu_);
     log_.push_back(rec);
   }
@@ -243,6 +247,32 @@ double Device::model_transfer_ms(std::uint64_t bytes) const {
   return simt::model_transfer_ms(cfg_, bytes, costs_);
 }
 
+void Device::enable_peer_access(const Device& peer) {
+  if (&peer == this)
+    throw std::invalid_argument("enable_peer_access: device is its own peer");
+  std::lock_guard lock(peers_mu_);
+  for (const Device* p : peers_)
+    if (p == &peer) return;  // idempotent, unlike CUDA's AlreadyEnabled
+  peers_.push_back(&peer);
+}
+
+void Device::disable_peer_access(const Device& peer) {
+  std::lock_guard lock(peers_mu_);
+  for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+    if (*it == &peer) {
+      peers_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Device::peer_access_enabled(const Device& peer) const {
+  std::lock_guard lock(peers_mu_);
+  for (const Device* p : peers_)
+    if (p == &peer) return true;
+  return false;
+}
+
 std::vector<LaunchRecord> Device::launch_log() const {
   std::lock_guard lock(log_mu_);
   return log_;
@@ -252,6 +282,11 @@ LaunchRecord Device::last_launch() const {
   std::lock_guard lock(log_mu_);
   if (log_.empty()) throw std::logic_error("Device::last_launch: empty log");
   return log_.back();
+}
+
+void Device::append_launch_record(const LaunchRecord& rec) {
+  std::lock_guard lock(log_mu_);
+  log_.push_back(rec);
 }
 
 void Device::clear_launch_log() {
@@ -292,6 +327,12 @@ void Device::add_transfer(std::uint64_t bytes) {
   }
 }
 
+void Device::add_transfer_ms(double ms, std::uint64_t bytes) {
+  (void)bytes;  // accounted by the caller's span; kept for symmetry
+  std::lock_guard lock(log_mu_);
+  transfer_ms_total_ += ms;
+}
+
 DeviceConfig make_sim_a100_config() {
   DeviceConfig c;
   c.name = "sim-a100";
@@ -310,6 +351,7 @@ DeviceConfig make_sim_a100_config() {
   c.mem_bw_gbps = 1555.0;       // HBM2e
   c.shared_bw_gbps = 19400.0;   // 128 B/clk/SM aggregate
   c.link_bw_gbps = 64.0;        // PCIe 4.0 x16
+  c.peer_bw_gbps = 300.0;       // NVLink 3.0, 6 links/GPU
   return c;
 }
 
@@ -331,6 +373,7 @@ DeviceConfig make_sim_mi250_config() {
   c.mem_bw_gbps = 1638.0;       // HBM2e, one GCD
   c.shared_bw_gbps = 22600.0;
   c.link_bw_gbps = 64.0;
+  c.peer_bw_gbps = 200.0;       // Infinity Fabric inter-GCD links
   return c;
 }
 
@@ -343,6 +386,65 @@ std::vector<Device*>& device_registry() {
     return std::vector<Device*>{a100, mi250};
   }();
   return reg;
+}
+
+Device* resolve_device(const void* ptr) {
+  if (ptr == nullptr) return nullptr;
+  for (Device* d : device_registry())
+    if (d->memory().contains(ptr)) return d;
+  return nullptr;
+}
+
+int resolve_device_index(const void* ptr) {
+  if (ptr == nullptr) return -1;
+  const std::vector<Device*>& reg = device_registry();
+  for (std::size_t i = 0; i < reg.size(); ++i)
+    if (reg[i]->memory().contains(ptr)) return static_cast<int>(i);
+  return -1;
+}
+
+double peer_copy(Device& dst_dev, void* dst, Device& src_dev, const void* src,
+                 std::size_t bytes) {
+  if (&dst_dev == &src_dev) {
+    // Same device: an ordinary D2D copy at memory bandwidth.
+    dst_dev.memory().copy(dst, src, bytes, CopyKind::kDeviceToDevice);
+    return static_cast<double>(bytes) / (dst_dev.config().mem_bw_gbps * 1e6);
+  }
+  src_dev.memory().validate_device_range(src, bytes, "peer copy source");
+  dst_dev.memory().validate_device_range(dst, bytes, "peer copy destination");
+  std::memmove(dst, src, bytes);
+
+  // Direct peer link if either endpoint can reach the other (CUDA
+  // requires only one direction enabled for cudaMemcpyPeer to take the
+  // fast path); otherwise two host-link legs, D2H then H2D.
+  const bool direct = dst_dev.peer_access_enabled(src_dev) ||
+                      src_dev.peer_access_enabled(dst_dev);
+  const double ms =
+      direct ? model_peer_transfer_ms(src_dev.config(), dst_dev.config(), bytes)
+             : src_dev.model_transfer_ms(bytes) + dst_dev.model_transfer_ms(bytes);
+  src_dev.add_transfer_ms(ms, bytes);
+  dst_dev.add_transfer_ms(ms, bytes);
+
+  if (profiling_enabled() && !telemetry_detail::t_in_stream_op) {
+    // One span per endpoint, joined by a cross-device flow arrow (the
+    // high bit keeps peer-copy ids disjoint from event flow ids).
+    static std::atomic<std::uint64_t> next_flow{1};
+    const std::uint64_t flow =
+        (1ull << 63) | next_flow.fetch_add(1, std::memory_order_relaxed);
+    const char* name = direct ? "memcpy P2P" : "memcpy P2P (via host)";
+    TraceSpan out;
+    out.kind = SpanKind::kMemcpy;
+    out.name = name;
+    out.dur_ms = ms;
+    out.bytes = bytes;
+    out.flow_id = flow;
+    out.flow_out = true;
+    Profiler::instance().record(src_dev, out);
+    TraceSpan in = out;
+    in.flow_out = false;
+    Profiler::instance().record(dst_dev, in);
+  }
+  return ms;
 }
 
 Device& device_by_name(const std::string& name) {

@@ -41,6 +41,10 @@ struct DeviceConfig {
   double mem_bw_gbps = 1555.0;                 ///< global memory bandwidth
   double shared_bw_gbps = 19400.0;             ///< aggregate smem bandwidth
   double link_bw_gbps = 64.0;                  ///< host link (PCIe 4.0 x16)
+  /// Device<->device peer link bandwidth (NVLink / Infinity Fabric
+  /// class). A peer copy runs at the slower endpoint's rate; with peer
+  /// access disabled it is staged through the host link instead.
+  double peer_bw_gbps = 200.0;
   std::uint32_t grid_dims_supported = 3;
 
   /// Peak FLOP/s (FMA counted as two ops).
@@ -134,9 +138,19 @@ class Device {
   /// mapping layers; also accumulated when stream memcpys execute).
   [[nodiscard]] double model_transfer_ms(std::uint64_t bytes) const;
 
+  /// Peer access (cudaDeviceEnablePeerAccess semantics): directional
+  /// "this device may read/write `peer`'s memory over the peer link".
+  /// Disabled by default; peer copies then stage through the host.
+  void enable_peer_access(const Device& peer);
+  void disable_peer_access(const Device& peer);
+  [[nodiscard]] bool peer_access_enabled(const Device& peer) const;
+
   // --- bookkeeping for benchmarks and tests ---
   [[nodiscard]] std::vector<LaunchRecord> launch_log() const;
   [[nodiscard]] LaunchRecord last_launch() const;
+  /// Appends an externally assembled record (the combined record of a
+  /// sharded launch) as if it were a completed launch on this device.
+  void append_launch_record(const LaunchRecord& rec);
   void clear_launch_log();
   /// Sum of modeled kernel time over the launch log.
   [[nodiscard]] double modeled_kernel_ms_total() const;
@@ -145,6 +159,10 @@ class Device {
   /// Accumulated modeled transfer time since last clear_launch_log().
   [[nodiscard]] double modeled_transfer_ms_total() const;
   void add_transfer(std::uint64_t bytes);  // used by mapping layers
+  /// Accounts an already-costed transfer (peer copies charge each
+  /// endpoint with the externally modeled time; no span is recorded —
+  /// the caller owns the telemetry for cross-device operations).
+  void add_transfer_ms(double ms, std::uint64_t bytes);
 
  private:
   friend class StreamExecutor;
@@ -161,12 +179,35 @@ class Device {
   mutable std::mutex log_mu_;
   std::vector<LaunchRecord> log_;
   double transfer_ms_total_ = 0.0;
+
+  mutable std::mutex peers_mu_;
+  std::vector<const Device*> peers_;  // peer access enabled toward these
 };
 
 /// Returns the process-wide registry of simulated devices. Index 0 is
 /// "sim-a100" (CUDA-shaped) and index 1 is "sim-mi250" (HIP-shaped, one
 /// GCD), matching the paper's two systems.
 std::vector<Device*>& device_registry();
+
+/// Registry-wide pointer->device resolution: the registered device
+/// whose global-memory space contains `ptr` (interior pointers
+/// included), or nullptr for host pointers. This is what makes the
+/// host APIs device-aware — a copy's direction is inferred from the
+/// *owning* devices, never from a single device's registry.
+Device* resolve_device(const void* ptr);
+/// Registry index of resolve_device(ptr), or -1 for host pointers.
+int resolve_device_index(const void* ptr);
+
+/// Copies `bytes` from `src` (an allocation of `src_dev`) to `dst` (an
+/// allocation of `dst_dev`) — cudaMemcpyPeer. Both ranges are bounds-
+/// validated against their own device's registry. Returns the modeled
+/// milliseconds: the peer link when either endpoint has peer access
+/// enabled toward the other, else a device-to-host-to-device staging
+/// (two host-link legs). The time and bytes are accounted on *both*
+/// devices, and under tracing the copy appears as a span on each
+/// device joined by a cross-device flow arrow.
+double peer_copy(Device& dst_dev, void* dst, Device& src_dev, const void* src,
+                 std::size_t bytes);
 
 /// Look up a registered device by name; throws if unknown.
 Device& device_by_name(const std::string& name);

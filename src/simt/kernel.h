@@ -72,6 +72,17 @@ struct LaunchParams {
   KernelCost cost;          ///< roofline characterization (see perf.h)
   RuntimeModeFlags rt;
   const char* name = "kernel";
+  /// Sharded-launch support (ompx::shard_launch): this launch executes
+  /// only the `grid` blocks starting at `grid_offset` of a logical
+  /// `logical_grid`-sized grid split across several devices. Kernels
+  /// observe block ids offset by `grid_offset` and `logical_grid` as
+  /// their grid_dim, so global thread ids are shard-transparent.
+  /// Defaults ({0,0,0}) mean "not a shard": no offset, grid_dim = grid.
+  Dim3 grid_offset{0, 0, 0};
+  Dim3 logical_grid{0, 0, 0};
+  /// False suppresses the per-launch entry in Device::launch_log()
+  /// (shards log one combined record on the primary device instead).
+  bool log = true;
 };
 
 }  // namespace simt

@@ -103,6 +103,13 @@ class DeviceMemory {
   /// memset on a device allocation with bounds validation.
   void set(void* ptr, int value, std::size_t bytes) const;
 
+  /// Validates that [ptr, ptr+bytes) lies within one live allocation of
+  /// this space; throws std::out_of_range naming `what` otherwise. Used
+  /// internally by copy()/set() and by the cross-device peer-copy path,
+  /// which must bounds-check each endpoint against its own device.
+  void validate_device_range(const void* ptr, std::size_t bytes,
+                             const char* what) const;
+
   /// Pitched 2-D copy (cudaMemcpy2D): `height` rows of `width` bytes,
   /// rows `dpitch`/`spitch` bytes apart. Pitches must be >= width; the
   /// whole pitched footprint of the device side(s) is bounds-checked.
@@ -121,8 +128,6 @@ class DeviceMemory {
     std::size_t footprint = 0;     ///< total bytes from real_base
   };
 
-  void validate_device_range(const void* ptr, std::size_t bytes,
-                             const char* what) const;
   void verify_redzones_locked(std::uintptr_t user_base, const AllocInfo& info);
 
   std::uint64_t capacity_;

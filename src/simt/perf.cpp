@@ -134,4 +134,11 @@ double model_transfer_ms(const DeviceConfig& dev, std::uint64_t bytes,
          static_cast<double>(bytes) / (dev.link_bw_gbps * 1e6);
 }
 
+double model_peer_transfer_ms(const DeviceConfig& src, const DeviceConfig& dst,
+                              std::uint64_t bytes, const EventCosts& ec) {
+  const double bw = std::min(src.peer_bw_gbps, dst.peer_bw_gbps);
+  return ec.transfer_latency_us / 1000.0 +
+         static_cast<double>(bytes) / (bw * 1e6);
+}
+
 }  // namespace simt

@@ -151,4 +151,14 @@ ModeledTime model_time(const DeviceConfig& dev, const CompilerProfile& prof,
 double model_transfer_ms(const DeviceConfig& dev, std::uint64_t bytes,
                          const EventCosts& ec = EventCosts{});
 
+/// Modeled device<->device transfer time for `bytes` over the peer
+/// link between `src` and `dst`: one link latency plus the bytes at
+/// the slower endpoint's peer bandwidth (a link is only as fast as its
+/// narrower end). Used when peer access is enabled; with peer access
+/// disabled the copy is staged through the host instead (two
+/// model_transfer_ms legs).
+double model_peer_transfer_ms(const DeviceConfig& src, const DeviceConfig& dst,
+                              std::uint64_t bytes,
+                              const EventCosts& ec = EventCosts{});
+
 }  // namespace simt

@@ -243,16 +243,19 @@ std::string Profiler::chrome_trace_json() const {
              static_cast<unsigned long long>(s.bytes));
     out += "}}";
     if (s.flow_id != 0) {
-      // Chrome flow events: "s" leaves the record slice, "f" lands on
-      // the wait slice (binding point "e" = enclosing slice).
+      // Chrome flow events: "s" leaves the source slice (event record,
+      // or the source-device side of a peer copy), "f" lands on the
+      // sink slice (binding point "e" = enclosing slice). Peer copies
+      // draw the arrow *across* device processes.
       sep();
       append(out,
-             "{\"name\":\"event\",\"cat\":\"flow\",\"ph\":\"%s\","
+             "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%s\","
              "\"id\":%llu,\"pid\":%u,\"tid\":%llu,\"ts\":%.4f%s}",
-             s.kind == SpanKind::kEventRecord ? "s" : "f",
+             s.kind == SpanKind::kMemcpy ? "peer-copy" : "event",
+             s.flow_out ? "s" : "f",
              static_cast<unsigned long long>(s.flow_id), s.device_pid,
              static_cast<unsigned long long>(s.track), ts_us,
-             s.kind == SpanKind::kEventRecord ? "" : ",\"bp\":\"e\"");
+             s.flow_out ? "" : ",\"bp\":\"e\"");
     }
   }
 

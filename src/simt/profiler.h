@@ -60,7 +60,10 @@ struct TraceSpan {
   double dur_ms = 0.0;            ///< modeled duration
   double wall_ms = 0.0;           ///< host wall time executing the op
   std::uint64_t bytes = 0;        ///< memcpy/memset payload
-  std::uint64_t flow_id = 0;      ///< links an event record to its waits
+  std::uint64_t flow_id = 0;      ///< links an event record to its waits,
+                                  ///< or a peer copy's two device spans
+  bool flow_out = false;          ///< this span is the arrow's source
+                                  ///< (event record / peer-copy src side)
   // --- kernels only
   Dim3 grid{0, 0, 0};
   Dim3 block{0, 0, 0};

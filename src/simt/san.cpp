@@ -177,6 +177,28 @@ bool san_global_access(const void* ptr, std::size_t bytes, bool is_write) {
     if (cchk.status == Status::kOk) return true;
     if (cchk.status != Status::kUnknown) chk = cchk;
   }
+  Device* owner = t.device;
+  if (chk.status == Status::kUnknown) {
+    // Not this device's memory: consult the rest of the registry before
+    // concluding "host pointer". A peer device's allocation is valid to
+    // touch (the simulation is in-process, like UVA) but OOB/UAF there
+    // must be reported against the *owning* device, and a pointer no
+    // registered device knows really is a host pointer.
+    for (Device* d : device_registry()) {
+      if (d == t.device) continue;
+      const MemAccessCheck pchk = d->memory().check_access(ptr, bytes);
+      if (pchk.status == Status::kOk) return true;
+      if (pchk.status != Status::kUnknown) {
+        chk = pchk;
+        owner = d;
+        break;
+      }
+    }
+  }
+  const std::string owner_note =
+      owner != t.device
+          ? " on peer device '" + owner->config().name + "'"
+          : "";
 
   const char* verb = is_write ? "write" : "read";
   SanDiag d;
@@ -201,7 +223,8 @@ bool san_global_access(const void* ptr, std::size_t bytes, bool is_write) {
                   std::to_string(bytes) + " byte(s) at " + ptr_str(ptr) +
                   ", " + rel + " of the " + std::to_string(chk.size) +
                   "-byte allocation at " +
-                  ptr_str(reinterpret_cast<void*>(chk.base)) + where_str(t);
+                  ptr_str(reinterpret_cast<void*>(chk.base)) + owner_note +
+                  where_str(t);
       break;
     }
     case Status::kFreed:
@@ -210,7 +233,8 @@ bool san_global_access(const void* ptr, std::size_t bytes, bool is_write) {
                   std::to_string(bytes) + " byte(s) at " + ptr_str(ptr) +
                   " inside the freed " + std::to_string(chk.size) +
                   "-byte allocation at " +
-                  ptr_str(reinterpret_cast<void*>(chk.base)) + where_str(t);
+                  ptr_str(reinterpret_cast<void*>(chk.base)) + owner_note +
+                  where_str(t);
       break;
     default:
       d.kind = SanKind::kHostPointer;

@@ -68,11 +68,17 @@ double Event::modeled_ms() const {
 // ---------------------------------------------------------------- Stream
 
 void Stream::launch(const LaunchParams& params, KernelFn kernel) {
+  launch(params, std::move(kernel), nullptr);
+}
+
+void Stream::launch(const LaunchParams& params, KernelFn kernel,
+                    std::function<void(const LaunchRecord&)> on_complete) {
   dev_.validate_launch(params);
   StreamExecutor::Op op;
   op.kind = StreamExecutor::Op::Kind::kKernel;
   op.params = params;
   op.kernel = std::move(kernel);
+  op.on_complete = std::move(on_complete);
   ex_.submit(*this, std::move(op));
 }
 
@@ -305,6 +311,7 @@ void StreamExecutor::execute(Stream& s, Op& op) {
   switch (op.kind) {
     case Op::Kind::kKernel: {
       const LaunchRecord rec = dev_.launch_sync(op.params, op.kernel);
+      if (op.on_complete) op.on_complete(rec);
       std::lock_guard lock(mu_);
       span.ts_ms = s.modeled_ready_ms_;
       s.modeled_ready_ms_ += rec.time.total_ms;
@@ -377,6 +384,7 @@ void StreamExecutor::execute(Stream& s, Op& op) {
         span.ts_ms = s.modeled_ready_ms_;
         span.flow_id =
             event_flow_id(op.event->uid_, op.event->generation_);
+        span.flow_out = true;
       }
       cv_complete_.notify_all();
       break;

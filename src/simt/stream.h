@@ -28,6 +28,7 @@ namespace simt {
 
 class Device;
 class StreamExecutor;
+struct LaunchRecord;
 
 /// An event marks a point in a stream; other streams (or the host) can
 /// wait on it. Create via Device::create_event().
@@ -67,6 +68,13 @@ class Stream {
   /// synchronize()/events to observe completion. Per-launch results
   /// (stats + modeled time) land in Device::launch_log().
   void launch(const LaunchParams& params, KernelFn kernel);
+
+  /// Like launch(), additionally invoking `on_complete` with the
+  /// finished record on the executor thread — how a sharded launch
+  /// collects per-shard records whose log entries are suppressed
+  /// (LaunchParams::log = false).
+  void launch(const LaunchParams& params, KernelFn kernel,
+              std::function<void(const LaunchRecord&)> on_complete);
 
   /// Asynchronous memcpy/memset on this stream.
   void memcpy_async(void* dst, const void* src, std::size_t bytes, CopyKind kind);
@@ -144,6 +152,7 @@ class StreamExecutor {
     // kernel
     LaunchParams params;
     KernelFn kernel;
+    std::function<void(const LaunchRecord&)> on_complete;
     // memcpy / memset
     void* dst = nullptr;
     const void* src = nullptr;

@@ -174,10 +174,24 @@ TEST(CApiHost, EntryPointsHaveCLinkage) {
   EXPECT_NE(dump, nullptr);
   int (*info)(ompx_launch_info_t*) = &ompx_get_last_launch_info;
   EXPECT_NE(info, nullptr);
-  void (*sdestroy)(ompx_stream_t) = &ompx_stream_destroy;
+  ompx_result_t (*sdestroy)(ompx_stream_t) = &ompx_stream_destroy;
   EXPECT_NE(sdestroy, nullptr);
-  void (*edestroy)(ompx_event_t) = &ompx_event_destroy;
+  ompx_result_t (*edestroy)(ompx_event_t) = &ompx_event_destroy;
   EXPECT_NE(edestroy, nullptr);
+  // The multi-device additions are plain C symbols too.
+  ompx_result_t (*peer)(void*, int, const void*, int, std::size_t) =
+      &ompx_memcpy_peer;
+  EXPECT_NE(peer, nullptr);
+  ompx_result_t (*enable)(int, unsigned int) = &ompx_device_enable_peer_access;
+  EXPECT_NE(enable, nullptr);
+  ompx_result_t (*disable)(int) = &ompx_device_disable_peer_access;
+  EXPECT_NE(disable, nullptr);
+  ompx_result_t (*can)(int*, int, int) = &ompx_device_can_access_peer;
+  EXPECT_NE(can, nullptr);
+  const char* (*rstr)(ompx_result_t) = &ompx_result_string;
+  EXPECT_NE(rstr, nullptr);
+  ompx_result_t (*last)(void) = &ompx_get_last_result;
+  EXPECT_NE(last, nullptr);
 }
 
 // --- launch telemetry (uniform profiling API, C and C++ views) -----------

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/ompx.h"
@@ -11,18 +12,142 @@ namespace {
 
 class OmpxHostApi : public ::testing::Test {
  protected:
-  void SetUp() override { ompx_set_device(0); }
+  void SetUp() override {
+    ompx_set_device(0);
+    (void)ompx_get_last_result();  // clean error slot per test
+  }
 };
 
 TEST_F(OmpxHostApi, DeviceManagement) {
   EXPECT_EQ(ompx_get_num_devices(), 2);
   EXPECT_EQ(ompx_get_device(), 0);
-  ompx_set_device(1);
+  EXPECT_EQ(ompx_set_device(1), OMPX_SUCCESS);
   EXPECT_EQ(ompx_get_device(), 1);
   EXPECT_EQ(&ompx::default_device(), &simt::sim_mi250());
+  EXPECT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  // Bad indices are reported as error codes, never thrown across the C
+  // boundary, and leave the current device untouched.
+  EXPECT_EQ(ompx_set_device(7), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_set_device(-1), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_get_device(), 0);
+  EXPECT_STREQ(ompx_result_string(OMPX_ERROR_INVALID_DEVICE),
+               "invalid device index");
+}
+
+TEST_F(OmpxHostApi, LastResultIsClearOnRead) {
+  EXPECT_EQ(ompx_peek_last_result(), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_set_device(99), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_peek_last_result(), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_NE(std::string(ompx_last_result_detail()).find("99"),
+            std::string::npos);
+  EXPECT_EQ(ompx_get_last_result(), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_get_last_result(), OMPX_SUCCESS);  // cleared by the read
+}
+
+TEST_F(OmpxHostApi, CurrentDeviceIsPerHostThread) {
+  // CUDA semantics: cudaSetDevice is per host thread, and a fresh
+  // thread starts at device 0 no matter what other threads selected.
+  ASSERT_EQ(ompx_set_device(1), OMPX_SUCCESS);
+  int fresh_thread_device = -2;
+  int after_set_inside = -2;
+  std::thread worker([&] {
+    fresh_thread_device = ompx_get_device();
+    ASSERT_EQ(ompx_set_device(1), OMPX_SUCCESS);
+    after_set_inside = ompx_get_device();
+  });
+  worker.join();
+  EXPECT_EQ(fresh_thread_device, 0);
+  EXPECT_EQ(after_set_inside, 1);
+  // The worker's selection did not leak back into this thread.
+  EXPECT_EQ(ompx_get_device(), 1);
   ompx_set_device(0);
-  EXPECT_THROW(ompx_set_device(7), std::invalid_argument);
-  EXPECT_THROW(ompx_set_device(-1), std::invalid_argument);
+}
+
+TEST_F(OmpxHostApi, MemcpyClassifiesCrossDeviceCopyAsPeerCopy) {
+  // Regression for the direction-inference bug: memcpy_on used to
+  // classify against the *current* device's registry only, so a copy
+  // whose destination lived on another device was misread as
+  // device-to-host (and a cross-device pair as host-to-host) — wrong
+  // cost, no accounting on the owning devices.
+  constexpr int n = 2048;
+  simt::Device& a100 = simt::sim_a100();
+  simt::Device& mi250 = simt::sim_mi250();
+  auto* src = static_cast<int*>(ompx::malloc_on(a100, n * sizeof(int)));
+  auto* dst = static_cast<int*>(ompx::malloc_on(mi250, n * sizeof(int)));
+  std::vector<int> in(n);
+  std::iota(in.begin(), in.end(), 11);
+  ompx::memcpy_on(a100, src, in.data(), n * sizeof(int));
+
+  const double a_before = a100.modeled_transfer_ms_total();
+  const double m_before = mi250.modeled_transfer_ms_total();
+  // Current device is sim-a100; the destination is sim-mi250 memory.
+  ompx_memcpy(dst, src, n * sizeof(int));
+  EXPECT_EQ(ompx_peek_last_result(), OMPX_SUCCESS);
+  // The copy is accounted as a transfer on *both* owning devices.
+  EXPECT_GT(a100.modeled_transfer_ms_total(), a_before);
+  EXPECT_GT(mi250.modeled_transfer_ms_total(), m_before);
+
+  std::vector<int> out(n, 0);
+  ompx::memcpy_on(mi250, out.data(), dst, n * sizeof(int));
+  EXPECT_EQ(in, out);
+  ompx::free_on(a100, src);
+  ompx::free_on(mi250, dst);
+}
+
+TEST_F(OmpxHostApi, FreeAndMemsetRouteToOwningDevice) {
+  // free/memset through the "wrong" current device must reach the
+  // owning device's registry instead of failing.
+  simt::Device& mi250 = simt::sim_mi250();
+  auto* p = static_cast<unsigned char*>(ompx::malloc_on(mi250, 64));
+  ASSERT_EQ(ompx_get_device(), 0);  // current device is sim-a100
+  EXPECT_EQ(ompx_memset(p, 0x5a, 64), OMPX_SUCCESS);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(p[i], 0x5a);
+  EXPECT_EQ(ompx_free(p), OMPX_SUCCESS);
+  EXPECT_EQ(mi250.memory().allocation_size(p), 0u);
+}
+
+TEST_F(OmpxHostApi, PeerCopyCApi) {
+  constexpr int n = 1024;
+  void* src = ompx::malloc_on(simt::sim_a100(), n * sizeof(int));
+  void* dst = ompx::malloc_on(simt::sim_mi250(), n * sizeof(int));
+  std::vector<int> in(n);
+  std::iota(in.begin(), in.end(), -7);
+  ompx::memcpy_on(simt::sim_a100(), src, in.data(), n * sizeof(int));
+
+  EXPECT_EQ(ompx_memcpy_peer(dst, 1, src, 0, n * sizeof(int)), OMPX_SUCCESS);
+  std::vector<int> out(n, 0);
+  ompx::memcpy_on(simt::sim_mi250(), out.data(), dst, n * sizeof(int));
+  EXPECT_EQ(in, out);
+
+  // Bad device indices and foreign ranges surface as error codes.
+  EXPECT_EQ(ompx_memcpy_peer(dst, 9, src, 0, 8), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_memcpy_peer(dst, 1, src, -3, 8), OMPX_ERROR_INVALID_DEVICE);
+  // src belongs to device 0, not device 1: bounds validation rejects it.
+  EXPECT_EQ(ompx_memcpy_peer(dst, 1, src, 1, 8), OMPX_ERROR_INVALID_VALUE);
+  (void)ompx_get_last_result();
+
+  ompx::free_on(simt::sim_a100(), src);
+  ompx::free_on(simt::sim_mi250(), dst);
+}
+
+TEST_F(OmpxHostApi, PeerAccessManagement) {
+  int can = -1;
+  ASSERT_EQ(ompx_device_can_access_peer(&can, 0, 1), OMPX_SUCCESS);
+  EXPECT_EQ(can, 1);
+  ASSERT_EQ(ompx_device_can_access_peer(&can, 0, 0), OMPX_SUCCESS);
+  EXPECT_EQ(can, 0);  // a device is not its own peer
+  EXPECT_EQ(ompx_device_can_access_peer(nullptr, 0, 1),
+            OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_device_can_access_peer(&can, 0, 5),
+            OMPX_ERROR_INVALID_DEVICE);
+
+  EXPECT_EQ(ompx_device_enable_peer_access(1, 7), OMPX_ERROR_INVALID_VALUE);
+  ASSERT_EQ(ompx_device_enable_peer_access(1, 0), OMPX_SUCCESS);
+  EXPECT_TRUE(simt::sim_a100().peer_access_enabled(simt::sim_mi250()));
+  ASSERT_EQ(ompx_device_enable_peer_access(1, 0), OMPX_SUCCESS);  // idempotent
+  ASSERT_EQ(ompx_device_disable_peer_access(1), OMPX_SUCCESS);
+  EXPECT_FALSE(simt::sim_a100().peer_access_enabled(simt::sim_mi250()));
+  (void)ompx_get_last_result();
 }
 
 TEST_F(OmpxHostApi, AsyncCopyThroughStream) {
@@ -46,8 +171,9 @@ TEST_F(OmpxHostApi, MemsetAsyncAndNullStreamRejected) {
   ompx_stream_synchronize(s);
   for (int i = 0; i < 128; ++i) ASSERT_EQ(d[i], 0x3c);
   ompx_free(d);
-  EXPECT_THROW(ompx_memset_async(d, 0, 1, nullptr), std::invalid_argument);
-  EXPECT_THROW(ompx_stream_synchronize(nullptr), std::invalid_argument);
+  EXPECT_EQ(ompx_memset_async(d, 0, 1, nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_stream_synchronize(nullptr), OMPX_ERROR_INVALID_VALUE);
+  (void)ompx_get_last_result();
 }
 
 TEST_F(OmpxHostApi, EventsTimeAKernelSequence) {
@@ -98,10 +224,11 @@ TEST_F(OmpxHostApi, StreamWaitEventOrdersAcrossStreams) {
 TEST_F(OmpxHostApi, NullEventHandlesRejected) {
   ompx_stream_t s = ompx_stream_create();
   ompx_event_t ev = ompx_event_create();
-  EXPECT_THROW(ompx_event_record(nullptr, s), std::invalid_argument);
-  EXPECT_THROW(ompx_event_record(ev, nullptr), std::invalid_argument);
-  EXPECT_THROW(ompx_event_synchronize(nullptr), std::invalid_argument);
-  EXPECT_THROW(ompx_event_elapsed_ms(ev, nullptr), std::invalid_argument);
+  EXPECT_EQ(ompx_event_record(nullptr, s), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_record(ev, nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_synchronize(nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_elapsed_ms(ev, nullptr), -1.0f);
+  EXPECT_EQ(ompx_get_last_result(), OMPX_ERROR_INVALID_VALUE);
 }
 
 }  // namespace

@@ -70,6 +70,20 @@ TEST(Cuda2Ompx, HostApiCalls) {
   EXPECT_EQ(rw("cudaMemset(p, 0, n);"), "ompx_memset(p, 0, n);");
 }
 
+TEST(Cuda2Ompx, MultiDeviceApiCalls) {
+  EXPECT_EQ(rw("cudaSetDevice(1);"), "ompx_set_device(1);");
+  EXPECT_EQ(rw("cudaGetDeviceCount(&n);"), "n = ompx_get_num_devices();");
+  EXPECT_EQ(rw("cudaGetDevice(&dev);"), "dev = ompx_get_device();");
+  EXPECT_EQ(rw("cudaMemcpyPeer(dst, 1, src, 0, bytes);"),
+            "ompx_memcpy_peer(dst, 1, src, 0, bytes);");
+  EXPECT_EQ(rw("cudaDeviceEnablePeerAccess(peer, 0);"),
+            "ompx_device_enable_peer_access(peer, 0);");
+  EXPECT_EQ(rw("cudaDeviceDisablePeerAccess(peer);"),
+            "ompx_device_disable_peer_access(peer);");
+  EXPECT_EQ(rw("cudaDeviceCanAccessPeer(&can, 0, 1);"),
+            "ompx_device_can_access_peer(&can, 0, 1);");
+}
+
 TEST(Cuda2Ompx, StreamsAndEvents) {
   EXPECT_EQ(rw("cudaStream_t s;"), "ompx_stream_t s;");
   EXPECT_EQ(rw("cudaStreamCreate(&s);"), "s = ompx_stream_create();");

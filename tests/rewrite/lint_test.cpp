@@ -159,6 +159,32 @@ void k() {
   EXPECT_EQ(hits[0].symbol, "threadIdx");
 }
 
+TEST(LintUnported, FlagsPeerCopyHostApis) {
+  const auto fs = lint_source(R"(
+void move(void* dst, void* src, std::size_t n) {
+  cudaDeviceEnablePeerAccess(1, 0);
+  cudaMemcpyPeer(dst, 1, src, 0, n);
+}
+)",
+                              {false, false, true});
+  const auto hits = of(fs, LintRule::kUnportedBuiltin);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].symbol, "cudaDeviceEnablePeerAccess");
+  EXPECT_EQ(hits[1].symbol, "cudaMemcpyPeer");
+  EXPECT_NE(hits[1].message.find("ompx_memcpy_peer"), std::string::npos);
+}
+
+TEST(LintUnported, PortedPeerCopyIsClean) {
+  const auto fs = lint_source(R"(
+void move(void* dst, void* src, std::size_t n) {
+  ompx_device_enable_peer_access(1, 0);
+  ompx_memcpy_peer(dst, 1, src, 0, n);
+}
+)",
+                              {false, false, true});
+  EXPECT_TRUE(of(fs, LintRule::kUnportedBuiltin).empty());
+}
+
 TEST(LintUnported, QualifiedNamesAreThisLibrarys) {
   const auto fs = lint_source(R"(
 void k() {
