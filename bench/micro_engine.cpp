@@ -66,6 +66,22 @@ void BM_CooperativeLaunchPerThread(benchmark::State& state) {
 }
 BENCHMARK(BM_CooperativeLaunchPerThread)->Arg(16)->Arg(256);
 
+void BM_ConvergentLaunchPerThread(benchmark::State& state) {
+  // Same cooperative launch, forced onto the fiber-free lane loop
+  // (LaneExec::kConvergent): the gap to BM_CooperativeLaunchPerThread
+  // is what the fiber switch costs a sync-free kernel.
+  simt::Device dev(simt::make_sim_a100_config());
+  simt::LaunchParams p;
+  p.grid = {static_cast<unsigned>(state.range(0))};
+  p.block = {256};
+  p.lane_exec = simt::LaneExec::kConvergent;
+  p.name = "bm_convergent";
+  for (auto _ : state) dev.launch_sync(p, [] {});
+  state.SetItemsProcessed(state.iterations() * p.grid.count() *
+                          p.block.count());
+}
+BENCHMARK(BM_ConvergentLaunchPerThread)->Arg(16)->Arg(256);
+
 void BM_BlockBarrier(benchmark::State& state) {
   simt::Device dev(simt::make_sim_a100_config());
   const int barriers = 16;
@@ -154,12 +170,51 @@ double measure_switch_ns() {
   return ms * 1e6 / (2.0 * iters);
 }
 
+/// One timed row of the exec-mode comparison: mean ms per launch plus
+/// the scheduler counters that prove which path actually ran.
+struct ExecRow {
+  double ms_per_launch = 0.0;
+  std::uint64_t lane_loops = 0;   ///< threads run fiber-free (convergent)
+  std::uint64_t deflations = 0;   ///< convergent probes that hit a collective
+  std::uint64_t fibers_created = 0;
+  std::uint64_t fiber_reuses = 0;
+};
+
+template <typename Kernel>
+ExecRow measure_exec(simt::Device& dev, simt::LaunchParams p,
+                     simt::LaneExec exec, int warm, int iters,
+                     const Kernel& kernel) {
+  p.lane_exec = exec;
+  ExecRow row;
+  // Counters accumulate across warm-up too, so a one-time deflation
+  // probe (hint learning) is visible in the row even though the timed
+  // window only sees the learned steady state.
+  for (int i = 0; i < warm; ++i) {
+    const simt::LaunchRecord r = dev.launch_sync(p, kernel);
+    row.lane_loops += r.stats.sched_lane_loops;
+    row.deflations += r.stats.sched_deflations;
+  }
+  const double t0 = now_ms();
+  for (int i = 0; i < iters; ++i) {
+    const simt::LaunchRecord r = dev.launch_sync(p, kernel);
+    row.lane_loops += r.stats.sched_lane_loops;
+    row.deflations += r.stats.sched_deflations;
+    row.fibers_created += r.stats.fibers_created;
+    row.fiber_reuses += r.stats.fiber_reuses;
+  }
+  row.ms_per_launch = (now_ms() - t0) / iters;
+  return row;
+}
+
 int emit_json(const std::string& path) {
   const double switch_ns = measure_switch_ns();
 
-  // Sync-free cooperative launch: the fiber-recycling fast path. One
-  // block per launch on one worker so launches/s isolates engine
-  // overhead, not host parallelism.
+  // Sync-free cooperative launch, fiber vs convergent: the same launch
+  // through both lane-execution modes (simt::LaneExec). The fiber row
+  // is the fiber-recycling fast path; the convergent row runs every
+  // thread as a plain call on the worker (no fiber, no context
+  // switch). One block per launch on one worker so launches/s isolates
+  // engine overhead, not host parallelism.
   simt::EngineOptions opts;
   opts.workers = 1;
   simt::Device dev(simt::make_sim_a100_config(), opts);
@@ -168,15 +223,14 @@ int emit_json(const std::string& path) {
   p.block = {256};
   p.name = "json_sync_free";
   const int warm = 20, iters = 200;
-  for (int i = 0; i < warm; ++i) dev.launch_sync(p, [] {});
-  std::uint64_t created = 0, reused = 0;
-  double t0 = now_ms();
-  for (int i = 0; i < iters; ++i) {
-    const simt::LaunchRecord r = dev.launch_sync(p, [] {});
-    created += r.stats.fibers_created;
-    reused += r.stats.fiber_reuses;
-  }
-  const double sync_free_ms = (now_ms() - t0) / iters;
+  const double sync_threads = 16.0 * 256.0;
+  const ExecRow sf_fiber = measure_exec(dev, p, simt::LaneExec::kFiber, warm,
+                                        iters, [] {});
+  const ExecRow sf_conv = measure_exec(dev, p, simt::LaneExec::kConvergent,
+                                       warm, iters, [] {});
+  const double sync_free_ms = sf_fiber.ms_per_launch;
+  const std::uint64_t created = sf_fiber.fibers_created;
+  const std::uint64_t reused = sf_fiber.fiber_reuses;
   const double reuse_rate =
       created + reused == 0
           ? 0.0
@@ -188,13 +242,17 @@ int emit_json(const std::string& path) {
   // path (one relaxed atomic load per launch).
   simt::Profiler::instance().start();
   for (int i = 0; i < warm; ++i) dev.launch_sync(p, [] {});
-  t0 = now_ms();
+  double t0 = now_ms();
   for (int i = 0; i < iters; ++i) dev.launch_sync(p, [] {});
   const double traced_ms = (now_ms() - t0) / iters;
   simt::Profiler::instance().stop();
   simt::Profiler::instance().reset();
 
-  // Barrier-heavy launch: the ready-queue batch-drain path.
+  // Barrier-heavy launch: the ready-queue batch-drain path. The
+  // convergent row starts with a clean hint registry, so its first
+  // launch pays one deflation probe, note_exec_deflation pins
+  // needs_fibers, and every later launch routes straight to fibers —
+  // the row demonstrates parity, not speedup.
   p.name = "json_barrier16";
   p.grid = {1};
   const int barriers = 16;
@@ -202,10 +260,11 @@ int emit_json(const std::string& path) {
     auto& t = simt::this_thread();
     for (int i = 0; i < barriers; ++i) t.block->sync_threads(t);
   };
-  for (int i = 0; i < warm; ++i) dev.launch_sync(p, barrier_kernel);
-  t0 = now_ms();
-  for (int i = 0; i < iters; ++i) dev.launch_sync(p, barrier_kernel);
-  const double barrier_ms = (now_ms() - t0) / iters;
+  const ExecRow bh_fiber = measure_exec(dev, p, simt::LaneExec::kFiber, warm,
+                                        iters, barrier_kernel);
+  simt::clear_exec_hints();
+  const ExecRow bh_conv = measure_exec(dev, p, simt::LaneExec::kConvergent,
+                                       warm, iters, barrier_kernel);
 
   // Sanitizer-off overhead: the same shared-memory traffic through the
   // instrumented accessors (ompx::san) vs raw pointers, sanitizer
@@ -255,21 +314,50 @@ int emit_json(const std::string& path) {
   const simt::LaunchRecord steal_rec = dev4.launch_sync(p, [] {});
 
   std::string out;
-  char buf[512];
+  char buf[1024];
+  // ns_per_thread divides the whole launch (dispatch + scheduling +
+  // kernel body) evenly over its threads — the per-lane engine tax.
+  auto exec_rows = [&](const ExecRow& fiber, const ExecRow& conv,
+                       double threads) {
+    std::snprintf(
+        buf, sizeof buf,
+        "    \"fiber\": {\n"
+        "      \"ms_per_launch\": %.3f,\n"
+        "      \"launches_per_s\": %.0f,\n"
+        "      \"ns_per_thread\": %.1f\n"
+        "    },\n"
+        "    \"convergent\": {\n"
+        "      \"ms_per_launch\": %.3f,\n"
+        "      \"launches_per_s\": %.0f,\n"
+        "      \"ns_per_thread\": %.1f,\n"
+        "      \"lane_loops\": %llu,\n"
+        "      \"deflations\": %llu,\n"
+        "      \"speedup_vs_fiber\": %.2f\n"
+        "    },\n",
+        fiber.ms_per_launch, 1000.0 / fiber.ms_per_launch,
+        fiber.ms_per_launch * 1e6 / threads, conv.ms_per_launch,
+        1000.0 / conv.ms_per_launch, conv.ms_per_launch * 1e6 / threads,
+        static_cast<unsigned long long>(conv.lane_loops),
+        static_cast<unsigned long long>(conv.deflations),
+        fiber.ms_per_launch / conv.ms_per_launch);
+    out += buf;
+  };
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"micro_engine\",\n"
+                "  \"fiber_switch_ns\": %.1f,\n"
+                "  \"sync_free\": {\n"
+                "    \"grid\": 16, \"block\": 256, \"workers\": 1, "
+                "\"threads\": 4096,\n",
+                switch_ns);
+  out += buf;
+  exec_rows(sf_fiber, sf_conv, sync_threads);
   std::snprintf(
       buf, sizeof buf,
-      "{\n"
-      "  \"bench\": \"micro_engine\",\n"
-      "  \"fiber_switch_ns\": %.1f,\n"
-      "  \"sync_free\": {\n"
-      "    \"grid\": 16, \"block\": 256, \"workers\": 1,\n"
-      "    \"ms_per_launch\": %.3f,\n"
-      "    \"launches_per_s\": %.0f,\n"
       "    \"fibers_created\": %llu,\n"
       "    \"fiber_reuses\": %llu,\n"
       "    \"fiber_reuse_rate\": %.4f\n"
       "  },\n",
-      switch_ns, sync_free_ms, 1000.0 / sync_free_ms,
       static_cast<unsigned long long>(created),
       static_cast<unsigned long long>(reused), reuse_rate);
   out += buf;
@@ -281,8 +369,14 @@ int emit_json(const std::string& path) {
       "    \"ms_per_launch_traced\": %.3f\n"
       "  },\n"
       "  \"barrier_heavy\": {\n"
-      "    \"grid\": 1, \"block\": 256, \"barriers\": %d,\n"
-      "    \"ms_per_launch\": %.3f\n"
+      "    \"grid\": 1, \"block\": 256, \"barriers\": %d, \"threads\": 256,\n",
+      sync_free_ms, traced_ms, barriers);
+  out += buf;
+  exec_rows(bh_fiber, bh_conv, 256.0);
+  std::snprintf(
+      buf, sizeof buf,
+      "    \"note\": \"convergent deflates once, learns needs_fibers, then "
+      "matches fiber\"\n"
       "  },\n"
       "  \"san_overhead\": {\n"
       "    \"grid\": 16, \"block\": 256, \"rounds\": %d, \"san\": \"off\",\n"
@@ -294,8 +388,8 @@ int emit_json(const std::string& path) {
       "    \"steals\": %llu\n"
       "  }\n"
       "}\n",
-      sync_free_ms, traced_ms, barriers, barrier_ms, rounds, raw_ms,
-      checked_ms, static_cast<unsigned long long>(steal_rec.stats.sched_steals));
+      rounds, raw_ms, checked_ms,
+      static_cast<unsigned long long>(steal_rec.stats.sched_steals));
   out += buf;
 
   if (path.empty()) {

@@ -402,7 +402,35 @@ int ompx_get_last_launch_info(ompx_launch_info_t* info) {
   info->atomics = rec.stats.atomics;
   info->parallel_handshakes = rec.stats.parallel_handshakes;
   info->globalized_bytes = rec.stats.globalized_bytes;
+  std::strncpy(info->exec_mode, rec.exec_mode.c_str(),
+               sizeof info->exec_mode - 1);
+  info->lane_loops = rec.stats.sched_lane_loops;
   return 0;
+}
+
+ompx_result_t ompx_set_exec_hint(const char* kernel, int convergent,
+                                 int needs_fibers) {
+  return guarded([&] {
+    if (kernel == nullptr)
+      throw std::invalid_argument("ompx_set_exec_hint: null kernel name");
+    simt::set_exec_hint(kernel, {convergent != 0, needs_fibers != 0});
+  });
+}
+
+ompx_result_t ompx_set_exec_policy(const char* policy) {
+  return guarded([&] {
+    if (policy == nullptr)
+      throw std::invalid_argument("ompx_set_exec_policy: null policy");
+    const std::string p = policy;
+    if (p == "fiber") simt::set_exec_policy(simt::ExecPolicy::kFiber);
+    else if (p == "convergent")
+      simt::set_exec_policy(simt::ExecPolicy::kConvergent);
+    else if (p == "auto") simt::set_exec_policy(simt::ExecPolicy::kAuto);
+    else
+      throw std::invalid_argument(
+          "ompx_set_exec_policy: expected fiber|convergent|auto, got '" + p +
+          "'");
+  });
 }
 
 }  // extern "C"

@@ -147,7 +147,21 @@ typedef struct ompx_launch_info_t {
   unsigned long long atomics;
   unsigned long long parallel_handshakes;
   unsigned long long globalized_bytes;
+  /// Resolved lane-execution mode ("fiber"/"convergent"/"direct") and
+  /// the number of threads that ran fiber-free under the convergent
+  /// lane loop (see simt::LaneExec / OMPX_EXEC).
+  char exec_mode[16];
+  unsigned long long lane_loops;
 } ompx_launch_info_t;
+
+/// C view of ompx::launch_hints: registers the execution hint for
+/// `kernel`. `convergent` != 0 opts the kernel into the lane-loop fast
+/// path under OMPX_EXEC=auto; `needs_fibers` != 0 pins the fiber path.
+ompx_result_t ompx_set_exec_hint(const char* kernel, int convergent,
+                                 int needs_fibers);
+/// Overrides the OMPX_EXEC policy at run time: "fiber", "convergent",
+/// or "auto". Anything else is OMPX_ERROR_INVALID_VALUE.
+ompx_result_t ompx_set_exec_policy(const char* policy);
 
 /// Fills `info` from the last completed launch; 0 on success, -1 if no
 /// launch has completed yet (or info is null).

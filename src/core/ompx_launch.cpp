@@ -39,6 +39,7 @@ simt::LaunchParams to_params(const LaunchSpec& spec, const simt::Device& dev) {
   }
   p.dynamic_smem_bytes = spec.dynamic_groupprivate_bytes;
   p.mode = spec.mode;
+  p.lane_exec = spec.exec;
   p.profile = spec.profile;
   p.cost = spec.cost;
   p.name = spec.name;
@@ -77,6 +78,10 @@ void set_shard_devices(int n) {
 
 int shard_devices() {
   return g_shard_devices.load(std::memory_order_relaxed);
+}
+
+void launch_hints(const char* kernel, bool convergent, bool needs_fibers) {
+  simt::set_exec_hint(kernel, {convergent, needs_fibers});
 }
 
 LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {
@@ -211,6 +216,8 @@ LaunchResult shard_launch(const LaunchSpec& spec,
     rec.stats.fibers_created += s.stats.fibers_created;
     rec.stats.fiber_reuses += s.stats.fiber_reuses;
     rec.stats.sched_steals += s.stats.sched_steals;
+    rec.stats.sched_lane_loops += s.stats.sched_lane_loops;
+    rec.stats.sched_deflations += s.stats.sched_deflations;
     rec.time.compute_ms = std::max(rec.time.compute_ms, s.time.compute_ms);
     rec.time.memory_ms = std::max(rec.time.memory_ms, s.time.memory_ms);
     rec.time.overhead_ms = std::max(rec.time.overhead_ms, s.time.overhead_ms);
@@ -222,6 +229,9 @@ LaunchResult shard_launch(const LaunchSpec& spec,
   rec.stats.runtime_init = shards.front().stats.runtime_init;
   rec.stats.generic_mode = shards.front().stats.generic_mode;
   rec.stats.spill_in_shared = shards.front().stats.spill_in_shared;
+  // Shards resolve from the same request; the primary's verdict stands
+  // for the combined record.
+  rec.exec_mode = shards.front().exec_mode;
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();

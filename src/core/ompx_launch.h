@@ -55,8 +55,22 @@ struct LaunchSpec {
   simt::CompilerProfile profile{.name = "ompx-proto"};
   simt::KernelCost cost;
   simt::ExecMode mode = simt::ExecMode::kCooperative;
+  /// Lane execution strategy (fiber path vs convergent lane loop).
+  /// kDefault defers to the ExecHint registry (launch_hints) and the
+  /// OMPX_EXEC policy; see simt::LaneExec.
+  simt::LaneExec exec = simt::LaneExec::kDefault;
   const char* name = "ompx_kernel";
 };
+
+/// Registers the execution hint for `kernel` (matched against launch
+/// names): `convergent` opts the kernel into the fiber-free lane-loop
+/// fast path under OMPX_EXEC=auto; `needs_fibers` pins it to the fiber
+/// path (kernels whose pre-collective prefix is not replayable). The
+/// hint may also come from the static classifier
+/// (rewrite::classify_exec) or be learned at run time when a convergent
+/// launch deflates.
+void launch_hints(const char* kernel, bool convergent,
+                  bool needs_fibers = false);
 
 /// What a launch hands back: a ticket saying whether the work already
 /// completed and, if so, the engine's record for it (measured stats +

@@ -303,6 +303,15 @@ klError klSanReport(unsigned long long* errors) {
   });
 }
 
+klError klSetKernelExecHint(const char* kernel, int convergent,
+                            int needs_fibers) {
+  if (kernel == nullptr)
+    return record_error(klErrorInvalidValue, "null kernel name");
+  return guarded([&] {
+    simt::set_exec_hint(kernel, {convergent != 0, needs_fibers != 0});
+  });
+}
+
 namespace detail {
 klError launch_erased(const simt::LaunchParams& p, klStream_t stream,
                       simt::KernelFn fn) {

@@ -138,6 +138,14 @@ klError klSanEnable(const char* checks);
 klError klSanDisable();
 klError klSanReport(unsigned long long* errors);
 
+/// Lane-execution hints (see simt::LaneExec / OMPX_EXEC): registers the
+/// execution classification of `kernel` (matched against launch names).
+/// convergent != 0 opts the kernel into the fiber-free lane-loop fast
+/// path under OMPX_EXEC=auto; needs_fibers != 0 pins the fiber path
+/// (kernels whose pre-collective prefix is not replayable).
+klError klSetKernelExecHint(const char* kernel, int convergent,
+                            int needs_fibers);
+
 // ------------------------------------------------------------- launch
 
 /// Per-kernel attributes: code-generation profile (registers, binary

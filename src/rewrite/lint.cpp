@@ -467,6 +467,49 @@ std::vector<LintFinding> lint_source(const std::string& source,
   return Linter(stripped, allow_lines, options).run();
 }
 
+namespace {
+
+/// Every spelling of a blocking collective across the layers: block
+/// barriers (sync_tokens), warp shuffle/ballot/vote/sync in CUDA, kl
+/// and ompx dialects, and atomics. Any of these forces the fiber path
+/// — the convergent lane loop deflates on first contact, so a kernel
+/// that statically contains one should be pinned to fibers up front.
+const std::unordered_set<std::string>& fiber_tokens() {
+  static const std::unordered_set<std::string> s = {
+      // warp collectives — CUDA spellings
+      "__syncwarp", "__shfl_sync", "__shfl_up_sync", "__shfl_down_sync",
+      "__shfl_xor_sync", "__ballot_sync", "__any_sync", "__all_sync",
+      "__activemask", "__reduce_add_sync",
+      // warp collectives — kl / ompx spellings
+      "shfl", "shfl_up", "shfl_down", "shfl_xor", "ballot", "any_sync",
+      "all_sync", "syncwarp", "warp_reduce", "warp_scan", "warp_vote",
+      "ompx_shfl_down_sync", "ompx_shfl_sync", "ompx_ballot_sync",
+      // atomics — CUDA and engine spellings
+      "atomicAdd", "atomicSub", "atomicMax", "atomicMin", "atomicExch",
+      "atomicCAS", "atomicAnd", "atomicOr", "atomicXor", "atomic_add",
+      "atomic_sub", "atomic_max", "atomic_min", "atomic_exch", "atomic_cas",
+      "atomic_ref",
+  };
+  return s;
+}
+
+}  // namespace
+
+ExecClass classify_exec(const std::string& source) {
+  std::set<int> allow_lines;
+  const std::string stripped = strip_source(source, &allow_lines);
+  ExecClass out;
+  for (const Word& w : words_of(stripped)) {
+    if (sync_tokens().count(w.text) != 0 || fiber_tokens().count(w.text) != 0) {
+      out.needs_fibers = true;
+      out.reason = w.text;
+      return out;
+    }
+  }
+  out.convergent = true;
+  return out;
+}
+
 std::string format_lint(const std::vector<LintFinding>& findings,
                         const std::string& filename) {
   std::string out;

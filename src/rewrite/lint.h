@@ -60,4 +60,20 @@ std::vector<LintFinding> lint_source(const std::string& source,
 std::string format_lint(const std::vector<LintFinding>& findings,
                         const std::string& filename = "<input>");
 
+/// Static lane-execution classification of one kernel's source (the
+/// engine's ExecHint, inferred instead of declared): scans for the
+/// collective spellings of every layer — block barriers, warp
+/// shuffle/ballot/vote/sync, atomics — plus the engine's own primitive
+/// calls. A source with none of them is convergent (safe and
+/// profitable for the fiber-free lane loop); a source with any needs
+/// fibers. Feed the result to ompx::launch_hints / klSetKernelExecHint
+/// or simt::set_exec_hint.
+struct ExecClass {
+  bool convergent = false;    ///< no collective/atomic found
+  bool needs_fibers = false;  ///< barrier, warp op, or atomic present
+  std::string reason;         ///< first token that decided needs_fibers
+};
+
+ExecClass classify_exec(const std::string& source);
+
 }  // namespace rewrite

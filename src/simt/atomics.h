@@ -16,7 +16,13 @@ namespace simt {
 
 namespace detail {
 inline void count_atomic() {
-  if (in_kernel()) this_thread().block->counters_.atomics++;
+  // note_atomic also doubles as the convergent lane-loop deflation
+  // trigger (atomics are non-idempotent; see BlockState::note_atomic) —
+  // it must run before the RMW below executes.
+  if (in_kernel()) {
+    ThreadCtx& t = this_thread();
+    t.block->note_atomic(t);
+  }
 }
 }  // namespace detail
 

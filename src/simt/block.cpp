@@ -33,7 +33,10 @@ BlockState::BlockState(Device& device, const LaunchParams& params,
       live_(nthreads_),
       arena_(device.config().smem_per_block_max, params.dynamic_smem_bytes),
       use_ready_queue_(device.options().scheduler ==
-                       BlockScheduler::kReadyQueue) {
+                       BlockScheduler::kReadyQueue),
+      convergent_(params.lane_exec == LaneExec::kConvergent &&
+                  params.mode == ExecMode::kCooperative &&
+                  use_ready_queue_) {
   const std::uint32_t ws = device.config().warp_size;
   const std::uint32_t nwarps = static_cast<std::uint32_t>(ceil_div(nthreads_, ws));
   warps_.reserve(nwarps);
@@ -41,29 +44,58 @@ BlockState::BlockState(Device& device, const LaunchParams& params,
     const std::uint32_t width = std::min(ws, nthreads_ - w * ws);
     warps_.push_back(std::make_unique<WarpState>(*this, w, width));
   }
-  ctxs_.resize(nthreads_);
-  slots_.resize(nthreads_);
+  // slots_ stays empty here: only the fiber schedulers read it, and the
+  // convergent fast path never does — they size it on entry instead.
+  // Under the convergent lane loop the ctx array itself is also
+  // deferred: one thread runs at a time, on a scratch ThreadCtx the
+  // loop advances in place, so the array only materializes if the
+  // block deflates to fibers.
   shared_alloc_ordinal_.assign(nthreads_, 0);
-  for (std::uint32_t i = 0; i < nthreads_; ++i) setup_ctx(i, ctxs_[i]);
+  if (!convergent_) {
+    ctxs_.resize(nthreads_);
+    setup_ctxs();
+  }
 }
 
-void BlockState::setup_ctx(std::uint32_t flat, ThreadCtx& ctx) {
+void BlockState::setup_ctxs() {
   const std::uint32_t ws = device_.config().warp_size;
-  ctx.thread_idx = params_.block.delinearize(flat);
-  ctx.block_idx = block_idx_;
-  ctx.block_dim = params_.block;
+  const Dim3 bd = params_.block;
   // A shard of a multi-device launch reports the full logical grid, so
   // gridDim-based indexing (global_thread_id, grid-stride loops) sees
   // the same geometry as the unsharded launch.
-  ctx.grid_dim = params_.logical_grid.count() != 0 ? params_.logical_grid
-                                                   : params_.grid;
-  ctx.flat_tid = flat;
-  ctx.warp_id = flat / ws;
-  ctx.lane = flat % ws;
-  ctx.block = this;
-  ctx.warp = warps_[ctx.warp_id].get();
-  ctx.device = &device_;
-  ctx.fiber = nullptr;
+  const Dim3 gd = params_.logical_grid.count() != 0 ? params_.logical_grid
+                                                    : params_.grid;
+  // Incremental carry arithmetic instead of per-thread delinearize /
+  // div/mod: context setup is per-thread work on every launch path, so
+  // the ~6 integer divisions it saves per thread are visible in
+  // launches/s.
+  Dim3 t{0, 0, 0};
+  std::uint32_t lane = 0, warp = 0;
+  for (std::uint32_t flat = 0; flat < nthreads_; ++flat) {
+    ThreadCtx& ctx = ctxs_[flat];
+    ctx.thread_idx = t;
+    ctx.block_idx = block_idx_;
+    ctx.block_dim = bd;
+    ctx.grid_dim = gd;
+    ctx.flat_tid = flat;
+    ctx.warp_id = warp;
+    ctx.lane = lane;
+    ctx.block = this;
+    ctx.warp = warps_[warp].get();
+    ctx.device = &device_;
+    ctx.fiber = nullptr;
+    if (++t.x == bd.x) {
+      t.x = 0;
+      if (++t.y == bd.y) {
+        t.y = 0;
+        ++t.z;
+      }
+    }
+    if (++lane == ws) {
+      lane = 0;
+      ++warp;
+    }
+  }
 }
 
 void BlockState::run() {
@@ -160,12 +192,109 @@ Fiber* BlockState::acquire_fiber() {
 
 void BlockState::recycle_fiber(Fiber* f) { free_fibers_.push_back(f); }
 
+// Convergent lane loop: run each thread as a plain sequential call on
+// the worker — zero context switches, no ready-queue traffic, no
+// per-thread exit bookkeeping — betting none of them blocks. The bet
+// is settled by DeflateSignal, thrown by the first blocking primitive
+// *before* it mutates any engine state (require_fiber / note_atomic
+// fire ahead of the barrier counter, rendezvous slots, and the atomic
+// RMW itself): the deflating thread's prefix only performed idempotent
+// work (plain writes, shared allocs replayed by ordinal, san shadow
+// re-recorded same-tid), so restarting it on a fiber re-executes the
+// prefix with identical effects. Kernels whose prefix hides a
+// plain-memory read-modify-write are the one shape this cannot replay;
+// they must be pinned via ExecHint needs_fibers (launch_hints / the
+// lint classifier). Returns the number of threads that completed
+// inline: nthreads_ means the whole block ran fiber-free, anything
+// less is the index of the deflating thread, which the fiber
+// scheduler must run first.
+std::uint32_t BlockState::run_lane_loop() {
+  const std::uint32_t ws = device_.config().warp_size;
+  const Dim3 bd = params_.block;
+  // One scratch context, advanced in place per lane (only one thread
+  // exists at a time here): the invariant fields are written once, the
+  // per-lane ones by carry updates — no ctx array, no divisions.
+  ThreadCtx ctx;
+  ctx.thread_idx = {0, 0, 0};
+  ctx.block_idx = block_idx_;
+  ctx.block_dim = bd;
+  ctx.grid_dim = params_.logical_grid.count() != 0 ? params_.logical_grid
+                                                   : params_.grid;
+  ctx.flat_tid = 0;
+  ctx.warp_id = 0;
+  ctx.lane = 0;
+  ctx.block = this;
+  ctx.warp = warps_[0].get();
+  ctx.device = &device_;
+  ctx.fiber = nullptr;
+  std::uint32_t i = 0;
+  bool deflated = false;
+  inline_phase_ = true;
+  t_ctx = &ctx;
+  try {
+    for (; i < nthreads_; ++i) {
+      kernel_();
+      if (++ctx.thread_idx.x == bd.x) {
+        ctx.thread_idx.x = 0;
+        if (++ctx.thread_idx.y == bd.y) {
+          ctx.thread_idx.y = 0;
+          ++ctx.thread_idx.z;
+        }
+      }
+      ctx.flat_tid = i + 1;
+      if (++ctx.lane == ws && i + 1 < nthreads_) {
+        ctx.lane = 0;
+        ctx.warp = warps_[++ctx.warp_id].get();
+      }
+    }
+  } catch (const detail::DeflateSignal&) {
+    deflated = true;
+  } catch (...) {
+    t_ctx = nullptr;
+    inline_phase_ = false;
+    throw;
+  }
+  t_ctx = nullptr;
+  inline_phase_ = false;
+  counters_.sched_lane_loops += i;
+  if (!deflated) return nthreads_;
+  // Thread i's kernel does synchronize: remember the verdict so future
+  // launches of this name skip the probe, reset its shared-alloc
+  // cursor for the replay, and materialize the ctx array the fiber
+  // scheduler needs. The completed prefix threads' exits are settled
+  // by run_cooperative once the scheduler state exists.
+  counters_.sched_deflations++;
+  shared_alloc_ordinal_[i] = 0;
+  convergent_ = false;
+  note_exec_deflation(params_.name);
+  ctxs_.resize(nthreads_);
+  setup_ctxs();
+  return i;
+}
+
 void BlockState::run_cooperative() {
+  std::uint32_t first = 0;
+  if (convergent_) {
+    first = run_lane_loop();
+    // The whole block ran inline: skip the scheduler (and its ring /
+    // waitmap / slot / fiber-array setup) entirely. Nothing downstream
+    // reads the per-thread exit state of a completed block — run_range
+    // only merges counters_.
+    if (first == nthreads_) return;
+  }
+  slots_.resize(nthreads_);
+  // Settle the deflation prefix's deferred exits (threads 0..first-1
+  // completed inline; barrier_arrived_ is still 0, so no barrier
+  // release can fire from these).
+  for (std::uint32_t j = 0; j < first; ++j) {
+    slots_[j].wait = Wait::kDone;
+    on_thread_exit(j);
+  }
   ready_.resize(std::bit_ceil(nthreads_));
   rq_mask_ = static_cast<std::uint32_t>(ready_.size()) - 1;
   rq_head_ = 0;
-  rq_count_ = nthreads_;
-  for (std::uint32_t i = 0; i < nthreads_; ++i) ready_[i] = i;
+  rq_count_ = nthreads_ - first;
+  for (std::uint32_t i = first; i < nthreads_; ++i) ready_[i - first] = i;
   barrier_waitmap_.assign((nthreads_ + 63) / 64, 0);
   drain_map_.assign(barrier_waitmap_.size(), 0);
   // Pointer arrays only (the fibers themselves stay lazy): reserving up
@@ -173,7 +302,7 @@ void BlockState::run_cooperative() {
   fibers_.reserve(nthreads_);
   free_fibers_.reserve(nthreads_);
 
-  std::uint32_t finished = 0;
+  std::uint32_t finished = first;
   while (finished < nthreads_) {
     std::uint32_t i;
     if (!next_runnable(i)) deadlock("block scheduler");
@@ -206,6 +335,7 @@ void BlockState::run_cooperative() {
 // an O(nthreads) sweep per round. Kept behind EngineOptions::scheduler
 // so differential tests can pin "results identical to the sweep".
 void BlockState::run_cooperative_sweep() {
+  slots_.resize(nthreads_);
   FiberStackPool& stacks = fiber_pool_.stack_pool();
   fibers_.reserve(nthreads_);
   for (std::uint32_t i = 0; i < nthreads_; ++i) {
@@ -299,9 +429,9 @@ void BlockState::on_thread_exit(std::uint32_t flat) {
 }
 
 void BlockState::sync_threads(ThreadCtx& ctx) {
-  if (ctx.fiber == nullptr)
-    throw std::logic_error(
-        "block barrier in ExecMode::kDirect; launch cooperatively");
+  // Deflation (or the kDirect error) fires before barrier_arrived_
+  // moves: a deflating thread's prefix must leave no trace.
+  require_fiber(ctx, "block barrier");
   barrier_arrived_++;
   if (barrier_arrived_ >= live_) {
     release_barrier();

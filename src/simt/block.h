@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "simt/dim.h"
@@ -46,7 +48,19 @@ struct BlockCounters {
   // Host-engine diagnostics (never modeled; see LaunchStats).
   std::uint64_t fibers_created = 0;
   std::uint64_t fiber_reuses = 0;
+  std::uint64_t sched_lane_loops = 0;
+  std::uint64_t sched_deflations = 0;
 };
+
+namespace detail {
+/// Thrown by a blocking primitive (barrier / warp op / atomic) when the
+/// executing thread is running inline under LaneExec::kConvergent: the
+/// scheduler catches it, discards the thread's prefix (counters and
+/// shared-alloc cursor restored; the prefix performed no engine-visible
+/// mutation because the signal fires *before* any), and restarts the
+/// thread on a fiber. Never escapes BlockState::run_cooperative.
+struct DeflateSignal {};
+}  // namespace detail
 
 class BlockState {
  public:
@@ -104,6 +118,27 @@ class BlockState {
   void wait_barrier(ThreadCtx& ctx);
   void wait_warp(ThreadCtx& ctx, std::uint64_t epoch_at_entry);
 
+  /// Gate every blocking primitive passes before touching engine state:
+  /// a fiberless thread either deflates (convergent lane loop — restart
+  /// this thread on a fiber) or is an ExecMode::kDirect error. Called
+  /// with the fiber present it is a no-op.
+  void require_fiber(ThreadCtx& ctx, const char* what) {
+    if (ctx.fiber != nullptr) return;
+    if (inline_phase_) throw detail::DeflateSignal{};
+    throw std::logic_error(std::string(what) +
+                           " in ExecMode::kDirect; launch cooperatively");
+  }
+
+  /// Atomic accounting + the convergent-mode deflation trigger. An
+  /// atomic is not a rendezvous, but it is a non-idempotent side effect:
+  /// deflating *before* the first one executes keeps every inline-run
+  /// prefix replayable. Direct-mode and fiber threads just count.
+  void note_atomic(ThreadCtx& ctx) {
+    if (ctx.fiber == nullptr && inline_phase_)
+      throw detail::DeflateSignal{};
+    counters_.atomics++;
+  }
+
   /// Called by WarpState when a rendezvous completes: enqueues the
   /// warp's suspended waiters (ascending lane order) on the ready queue.
   void notify_warp_release(WarpState& warp);
@@ -124,7 +159,11 @@ class BlockState {
   void run_cooperative();
   void run_cooperative_sweep();
   void run_direct();
-  void setup_ctx(std::uint32_t flat, ThreadCtx& ctx);
+  /// Convergent inline fast path: runs threads 0..n as plain calls
+  /// until one deflates. Returns the count that completed inline
+  /// (nthreads_ = whole block done fiber-free).
+  std::uint32_t run_lane_loop();
+  void setup_ctxs();
   [[nodiscard]] bool runnable(std::uint32_t i) const;
   void on_thread_exit(std::uint32_t flat);
   void release_barrier();
@@ -196,6 +235,15 @@ class BlockState {
   std::uint32_t rq_head_ = 0;
   std::uint32_t rq_count_ = 0;
   bool use_ready_queue_ = true;
+
+  // Convergent lane-loop state. convergent_ arms the inline fast path
+  // for threads that have not acquired a fiber yet; the first deflation
+  // clears it so the rest of the block pays for fibers only once the
+  // kernel has proven it synchronizes. inline_phase_ is true exactly
+  // while a thread body runs inline (it routes require_fiber /
+  // note_atomic to DeflateSignal instead of the kDirect error).
+  bool convergent_ = false;
+  bool inline_phase_ = false;
 
   // Bitmap of threads suspended at the current block barrier (one bit
   // per thread). Released by scanning set bits low-to-high, which gives

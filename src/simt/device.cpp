@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "simt/block.h"
@@ -37,7 +39,100 @@ FiberPool& thread_fiber_pool() {
   return pool;
 }
 
+// --- lane-execution policy + per-kernel hint registry --------------------
+
+/// OMPX_EXEC=fiber|convergent|auto, parsed once at first use. Unknown
+/// values fall back to auto (forward compatibility, like OMPX_SAN).
+ExecPolicy env_exec_policy() {
+  const char* spec = std::getenv("OMPX_EXEC");
+  if (spec == nullptr) return ExecPolicy::kAuto;
+  if (std::strcmp(spec, "fiber") == 0) return ExecPolicy::kFiber;
+  if (std::strcmp(spec, "convergent") == 0) return ExecPolicy::kConvergent;
+  return ExecPolicy::kAuto;
+}
+
+std::atomic<ExecPolicy> g_exec_policy{env_exec_policy()};
+
+struct ExecHintRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, ExecHint> hints;
+
+  static ExecHintRegistry& instance() {
+    static ExecHintRegistry* r = new ExecHintRegistry;  // leaked: workers
+    return *r;                                          // may outlive main
+  }
+};
+
 }  // namespace
+
+void set_exec_hint(const std::string& kernel, ExecHint hint) {
+  ExecHintRegistry& r = ExecHintRegistry::instance();
+  std::lock_guard lock(r.mu);
+  r.hints[kernel] = hint;
+}
+
+ExecHint exec_hint(const std::string& kernel) {
+  ExecHintRegistry& r = ExecHintRegistry::instance();
+  std::lock_guard lock(r.mu);
+  const auto it = r.hints.find(kernel);
+  return it != r.hints.end() ? it->second : ExecHint{};
+}
+
+void clear_exec_hints() {
+  ExecHintRegistry& r = ExecHintRegistry::instance();
+  std::lock_guard lock(r.mu);
+  r.hints.clear();
+}
+
+void note_exec_deflation(const char* kernel) {
+  ExecHintRegistry& r = ExecHintRegistry::instance();
+  std::lock_guard lock(r.mu);
+  r.hints[kernel].needs_fibers = true;
+}
+
+void set_exec_policy(ExecPolicy policy) {
+  g_exec_policy.store(policy, std::memory_order_relaxed);
+}
+
+ExecPolicy exec_policy() {
+  return g_exec_policy.load(std::memory_order_relaxed);
+}
+
+const char* exec_mode_name(ExecMode mode, LaneExec lane_exec) {
+  if (mode == ExecMode::kDirect) return "direct";
+  return lane_exec == LaneExec::kConvergent ? "convergent" : "fiber";
+}
+
+LaneExec Device::resolve_lane_exec(const LaunchParams& params) const {
+  // The lane loop is an optimization of the ready-queue cooperative
+  // scheduler only: direct mode already runs plain calls, and the
+  // legacy sweep allocates fibers eagerly by design.
+  if (params.mode != ExecMode::kCooperative ||
+      opts_.scheduler != BlockScheduler::kReadyQueue)
+    return LaneExec::kFiber;
+  // Precedence: per-launch request > device options > OMPX_EXEC policy.
+  LaneExec want = params.lane_exec;
+  if (want == LaneExec::kDefault) want = opts_.lane_exec;
+  if (want == LaneExec::kDefault) {
+    switch (exec_policy()) {
+      case ExecPolicy::kFiber: return LaneExec::kFiber;
+      case ExecPolicy::kConvergent: want = LaneExec::kConvergent; break;
+      case ExecPolicy::kAuto:
+        // Conservative default: only kernels hinted convergent take the
+        // lane loop; everything unhinted keeps the proven fiber path.
+        want = exec_hint(params.name).convergent ? LaneExec::kConvergent
+                                                 : LaneExec::kFiber;
+        break;
+    }
+  }
+  if (want == LaneExec::kConvergent && exec_hint(params.name).needs_fibers) {
+    // Known (declared or learned) to hit a collective: the convergent
+    // probe would deflate and replay its prefix — skip straight to
+    // fibers. Same results either way; this is the parity fast path.
+    return LaneExec::kFiber;
+  }
+  return want;
+}
 
 Device::Device(DeviceConfig cfg, EngineOptions opts)
     : cfg_(std::move(cfg)), opts_(opts),
@@ -94,10 +189,15 @@ void Device::validate(const LaunchParams& p) const {
         std::to_string(cfg_.smem_per_block_max));
 }
 
-LaunchRecord Device::launch_sync(const LaunchParams& params,
+LaunchRecord Device::launch_sync(const LaunchParams& caller_params,
                                  const KernelFn& kernel) {
-  validate(params);
+  validate(caller_params);
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Stamp the resolved lane-execution mode once per launch; every block
+  // of this launch (and the record/trace span) sees the same decision.
+  LaunchParams params = caller_params;
+  params.lane_exec = resolve_lane_exec(caller_params);
 
   LaunchStats stats;
   stats.blocks = params.grid.count();
@@ -131,6 +231,8 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
       acc.globalized_bytes += c.globalized_bytes;
       acc.fibers_created += c.fibers_created;
       acc.fiber_reuses += c.fiber_reuses;
+      acc.sched_lane_loops += c.sched_lane_loops;
+      acc.sched_deflations += c.sched_deflations;
     }
   };
   if (workers == 1 || nblocks < 2) {
@@ -185,6 +287,8 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
       total.globalized_bytes += accs[w].globalized_bytes;
       total.fibers_created += accs[w].fibers_created;
       total.fiber_reuses += accs[w].fiber_reuses;
+      total.sched_lane_loops += accs[w].sched_lane_loops;
+      total.sched_deflations += accs[w].sched_deflations;
       steals_total += steals[w];
     }
   }
@@ -198,11 +302,14 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
   stats.fibers_created = total.fibers_created;
   stats.fiber_reuses = total.fiber_reuses;
   stats.sched_steals = steals_total;
+  stats.sched_lane_loops = total.sched_lane_loops;
+  stats.sched_deflations = total.sched_deflations;
 
   LaunchRecord rec;
   rec.name = params.name;
   rec.grid = params.grid;
   rec.block = params.block;
+  rec.exec_mode = exec_mode_name(params.mode, params.lane_exec);
   rec.stats = stats;
   rec.time = model_time(cfg_, params.profile, params.cost, stats,
                         static_cast<std::uint32_t>(params.block.count()),
@@ -225,6 +332,7 @@ LaunchRecord Device::launch_sync(const LaunchParams& params,
     span.wall_ms = rec.wall_ms;
     span.grid = rec.grid;
     span.block = rec.block;
+    span.exec_mode = rec.exec_mode;
     span.stats = rec.stats;
     span.time = rec.time;
     Profiler::instance().record(*this, span);

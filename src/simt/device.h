@@ -59,6 +59,44 @@ struct DeviceConfig {
 /// legacy O(nthreads)-per-round reference kept for differential tests.
 enum class BlockScheduler { kReadyQueue, kSweep };
 
+/// Per-kernel execution classification, keyed by kernel name in a
+/// process-wide registry. `convergent` marks a kernel safe and
+/// profitable for the lane-loop fast path (no collectives expected);
+/// `needs_fibers` pins it to the fiber path — set explicitly (via
+/// ompx::launch_hints / the lint classifier) or learned when a launch
+/// deflates, so subsequent launches skip the doomed convergent probe.
+struct ExecHint {
+  bool convergent = false;
+  bool needs_fibers = false;
+};
+
+/// Process-wide lane-execution policy, initialized from the OMPX_EXEC
+/// environment variable (fiber | convergent | auto; default auto).
+/// kAuto consults the ExecHint registry per kernel and falls back to
+/// fibers for unhinted kernels; kConvergent tries the lane loop on
+/// every cooperative launch (deflation keeps it correct); kFiber
+/// disables the fast path entirely.
+enum class ExecPolicy : std::uint8_t { kAuto, kFiber, kConvergent };
+
+/// Registers/overwrites the hint for `kernel` (launch-time names).
+void set_exec_hint(const std::string& kernel, ExecHint hint);
+/// The registered hint, or a default-constructed one when unhinted.
+[[nodiscard]] ExecHint exec_hint(const std::string& kernel);
+/// Drops every registered hint (benchmarks/tests isolation).
+void clear_exec_hints();
+/// Records that a convergent launch of `kernel` deflated: pins
+/// needs_fibers so later launches take the fiber path directly.
+/// Called by the block runner; safe from any worker thread.
+void note_exec_deflation(const char* kernel);
+
+/// Overrides the OMPX_EXEC policy at run time (tests/benchmarks).
+void set_exec_policy(ExecPolicy policy);
+[[nodiscard]] ExecPolicy exec_policy();
+
+/// Stable display name of a resolved lane-execution mode: "fiber",
+/// "convergent", or "direct" (ExecMode::kDirect launches).
+const char* exec_mode_name(ExecMode mode, LaneExec lane_exec);
+
 /// Engine-wide execution options (host-side knobs, not device model).
 struct EngineOptions {
   /// OS worker threads used to execute blocks. Defaults to the host's
@@ -72,6 +110,11 @@ struct EngineOptions {
   /// Blocks grabbed per atomic fetch of the work-stealing launch queue
   /// (0 = auto: ~8 chunks per worker, at least 1 block).
   std::uint64_t steal_chunk_blocks = 0;
+  /// Device-wide lane-execution override. kDefault defers to the
+  /// per-launch request, the hint registry, and the OMPX_EXEC policy;
+  /// kFiber/kConvergent force that path for every cooperative launch
+  /// on this device (convergent still deflates dynamically).
+  LaneExec lane_exec = LaneExec::kDefault;
 };
 
 /// One completed kernel launch: measured stats + modeled time.
@@ -82,6 +125,9 @@ struct LaunchRecord {
   LaunchStats stats;
   ModeledTime time;
   double wall_ms = 0.0;
+  /// Resolved lane-execution mode this launch ran under: "fiber",
+  /// "convergent", or "direct" (see exec_mode_name).
+  std::string exec_mode = "fiber";
 };
 
 class Stream;
@@ -168,6 +214,9 @@ class Device {
   friend class StreamExecutor;
 
   void validate(const LaunchParams& params) const;
+  /// Resolves a launch's LaneExec request (per-launch > engine options
+  /// > OMPX_EXEC policy + hint registry) to kFiber or kConvergent.
+  [[nodiscard]] LaneExec resolve_lane_exec(const LaunchParams& params) const;
 
   DeviceConfig cfg_;
   EngineOptions opts_;

@@ -53,6 +53,20 @@ using KernelFn = std::function<void()>;
 /// primitive throws. Results are identical when both are legal.
 enum class ExecMode { kCooperative, kDirect };
 
+/// How a cooperative launch executes its lanes.
+///
+/// kFiber is the classic path: every GPU thread runs on a fiber from
+/// the start, so it may suspend anywhere. kConvergent is the pocl-style
+/// lane-loop fast path: threads run as plain sequential calls on the
+/// worker thread (zero context switches) until one reaches its first
+/// collective — block barrier, warp op, or atomic — at which point the
+/// thread "deflates" onto a fiber and the rest of the block takes the
+/// fiber path (see BlockState). kDefault defers the choice to
+/// EngineOptions::lane_exec, the per-kernel ExecHint registry, and the
+/// OMPX_EXEC environment policy (device.h). Results are identical in
+/// both modes; only host overhead differs.
+enum class LaneExec : std::uint8_t { kDefault, kFiber, kConvergent };
+
 /// Execution-model flags the OpenMP runtime emulation sets on its
 /// launches; bare/native launches leave them all false (that absence of
 /// runtime machinery is exactly what the paper's ompx_bare buys).
@@ -68,6 +82,11 @@ struct LaunchParams {
   Dim3 block;
   std::uint64_t dynamic_smem_bytes = 0;
   ExecMode mode = ExecMode::kCooperative;
+  /// Lane execution strategy for cooperative launches (see LaneExec).
+  /// kDefault resolves through the engine options / hint registry /
+  /// OMPX_EXEC policy at launch time; Device::launch_sync stamps the
+  /// resolved value before blocks run.
+  LaneExec lane_exec = LaneExec::kDefault;
   CompilerProfile profile;  ///< code-gen attributes of this version
   KernelCost cost;          ///< roofline characterization (see perf.h)
   RuntimeModeFlags rt;

@@ -91,6 +91,10 @@ struct LaunchStats {
   std::uint64_t fiber_reuses = 0;    ///< threads served by a recycled fiber
   std::uint64_t sched_steals = 0;    ///< block chunks grabbed beyond each
                                      ///< worker's first (dynamic rebalance)
+  std::uint64_t sched_lane_loops = 0;  ///< threads run inline, fiber-free
+                                       ///< (LaneExec::kConvergent fast path)
+  std::uint64_t sched_deflations = 0;  ///< convergent probes that hit a
+                                       ///< collective and restarted on a fiber
 
   void reset() { *this = LaunchStats{}; }
 };

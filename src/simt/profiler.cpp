@@ -130,6 +130,7 @@ void Profiler::record(const Device& dev, TraceSpan span) {
       counters_.atomics += span.stats.atomics;
       counters_.parallel_handshakes += span.stats.parallel_handshakes;
       counters_.globalized_bytes += span.stats.globalized_bytes;
+      counters_.lane_loops += span.stats.sched_lane_loops;
       counters_.modeled_kernel_ms += span.dur_ms;
       break;
     case SpanKind::kMemcpy:
@@ -232,6 +233,10 @@ std::string Profiler::chrome_trace_json() const {
              static_cast<unsigned long long>(s.stats.atomics),
              static_cast<unsigned long long>(s.stats.parallel_handshakes),
              static_cast<unsigned long long>(s.stats.globalized_bytes));
+      if (!s.exec_mode.empty())
+        append(out, ",\"exec_mode\":\"%s\",\"lane_loops\":%llu",
+               json_escape(s.exec_mode).c_str(),
+               static_cast<unsigned long long>(s.stats.sched_lane_loops));
       append(out,
              ",\"modeled_compute_ms\":%.6f,\"modeled_memory_ms\":%.6f,"
              "\"modeled_overhead_ms\":%.6f,\"occupancy\":%.4f",
@@ -266,7 +271,7 @@ std::string Profiler::chrome_trace_json() const {
          "\"bytes_copied\":%llu,\"blocks\":%llu,\"threads\":%llu,"
          "\"block_barriers\":%llu,\"warp_collectives\":%llu,"
          "\"atomics\":%llu,\"parallel_handshakes\":%llu,"
-         "\"globalized_bytes\":%llu,"
+         "\"globalized_bytes\":%llu,\"lane_loops\":%llu,"
          "\"modeled_kernel_ms\":%.6f,\"modeled_memcpy_ms\":%.6f,"
          "\"host_wall_ms\":%.6f",
          static_cast<unsigned long long>(counters_.launches),
@@ -282,6 +287,7 @@ std::string Profiler::chrome_trace_json() const {
          static_cast<unsigned long long>(counters_.atomics),
          static_cast<unsigned long long>(counters_.parallel_handshakes),
          static_cast<unsigned long long>(counters_.globalized_bytes),
+         static_cast<unsigned long long>(counters_.lane_loops),
          counters_.modeled_kernel_ms, counters_.modeled_memcpy_ms,
          counters_.host_wall_ms);
   out += "}\n}\n";

@@ -6,7 +6,7 @@
 namespace simt {
 
 SharedArena::SharedArena(std::size_t capacity, std::size_t dynamic_bytes)
-    : buf_(capacity), dynamic_bytes_(dynamic_bytes), offset_(dynamic_bytes),
+    : cap_(capacity), dynamic_bytes_(dynamic_bytes), offset_(dynamic_bytes),
       high_water_(dynamic_bytes) {
   if (dynamic_bytes > capacity)
     throw std::invalid_argument(
@@ -16,6 +16,7 @@ SharedArena::SharedArena(std::size_t capacity, std::size_t dynamic_bytes)
 void* SharedArena::allocate(std::size_t bytes, std::size_t align) {
   if (align == 0 || (align & (align - 1)) != 0)
     throw std::invalid_argument("SharedArena::allocate: bad alignment");
+  ensure_backing();
   // Align the *address*, not the offset: the backing buffer itself is
   // only allocator-aligned.
   const auto base = reinterpret_cast<std::uintptr_t>(buf_.data());

@@ -30,11 +30,14 @@ class SharedArena {
   void* allocate(std::size_t bytes, std::size_t align = 16);
 
   /// Base of the dynamic shared segment (size = dynamic_bytes).
-  [[nodiscard]] void* dynamic_base() { return buf_.data(); }
+  [[nodiscard]] void* dynamic_base() {
+    ensure_backing();
+    return buf_.data();
+  }
   [[nodiscard]] std::size_t dynamic_size() const { return dynamic_bytes_; }
 
   [[nodiscard]] std::size_t used() const { return offset_; }
-  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
   /// True if `p` points into this arena's storage (ompxsan uses this to
@@ -51,6 +54,15 @@ class SharedArena {
   }
 
  private:
+  /// The backing store materializes on first use (allocate /
+  /// dynamic_base): a block whose kernel never touches shared memory
+  /// pays nothing for the arena. contains() on an untouched arena is
+  /// correctly false — no pointer into it can exist yet.
+  void ensure_backing() {
+    if (buf_.empty() && cap_ != 0) buf_.resize(cap_);
+  }
+
+  std::size_t cap_;
   std::vector<std::uint8_t> buf_;
   std::size_t dynamic_bytes_;
   std::size_t offset_;

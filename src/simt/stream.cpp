@@ -322,6 +322,7 @@ void StreamExecutor::execute(Stream& s, Op& op) {
         span.wall_ms = rec.wall_ms;
         span.grid = rec.grid;
         span.block = rec.block;
+        span.exec_mode = rec.exec_mode;
         span.stats = rec.stats;
         span.time = rec.time;
       }

@@ -36,8 +36,7 @@ void record_mask_diag(BlockState& block, std::uint32_t flat_tid,
 }  // namespace
 
 WarpState::WarpState(BlockState& block, std::uint32_t warp_id, std::uint32_t width)
-    : block_(block), warp_id_(warp_id), width_(width),
-      value_(width), param_(width), result_(width) {
+    : block_(block), warp_id_(warp_id), width_(width) {
   member_mask_ = width >= 64 ? ~0ull : ((1ull << width) - 1);
   live_mask_ = member_mask_;
 }
@@ -45,9 +44,16 @@ WarpState::WarpState(BlockState& block, std::uint32_t warp_id, std::uint32_t wid
 std::uint64_t WarpState::collective(ThreadCtx& ctx, WarpOp op,
                                     std::uint64_t value, std::uint64_t param,
                                     LaneMask mask) {
-  if (ctx.fiber == nullptr)
-    throw std::logic_error(
-        "warp collective in ExecMode::kDirect; launch cooperatively");
+  // Deflation (or the kDirect error) fires before any rendezvous state
+  // moves: a deflating thread's prefix must leave no trace.
+  block_.require_fiber(ctx, "warp collective");
+  // Rendezvous lanes materialize on the warp's first collective: a
+  // block that never uses warp ops pays nothing for them.
+  if (value_.empty()) {
+    value_.resize(width_);
+    param_.resize(width_);
+    result_.resize(width_);
+  }
   const std::uint32_t lane = ctx.lane;
   const LaneMask bit = 1ull << lane;
   const LaneMask requested = mask;

@@ -273,6 +273,36 @@ TEST(CApiHost, GetLastLaunchInfo) {
   EXPECT_GE(info.wall_ms, 0.0);
 }
 
+TEST(CApiHost, ExecHintAndPolicyRoundTrip) {
+  const simt::ExecPolicy saved = simt::exec_policy();
+  EXPECT_EQ(ompx_set_exec_policy(nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_set_exec_policy("bogus"), OMPX_ERROR_INVALID_VALUE);
+  ASSERT_EQ(ompx_set_exec_policy("convergent"), OMPX_SUCCESS);
+  simt::clear_exec_hints();
+
+  ompx::LaunchSpec spec;
+  spec.num_teams = {2};
+  spec.thread_limit = {32};
+  spec.mode = simt::ExecMode::kCooperative;
+  spec.name = "capi_exec_kernel";
+  ompx::launch(spec, [] {});
+  ompx_launch_info_t info;
+  ASSERT_EQ(ompx_get_last_launch_info(&info), 0);
+  EXPECT_STREQ(info.exec_mode, "convergent");
+  EXPECT_EQ(info.lane_loops, 64ull);  // every thread ran fiber-free
+
+  // needs_fibers pins the fiber path even under the convergent policy.
+  ASSERT_EQ(ompx_set_exec_hint("capi_exec_kernel", 0, 1), OMPX_SUCCESS);
+  ompx::launch(spec, [] {});
+  ASSERT_EQ(ompx_get_last_launch_info(&info), 0);
+  EXPECT_STREQ(info.exec_mode, "fiber");
+  EXPECT_EQ(info.lane_loops, 0ull);
+
+  EXPECT_EQ(ompx_set_exec_hint(nullptr, 1, 0), OMPX_ERROR_INVALID_VALUE);
+  simt::clear_exec_hints();
+  simt::set_exec_policy(saved);
+}
+
 TEST(CApiHost, LaunchReturnsCompletedTicket) {
   ompx::LaunchSpec spec;
   spec.num_teams = {3};

@@ -190,6 +190,17 @@ TEST_F(KlTest, LaunchFailureReportsThroughLastError) {
             std::string::npos);
 }
 
+TEST_F(KlTest, SetKernelExecHintRegistersAndValidates) {
+  EXPECT_EQ(klSetKernelExecHint(nullptr, 1, 0), klErrorInvalidValue);
+  ASSERT_EQ(klSetKernelExecHint("kl_exec_kernel", 1, 0), klSuccess);
+  EXPECT_TRUE(simt::exec_hint("kl_exec_kernel").convergent);
+  EXPECT_FALSE(simt::exec_hint("kl_exec_kernel").needs_fibers);
+  ASSERT_EQ(klSetKernelExecHint("kl_exec_kernel", 0, 1), klSuccess);
+  EXPECT_TRUE(simt::exec_hint("kl_exec_kernel").needs_fibers);
+  simt::clear_exec_hints();
+  EXPECT_FALSE(simt::exec_hint("kl_exec_kernel").convergent);
+}
+
 TEST_F(KlTest, HipShapedDeviceRunsSameSource) {
   // The dual-vendor claim in miniature: identical kl source on device 1.
   ASSERT_EQ(klSetDevice(1), klSuccess);

@@ -250,6 +250,59 @@ TEST(LintFormat, OneLinePerFindingWithRuleName) {
   EXPECT_NE(text.find("[unported-builtin]"), std::string::npos) << text;
 }
 
+// --- classify_exec: the static side of the convergent lane loop ------
+
+TEST(ClassifyExec, PureElementwiseKernelIsConvergent) {
+  const auto c = rewrite::classify_exec(R"(
+void k(const float* a, float* b, int n) {
+  int i = kl::blockIdx().x * kl::blockDim().x + kl::threadIdx().x;
+  if (i < n) b[i] = 2.0f * a[i];
+}
+)");
+  EXPECT_TRUE(c.convergent);
+  EXPECT_FALSE(c.needs_fibers);
+  EXPECT_TRUE(c.reason.empty());
+}
+
+TEST(ClassifyExec, BarrierForcesFibersAndNamesTheToken) {
+  const auto c = rewrite::classify_exec(R"(
+void k() {
+  __syncthreads();
+}
+)");
+  EXPECT_FALSE(c.convergent);
+  EXPECT_TRUE(c.needs_fibers);
+  EXPECT_EQ(c.reason, "__syncthreads");
+}
+
+TEST(ClassifyExec, EverySpellingLayerCounts) {
+  // The classifier must see kl::, ompx::, CUDA, and C-API spellings of
+  // barriers, collectives, and atomics alike.
+  for (const char* frag :
+       {"kl::syncthreads();", "ompx_sync_thread_block();",
+        "__shfl_down_sync(mask, v, 1);", "ompx::shfl_down(v, 1);",
+        "atomicAdd(&x, 1);", "simt::atomic_add(&x, 1);",
+        "__ballot_sync(mask, pred);", "warp_reduce(v);"}) {
+    const auto c = rewrite::classify_exec(std::string("void k() { ") + frag +
+                                          " }");
+    EXPECT_TRUE(c.needs_fibers) << frag;
+    EXPECT_FALSE(c.convergent) << frag;
+    EXPECT_FALSE(c.reason.empty()) << frag;
+  }
+}
+
+TEST(ClassifyExec, TokensInCommentsAndStringsDoNotCount) {
+  const auto c = rewrite::classify_exec(R"(
+void k(float* b) {
+  // __syncthreads() would be needed if the tile were shared
+  const char* msg = "atomicAdd disabled";
+  b[kl::threadIdx().x] = 1.0f;
+  (void)msg;
+}
+)");
+  EXPECT_TRUE(c.convergent) << c.reason;
+}
+
 TEST(LintOptionsTest, RulesCanBeDisabledIndependently) {
   const std::string src = R"(
 void k() {

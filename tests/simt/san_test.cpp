@@ -376,6 +376,187 @@ TEST_F(SanTest, ReportAlwaysCarriesCountLine) {
             std::string::npos);
 }
 
+// --- exec-mode compatibility ---------------------------------------------
+//
+// The convergent lane loop must be invisible to ompxsan: the racecheck
+// shadow records the same accesses against the same barrier epochs
+// whether threads run inline or on fibers, so every seeded defect keeps
+// its diagnostic (same kind, same pair, same epoch) and every guard
+// test stays silent. Kernels that synchronize deflate to fibers and
+// must land in exactly the fiber-mode state.
+
+/// Diagnostic fingerprint of one launch of `kernel` under `exec`:
+/// sanitizer reset, exec hints cleared (a prior deflation must not leak
+/// into the next run), one launch, diagnostics of `kind` returned with
+/// the launch record.
+struct SanExecRun {
+  LaunchRecord rec;
+  std::vector<SanDiag> diags;
+};
+
+template <typename Kernel>
+SanExecRun run_san_exec(LaneExec exec, unsigned checks, SanKind kind,
+                        const char* name, unsigned threads,
+                        const Kernel& kernel) {
+  San::instance().reset();
+  San::instance().enable(checks);
+  clear_exec_hints();
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {threads};
+  p.name = name;
+  p.lane_exec = exec;
+  SanExecRun out;
+  out.rec = dev().launch_sync(p, kernel);
+  for (const auto& d : San::instance().diagnostics())
+    if (d.kind == kind) out.diags.push_back(d);
+  return out;
+}
+
+TEST_F(SanTest, SeededRaceReportsIdenticallyUnderLaneLoop) {
+  const auto kernel = [] {
+    auto& t = this_thread();
+    ompx::san::Shared<int> cell;
+    cell = static_cast<int>(t.flat_tid);  // every thread writes: WAW race
+  };
+  const SanExecRun fib = run_san_exec(LaneExec::kFiber, kSanRace,
+                                      SanKind::kSharedRace, "exec_waw", 64,
+                                      kernel);
+  const SanExecRun conv = run_san_exec(LaneExec::kConvergent, kSanRace,
+                                       SanKind::kSharedRace, "exec_waw", 64,
+                                       kernel);
+  // The seeded race is sync-free, so the convergent run stays inline...
+  EXPECT_EQ(conv.rec.exec_mode, "convergent");
+  EXPECT_EQ(conv.rec.stats.sched_lane_loops, 64u);
+  EXPECT_EQ(conv.rec.stats.sched_deflations, 0u);
+  // ...and the shadow cells see the identical access history.
+  ASSERT_EQ(fib.diags.size(), conv.diags.size());
+  ASSERT_FALSE(fib.diags.empty());
+  for (std::size_t i = 0; i < fib.diags.size(); ++i) {
+    EXPECT_EQ(fib.diags[i].message, conv.diags[i].message);
+    EXPECT_EQ(fib.diags[i].tid_a, conv.diags[i].tid_a);
+    EXPECT_EQ(fib.diags[i].tid_b, conv.diags[i].tid_b);
+    EXPECT_EQ(fib.diags[i].epoch, conv.diags[i].epoch);
+  }
+}
+
+TEST_F(SanTest, SeededRawRaceKeepsEpochAcrossDeflation) {
+  // Seeds a RAW race *after* a barrier (epoch 1): the barrier deflates
+  // the convergent run, and the post-deflation shadow state must still
+  // attribute the conflict to the same epoch and thread pair.
+  const auto kernel = [] {
+    auto& t = this_thread();
+    auto tile = ompx::san::shared_array<int>(64);
+    tile[t.flat_tid] = static_cast<int>(t.flat_tid);
+    t.block->sync_threads(t);             // epoch 0 -> 1
+    if (t.flat_tid == 0) tile[1] = 7;     // writes thread 1's slot
+    int v = tile[t.flat_tid];             // tid 1 reads it: RAW in epoch 1
+    (void)v;
+  };
+  const SanExecRun fib = run_san_exec(LaneExec::kFiber, kSanRace,
+                                      SanKind::kSharedRace, "exec_raw", 64,
+                                      kernel);
+  const SanExecRun conv = run_san_exec(LaneExec::kConvergent, kSanRace,
+                                       SanKind::kSharedRace, "exec_raw", 64,
+                                       kernel);
+  EXPECT_EQ(conv.rec.stats.sched_deflations, 1u);
+  ASSERT_EQ(fib.diags.size(), conv.diags.size());
+  ASSERT_FALSE(fib.diags.empty());
+  for (std::size_t i = 0; i < fib.diags.size(); ++i) {
+    EXPECT_EQ(fib.diags[i].message, conv.diags[i].message);
+    EXPECT_EQ(fib.diags[i].epoch, conv.diags[i].epoch);
+  }
+  EXPECT_GE(fib.diags.front().epoch, 1u);
+}
+
+TEST_F(SanTest, RacecheckGuardsStaySilentUnderLaneLoop) {
+  // The false-positive boundaries must not move: same-thread reuse
+  // (pure lane loop), barrier-separated handoff (deflates), and atomics
+  // (deflate before the RMW) are all silent in both modes.
+  const auto same_thread = [] {
+    auto& t = this_thread();
+    auto tile = ompx::san::shared_array<double>(64);
+    tile[t.flat_tid] = 1.0;
+    double v = tile[t.flat_tid];
+    tile[t.flat_tid] = v + 1.0;
+  };
+  const auto handoff = [] {
+    auto& t = this_thread();
+    auto tile = ompx::san::shared_array<int>(64);
+    tile[t.flat_tid] = static_cast<int>(t.flat_tid);
+    t.block->sync_threads(t);
+    int v = tile[63 - t.flat_tid];
+    (void)v;
+  };
+  const auto atomics = [] {
+    ompx::san::Shared<int> sum;
+    sum.atomic_add(1);
+  };
+  for (const LaneExec exec : {LaneExec::kFiber, LaneExec::kConvergent}) {
+    const auto a = run_san_exec(exec, kSanRace, SanKind::kSharedRace,
+                                "exec_same_thread", 64, same_thread);
+    EXPECT_EQ(a.diags.size(), 0u) << San::instance().report();
+    const auto b = run_san_exec(exec, kSanRace, SanKind::kSharedRace,
+                                "exec_handoff", 64, handoff);
+    EXPECT_EQ(b.diags.size(), 0u) << San::instance().report();
+    const auto c = run_san_exec(exec, kSanRace, SanKind::kSharedRace,
+                                "exec_atomics", 64, atomics);
+    EXPECT_EQ(c.diags.size(), 0u) << San::instance().report();
+  }
+}
+
+TEST_F(SanTest, MemcheckOobDiagnosedAndPoisonedInline) {
+  // memcheck runs entirely in the global-pointer accessors — no engine
+  // rendezvous — so a convergent run diagnoses and poisons the bad load
+  // without ever leaving the lane loop.
+  ompx::DeviceBuffer<int> buf(8, &dev());
+  buf.fill_bytes(0);
+  int seen = 0;
+  const auto r = run_san_exec(LaneExec::kConvergent, kSanMem,
+                              SanKind::kGlobalOob, "exec_oob", 1, [&] {
+                                auto a = buf.checked();
+                                seen = a[8];  // one past the end
+                              });
+  EXPECT_EQ(r.rec.exec_mode, "convergent");
+  EXPECT_EQ(r.rec.stats.sched_lane_loops, 1u);
+  ASSERT_FALSE(r.diags.empty());
+  int poison;
+  std::memset(&poison, kFreePattern, sizeof poison);
+  EXPECT_EQ(seen, poison);
+}
+
+TEST_F(SanTest, SyncCheckDeadlockCensusIdenticalUnderConvergent) {
+  // Barrier divergence: the convergent probe deflates at the first
+  // barrier/collective, so the deadlock diagnosis (and its kSanSync
+  // record) must come out of the fiber scheduler verbatim.
+  const auto kernel = [] {
+    auto& t = this_thread();
+    if (t.flat_tid == 0) {
+      t.warp->collective(t, WarpOp::kSync, 0, 0, 0b11);
+    } else {
+      t.block->sync_threads(t);
+    }
+  };
+  std::string msgs[2];
+  int i = 0;
+  for (const LaneExec exec : {LaneExec::kFiber, LaneExec::kConvergent}) {
+    San::instance().reset();
+    San::instance().enable(kSanSync);
+    clear_exec_hints();
+    LaunchParams p = one_block("exec_bdiv", 64);
+    p.lane_exec = exec;
+    try {
+      dev().launch_sync(p, kernel);
+      FAIL() << "expected a deadlock diagnosis";
+    } catch (const std::runtime_error& e) {
+      msgs[i++] = e.what();
+    }
+    EXPECT_GE(San::instance().count(SanKind::kBarrierDivergence), 1u);
+  }
+  EXPECT_EQ(msgs[0], msgs[1]);
+  EXPECT_NE(msgs[0].find("barrier divergence"), std::string::npos) << msgs[0];
+}
+
 TEST_F(SanTest, AccessorsWorkWithSanitizerOff) {
   // The instrumented accessors must be pure pass-throughs when off.
   ompx::DeviceBuffer<int> buf(4, &dev());

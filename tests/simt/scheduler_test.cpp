@@ -149,6 +149,242 @@ TEST(SchedulerDifferential, EarlyExitWavesReleaseBarriers) {
       "early_exit_waves");
 }
 
+RunResult run_exec(LaneExec exec, unsigned workers, const KernelMaker& mk,
+                   const char* name) {
+  Device dev = make_dev(BlockScheduler::kReadyQueue, workers);
+  RunResult r;
+  r.out.assign(kBlocks * kThreads, 0);
+  LaunchParams p;
+  p.grid = {kBlocks};
+  p.block = {kThreads};
+  p.name = name;
+  p.lane_exec = exec;
+  r.rec = dev.launch_sync(p, mk(r.out.data()));
+  return r;
+}
+
+/// Runs `mk` under the fiber path and the convergent lane loop and
+/// checks outputs, semantic counters, and modeled time are identical.
+/// Modeled time is *bit*-identical by construction: the lane-loop
+/// counters (sched_lane_loops / sched_deflations) live in the
+/// host-diagnostics section of LaunchStats, which never feeds the
+/// performance model — execution strategy changes wall time only.
+void expect_identical_across_exec_modes(const KernelMaker& mk,
+                                        const char* name) {
+  clear_exec_hints();
+  const RunResult ref = run_exec(LaneExec::kFiber, 1, mk, name);
+  for (const unsigned workers : {1u, 3u}) {
+    clear_exec_hints();  // each run re-probes instead of inheriting verdicts
+    const RunResult r = run_exec(LaneExec::kConvergent, workers, mk, name);
+    EXPECT_EQ(r.out, ref.out)
+        << name << ": outputs diverged (exec=convergent, workers=" << workers
+        << ")";
+    EXPECT_EQ(r.rec.stats.block_barriers, ref.rec.stats.block_barriers);
+    EXPECT_EQ(r.rec.stats.warp_collectives, ref.rec.stats.warp_collectives);
+    EXPECT_EQ(r.rec.stats.warp_syncs, ref.rec.stats.warp_syncs);
+    EXPECT_EQ(r.rec.stats.atomics, ref.rec.stats.atomics);
+    EXPECT_EQ(r.rec.stats.globalized_bytes, ref.rec.stats.globalized_bytes);
+    EXPECT_EQ(r.rec.time.total_ms, ref.rec.time.total_ms);
+    EXPECT_EQ(r.rec.exec_mode, "convergent");
+  }
+  EXPECT_EQ(ref.rec.exec_mode, "fiber");
+  EXPECT_EQ(ref.rec.stats.sched_lane_loops, 0u);
+}
+
+TEST(ExecModeDifferential, SyncFreeKernelRunsEveryThreadInline) {
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] {
+      auto& t = this_thread();
+      const std::uint64_t flat =
+          t.grid_dim.linear(t.block_idx) * t.block_dim.count() + t.flat_tid;
+      out[flat] = flat * 7 + 3;
+    };
+  };
+  expect_identical_across_exec_modes(mk, "exec_sync_free");
+  // The convergent run must actually have taken the fiber-free path:
+  // every thread inline, zero fibers, zero deflations.
+  clear_exec_hints();
+  const RunResult r = run_exec(LaneExec::kConvergent, 1, mk, "exec_sync_free");
+  EXPECT_EQ(r.rec.stats.sched_lane_loops, kBlocks * kThreads);
+  EXPECT_EQ(r.rec.stats.sched_deflations, 0u);
+  EXPECT_EQ(r.rec.stats.fibers_created + r.rec.stats.fiber_reuses, 0u);
+}
+
+TEST(ExecModeDifferential, BarrierTreeDeflatesOncePerBlockThenMatches) {
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] {
+      auto& t = this_thread();
+      const std::uint64_t n = t.block_dim.count();
+      const std::uint64_t flat = t.grid_dim.linear(t.block_idx) * n +
+                                 t.flat_tid;
+      auto* sh = static_cast<std::uint64_t*>(
+          t.block->shared_alloc(t, n * sizeof(std::uint64_t), 8));
+      sh[t.flat_tid] = flat * 3 + 1;
+      t.block->sync_threads(t);
+      for (std::uint64_t s = n / 2; s > 0; s /= 2) {
+        if (t.flat_tid < s) sh[t.flat_tid] += sh[t.flat_tid + s];
+        t.block->sync_threads(t);
+      }
+      out[flat] = sh[0] + t.flat_tid;
+    };
+  };
+  expect_identical_across_exec_modes(mk, "exec_barrier_tree");
+  // Thread 0 of the first block probes, deflates at its first barrier,
+  // and note_exec_deflation pins needs_fibers — so only the first block
+  // of the launch pays a probe, and the next launch pays none.
+  clear_exec_hints();
+  const RunResult probe =
+      run_exec(LaneExec::kConvergent, 1, mk, "exec_barrier_tree");
+  EXPECT_EQ(probe.rec.stats.sched_deflations, kBlocks);
+  EXPECT_EQ(probe.rec.stats.sched_lane_loops, 0u);
+  EXPECT_TRUE(exec_hint("exec_barrier_tree").needs_fibers);
+  const RunResult learned =
+      run_exec(LaneExec::kConvergent, 1, mk, "exec_barrier_tree");
+  EXPECT_EQ(learned.rec.stats.sched_deflations, 0u);
+  EXPECT_EQ(learned.rec.exec_mode, "fiber");
+}
+
+TEST(ExecModeDifferential, WarpButterflyAndEarlyExitWaves) {
+  expect_identical_across_exec_modes(
+      [](std::uint64_t* out) -> KernelFn {
+        return [out] {
+          auto& t = this_thread();
+          const std::uint64_t flat =
+              t.grid_dim.linear(t.block_idx) * t.block_dim.count() +
+              t.flat_tid;
+          std::uint64_t v = flat + 1;
+          for (std::uint64_t d = 1; d < 32; d <<= 1)
+            v += t.warp->collective(t, WarpOp::kShflXor, v, d, ~0ull);
+          const std::uint64_t ballot = t.warp->collective(
+              t, WarpOp::kBallot, t.lane & 1, 0, ~0ull);
+          t.block->sync_threads(t);
+          out[flat] = v ^ ballot;
+        };
+      },
+      "exec_warp_butterfly");
+  expect_identical_across_exec_modes(
+      [](std::uint64_t* out) -> KernelFn {
+        return [out] {
+          auto& t = this_thread();
+          const std::uint64_t flat =
+              t.grid_dim.linear(t.block_idx) * t.block_dim.count() +
+              t.flat_tid;
+          auto* sh = static_cast<std::uint64_t*>(
+              t.block->shared_alloc(t, sizeof(std::uint64_t), 8));
+          if (t.flat_tid == 0) *sh = 0;
+          t.block->sync_threads(t);
+          for (std::uint32_t round = 0; round < 4; ++round) {
+            if (t.flat_tid % 4 == round && t.flat_tid != 0) {
+              out[flat] = 100 + round;
+              return;
+            }
+            *sh += 1;
+            t.block->sync_threads(t);
+          }
+          out[flat] = *sh;
+        };
+      },
+      "exec_early_exit");
+}
+
+TEST(ExecModeDifferential, AtomicsDeflateBeforeExecutingTheRmw) {
+  // The kernel's only collective-ish operation is a global atomic: the
+  // convergent probe must deflate *before* the RMW executes, so the
+  // replayed thread adds exactly once and the final sum matches fiber
+  // mode exactly.
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] {
+      auto& t = this_thread();
+      atomic_add(out, std::uint64_t{1});
+      const std::uint64_t flat =
+          t.grid_dim.linear(t.block_idx) * t.block_dim.count() + t.flat_tid;
+      if (flat != 0) out[flat] = flat + 11;
+    };
+  };
+  expect_identical_across_exec_modes(mk, "exec_atomic_sum");
+  clear_exec_hints();
+  const RunResult r = run_exec(LaneExec::kConvergent, 1, mk, "exec_atomic_sum");
+  EXPECT_EQ(r.out[0], kBlocks * kThreads);
+  EXPECT_EQ(r.rec.stats.atomics, kBlocks * kThreads);
+  EXPECT_GE(r.rec.stats.sched_deflations, 1u);
+}
+
+TEST(ExecModeDifferential, CensusMessageShapeIdenticalUnderConvergent) {
+  // The deflation probe must not distort the deadlock census: thread 0
+  // deflates at its warp collective, the block restarts on fibers, and
+  // the report reads exactly as in fiber mode.
+  clear_exec_hints();
+  for (const LaneExec exec : {LaneExec::kFiber, LaneExec::kConvergent}) {
+    Device dev = make_dev(BlockScheduler::kReadyQueue, 1);
+    LaunchParams p;
+    p.grid = {1};
+    p.block = {kThreads};
+    p.name = "census_exec";
+    p.lane_exec = exec;
+    clear_exec_hints();
+    try {
+      dev.launch_sync(p, [] {
+        auto& t = this_thread();
+        if (t.flat_tid == 0) {
+          t.warp->collective(t, WarpOp::kSync, 0, 0, 0b11);
+        } else {
+          t.block->sync_threads(t);
+        }
+      });
+      FAIL() << "expected a deadlock diagnosis";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("SIMT deadlock in block scheduler"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("(kernel 'census_exec', block (0,0,0))"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("64 live threads, 63 at block barrier, "
+                         "1 in warp collectives"),
+                std::string::npos)
+          << msg;
+    }
+  }
+}
+
+TEST(ExecPolicy, AutoConsultsHintsAndDeflationLearns) {
+  const ExecPolicy saved = exec_policy();
+  clear_exec_hints();
+  set_exec_policy(ExecPolicy::kAuto);
+  Device dev = make_dev(BlockScheduler::kReadyQueue, 1);
+  LaunchParams p;
+  p.grid = {2};
+  p.block = {32};
+  p.name = "auto_kernel";
+  // Unhinted kernels stay on fibers under auto (conservative default).
+  LaunchRecord rec = dev.launch_sync(p, [] {});
+  EXPECT_EQ(rec.exec_mode, "fiber");
+  // A convergent hint opts the kernel in...
+  set_exec_hint("auto_kernel", {true, false});
+  rec = dev.launch_sync(p, [] {});
+  EXPECT_EQ(rec.exec_mode, "convergent");
+  EXPECT_EQ(rec.stats.sched_lane_loops, 64u);
+  // ...and a hint that was wrong about synchronization is corrected by
+  // the first deflation: auto routes back to fibers from then on.
+  set_exec_hint("auto_sync_kernel", {true, false});
+  p.name = "auto_sync_kernel";
+  rec = dev.launch_sync(p, [] {
+    auto& t = this_thread();
+    t.block->sync_threads(t);
+  });
+  EXPECT_EQ(rec.exec_mode, "convergent");
+  EXPECT_GE(rec.stats.sched_deflations, 1u);
+  EXPECT_TRUE(exec_hint("auto_sync_kernel").needs_fibers);
+  rec = dev.launch_sync(p, [] {
+    auto& t = this_thread();
+    t.block->sync_threads(t);
+  });
+  EXPECT_EQ(rec.exec_mode, "fiber");
+  set_exec_policy(saved);
+  clear_exec_hints();
+}
+
 TEST(SchedulerDeadlock, CensusMessageShapeIdenticalAcrossSchedulers) {
   // Thread 0 waits on a two-lane warp collective lane 1 never joins
   // (lane 1 sits at the block barrier with everyone else): a genuine
