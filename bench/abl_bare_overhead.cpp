@@ -51,7 +51,7 @@ void BM_LaunchBare(benchmark::State& state) {
   spec.mode = simt::ExecMode::kDirect;
   spec.device = &dev;
   spec.name = "bm_bare";
-  for (auto _ : state) ompx::launch(spec, [] {});
+  for (auto _ : state) ompx::launch(spec, [] {}).wait();
   dev.clear_launch_log();
 }
 BENCHMARK(BM_LaunchBare)->Arg(1)->Arg(64)->Arg(1024);
@@ -65,7 +65,7 @@ void BM_LaunchRuntime(benchmark::State& state) {
   spec.mode = simt::ExecMode::kDirect;
   spec.device = &dev;
   spec.name = "bm_runtime";
-  for (auto _ : state) ompx::launch(spec, [] {});
+  for (auto _ : state) ompx::launch(spec, [] {}).wait();
   dev.clear_launch_log();
 }
 BENCHMARK(BM_LaunchRuntime)->Arg(1)->Arg(64)->Arg(1024);

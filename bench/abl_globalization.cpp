@@ -34,7 +34,7 @@ Placement run_shared(simt::Device& dev, const std::vector<int>& in,
   spec.cost.global_bytes_per_thread = 8.5;
   spec.cost.shared_bytes_per_thread = (2 * kRadius + 2) * 4.0;
   spec.device = &dev;
-  const ompx::LaunchResult r = ompx::launch(spec, [=] {
+  ompx::LaunchResult r = ompx::launch(spec, [=] {
     int* tile = ompx::groupprivate<int>(kBlock + 2 * kRadius);
     const std::int64_t g = ompx::global_thread_id();
     const int l = ompx_thread_id_x() + kRadius;
@@ -106,7 +106,7 @@ Placement run_private(simt::Device& dev, const std::vector<int>& in,
   spec.name = "tile_private";
   spec.cost.global_bytes_per_thread = 8.5 + (2 * kRadius) * 4.0 * 0.3;
   spec.device = &dev;
-  const ompx::LaunchResult r = ompx::launch(spec, [=] {
+  ompx::LaunchResult r = ompx::launch(spec, [=] {
     const std::int64_t g = ompx::global_thread_id();
     int acc = 0;
     for (int o = -kRadius; o <= kRadius; ++o)

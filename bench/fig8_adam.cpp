@@ -1,5 +1,82 @@
 // Regenerates Figure 8e (NVIDIA) and 8k (AMD): Adam.
+#include <cstdio>
+#include <vector>
+
+#include "apps/adam/adam.h"
 #include "fig8_common.h"
+
+namespace {
+
+// --graph: the Adam loop as a captured graph. The per-step timestep
+// moves to device memory so one captured iteration serves every step:
+// a single-thread "tick" kernel advances it, the update kernel reads
+// it. Capture records without executing, so `steps` replays perform
+// the whole optimization; the checksum must still match the host
+// reference bit-for-bit.
+void graph_demo(simt::Device& dev) {
+  using namespace apps::adam;
+  const Options o;
+  const SimulationData d = make_data(o);
+  const std::uint64_t ref = reference_checksum(d);
+  ompx::set_default_device(dev);
+  // Capture needs stream-ordered submission; pin async in case the
+  // environment selected OMPX_LAUNCH=sync (whose eager synchronize is
+  // an error inside a capture region, as in CUDA).
+  const ompx::LaunchMode saved = ompx::launch_mode();
+  ompx::set_launch_mode(ompx::LaunchMode::kAsync);
+
+  auto* p = ompx::malloc_n<float>(o.n);
+  auto* m = ompx::malloc_n<float>(o.n);
+  auto* vv = ompx::malloc_n<float>(o.n);
+  auto* g = ompx::malloc_n<float>(o.n);
+  auto* tdev = ompx::malloc_n<int>(1);
+  ompx_memcpy(p, d.params0.data(), o.n * sizeof(float));
+  ompx_memcpy(g, d.grads.data(), o.n * sizeof(float));
+  ompx_memset(m, 0, o.n * sizeof(float));
+  ompx_memset(vv, 0, o.n * sizeof(float));
+  ompx_memset(tdev, 0, sizeof(int));
+
+  ompx::LaunchSpec tick;
+  tick.num_teams = {1};
+  tick.thread_limit = {1};
+  tick.mode = simt::ExecMode::kDirect;
+  tick.name = "adam_tick";
+  tick.device = &dev;
+
+  constexpr int kBlock = 256;
+  ompx::LaunchSpec step;
+  step.num_teams = {static_cast<unsigned>(simt::ceil_div(o.n, kBlock))};
+  step.thread_limit = {kBlock};
+  step.mode = simt::ExecMode::kDirect;
+  step.name = "adam_step_graph";
+  step.device = &dev;
+
+  const int n = o.n;
+  simt::Stream& s = dev.default_stream();
+  ompx::stream_begin_capture(s);
+  ompx::launch(tick, [=] { (*tdev)++; });
+  ompx::launch(step, [=] {
+    const int i = static_cast<int>(ompx::global_thread_id());
+    const int t = *tdev;
+    if (i < n) adam_update(i, t, o, g, p, m, vv);
+  });
+  {
+    ompx::Graph graph = ompx::end_capture(s);
+    graph.instantiate();
+    for (int t = 0; t < o.steps; ++t) graph.launch(s);
+    std::vector<float> result(o.n);
+    ompx_memcpy(result.data(), p, o.n * sizeof(float));  // syncs first
+    bench::print_graph_row(dev, graph.node_count(), graph.replay_count(),
+                           checksum_of(result), ref);
+  }
+  for (void* q : {static_cast<void*>(p), static_cast<void*>(m),
+                  static_cast<void*>(vv), static_cast<void*>(g),
+                  static_cast<void*>(tdev)})
+    ompx::free_on(dev, q);
+  ompx::set_launch_mode(saved);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_adam_trace.json");
@@ -10,5 +87,11 @@ int main(int argc, char** argv) {
       "ompx matches cuda on the A100 and is ~16.6% faster than hip on the "
       "MI250; omp is ~8x slower due to the LLVM issue launching only 32 "
       "threads per thread block (§4.2.5)"});
+  if (bench::graph_flag(argc, argv)) {
+    std::printf("-- graph capture/replay (one captured step, %s) --\n",
+                "replayed per timestep");
+    for (simt::Device* dev : {&simt::sim_a100(), &simt::sim_mi250()})
+      graph_demo(*dev);
+  }
   return 0;
 }

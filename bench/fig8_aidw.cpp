@@ -1,4 +1,6 @@
 // Regenerates Figure 8d (NVIDIA) and 8j (AMD): AIDW.
+#include <cstdio>
+
 #include "fig8_common.h"
 
 int main(int argc, char** argv) {
@@ -10,5 +12,9 @@ int main(int argc, char** argv) {
       "on the MI250 every version aligns; on the A100 ompx matches "
       "cuda-nvcc but trails clang-cuda by ~5% (shared variables demoted "
       "in the CUDA version) (§4.2.4)"});
+  if (bench::graph_flag(argc, argv))
+    std::printf("--graph: AIDW is a single-launch benchmark; nothing to "
+                "capture. See fig8_adam / fig8_stencil1d for the "
+                "capture/replay demos.\n");
   return 0;
 }

@@ -98,6 +98,32 @@ class ShardGuard {
   int devices_ = 1;
 };
 
+/// `--graph` support for the bench CLIs: the iterative benchmarks
+/// (Adam, Stencil-1D) re-run their ompx version as a captured graph —
+/// one iteration recorded between stream_begin_capture/end_capture,
+/// instantiated once, then replayed for the remaining iterations — and
+/// verify the checksum against the host reference. Single-launch
+/// benchmarks accept the flag but have nothing to capture; their
+/// drivers print a pointer to the iterative demos instead. Runs under
+/// TraceGuard, so `--graph --trace` shows the replay spans and the
+/// fence arrows chaining them.
+inline bool graph_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--graph") return true;
+  return false;
+}
+
+/// Printer for one device's graph-demo row.
+inline void print_graph_row(const simt::Device& dev, std::size_t nodes,
+                            std::uint64_t replays, std::uint64_t sum,
+                            std::uint64_t ref) {
+  std::printf("  %-24s nodes=%zu replays=%llu checksum %016llx %s\n",
+              dev.config().name.c_str(), nodes,
+              static_cast<unsigned long long>(replays),
+              static_cast<unsigned long long>(sum),
+              sum == ref ? "ok" : "FAIL");
+}
+
 struct Fig8Spec {
   const char* app_name;          ///< registry name
   const char* nv_subfig;         ///< e.g. "8a"

@@ -1,4 +1,6 @@
 // Regenerates Figure 8b (NVIDIA) and 8h (AMD): RSBench.
+#include <cstdio>
+
 #include "fig8_common.h"
 
 int main(int argc, char** argv) {
@@ -10,5 +12,9 @@ int main(int argc, char** argv) {
       "ompx exceeds the LLVM/Clang native version on both systems; on the "
       "A100 the omp version outperforms cuda thanks to the heap-to-shared "
       "optimization (162 registers + 2KB shared memory) (§4.2.2)"});
+  if (bench::graph_flag(argc, argv))
+    std::printf("--graph: RSBench is a single-launch benchmark; nothing to "
+                "capture. See fig8_adam / fig8_stencil1d for the "
+                "capture/replay demos.\n");
   return 0;
 }

@@ -1,4 +1,6 @@
 // Regenerates Figure 8c (NVIDIA) and 8i (AMD): SU3.
+#include <cstdio>
+
 #include "fig8_common.h"
 
 int main(int argc, char** argv) {
@@ -10,5 +12,9 @@ int main(int argc, char** argv) {
       "on the A100 ompx lags cuda by ~9% (24 vs 26 registers; 3.9 KiB vs "
       "29 KiB device binary); on the MI250 ompx outperforms hip by ~28%; "
       "ompx beats omp on both systems (§4.2.3)"});
+  if (bench::graph_flag(argc, argv))
+    std::printf("--graph: SU3 is a single-launch benchmark; nothing to "
+                "capture. See fig8_adam / fig8_stencil1d for the "
+                "capture/replay demos.\n");
   return 0;
 }

@@ -1,4 +1,6 @@
 // Regenerates Figure 8a (NVIDIA) and 8g (AMD): XSBench.
+#include <cstdio>
+
 #include "fig8_common.h"
 
 int main(int argc, char** argv) {
@@ -10,5 +12,9 @@ int main(int argc, char** argv) {
       "ompx consistently outperforms the native versions compiled with "
       "both LLVM/Clang and the vendor compiler on both systems; the omp "
       "version is excluded for reporting an invalid checksum (§4.2.1)"});
+  if (bench::graph_flag(argc, argv))
+    std::printf("--graph: XSBench is a single-launch benchmark; nothing to "
+                "capture. See fig8_adam / fig8_stencil1d for the "
+                "capture/replay demos.\n");
   return 0;
 }

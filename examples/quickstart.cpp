@@ -11,7 +11,7 @@
 //   cudaMalloc(&d_a, size)               d_a = ompx_malloc(size)
 //   cudaMemcpy(d_a, h_a, size, H2D)      ompx_memcpy(d_a, h_a, size)
 //   kernel<<<gsize, bsize>>>(...)        ompx::launch(spec, [=]{...})
-//   cudaDeviceSynchronize()              implicit (target is synchronous)
+//   cudaDeviceSynchronize()              launch(...).wait() or ompx_device_synchronize()
 //   cudaFree(d_a)                        ompx_free(d_a)
 //
 // Build & run:  ./quickstart
@@ -69,8 +69,10 @@ int main() {
     if (idx < n) d_b[idx] = use(d_a[idx], shared[tid]);
   });
 
-  // Copy output back to host. No explicit device synchronization is
-  // needed: the target region was synchronous.
+  // Copy output back to host. Launches are asynchronous (the call above
+  // returned a ticket), but ompx_memcpy follows CUDA's legacy-stream
+  // rule: it synchronizes the device before copying, so no explicit
+  // wait is needed here.
   ompx_memcpy(h_b, d_b, size);
 
   // Verify.

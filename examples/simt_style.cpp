@@ -74,7 +74,7 @@ double simt_style_omp(simt::Device& dev, const std::vector<int>& in,
     const std::int64_t id =
         static_cast<std::int64_t>(block_id) * block_dim + thread_id;
     if (id < kN) pout[id] = 2 * pin[id] + 1;
-  });
+  }).wait();
   return dev.modeled_kernel_ms_total();
 }
 
@@ -95,7 +95,7 @@ double ompx_bare(simt::Device& dev, const std::vector<int>& in,
   ompx::launch(spec, [=] {
     const std::int64_t id = ompx::global_thread_id();
     if (id < kN) pout[id] = 2 * pin[id] + 1;
-  });
+  }).wait();
   return dev.modeled_kernel_ms_total();
 }
 

@@ -202,7 +202,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
                    dd.k0rs, dd.num_nucs, dd.mats, dd.concs, opt, scratch);
     xor_into(hash, mix64(static_cast<std::uint64_t>(i) ^
                          (static_cast<std::uint64_t>(arg) + 1)));
-  });
+  }).wait();
   const std::uint64_t h = *hash;
   for (void* p :
        {static_cast<void*>(poles), static_cast<void*>(windows),

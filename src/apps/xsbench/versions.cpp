@@ -180,7 +180,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
       if (prev == seen) break;
       seen = prev;
     }
-  });
+  }).wait();
   const std::uint64_t h = *hash;
   for (void* p : {static_cast<void*>(energy), static_cast<void*>(xs),
                   static_cast<void*>(num_nucs), static_cast<void*>(mats),

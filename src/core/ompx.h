@@ -6,6 +6,7 @@
 
 #include "core/ompx_buffer.h"
 #include "core/ompx_device.h"
+#include "core/ompx_graph.h"
 #include "core/ompx_host.h"
 #include "core/ompx_launch.h"
 #include "core/ompx_san.h"

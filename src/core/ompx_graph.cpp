@@ -1,0 +1,54 @@
+#include "core/ompx_graph.h"
+
+#include <stdexcept>
+
+namespace ompx {
+
+namespace {
+/// Releases through simt::destroy_graph (drain outstanding replays,
+/// free graph-owned allocations) rather than a bare delete.
+void destroy(std::unique_ptr<simt::Graph>& g) {
+  if (g == nullptr) return;
+  simt::destroy_graph(g.release());
+}
+}  // namespace
+
+Graph::~Graph() { destroy(g_); }
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    destroy(g_);
+    g_ = std::move(other.g_);
+  }
+  return *this;
+}
+
+void Graph::instantiate() {
+  if (g_ == nullptr) throw std::logic_error("ompx::Graph: empty handle");
+  g_->instantiate();
+}
+
+void Graph::launch(simt::Stream& stream) {
+  if (g_ == nullptr) throw std::logic_error("ompx::Graph: empty handle");
+  stream.launch_graph(*g_);
+}
+
+std::size_t Graph::node_count() const {
+  return g_ != nullptr ? g_->node_count() : 0;
+}
+
+std::vector<simt::Graph::NodeInfo> Graph::nodes() const {
+  return g_ != nullptr ? g_->nodes() : std::vector<simt::Graph::NodeInfo>{};
+}
+
+std::uint64_t Graph::replay_count() const {
+  return g_ != nullptr ? g_->replay_count() : 0;
+}
+
+void stream_begin_capture(simt::Stream& stream) { stream.begin_capture(); }
+
+Graph end_capture(simt::Stream& stream) {
+  return Graph(stream.end_capture());
+}
+
+}  // namespace ompx

@@ -1,0 +1,70 @@
+// RAII C++ view of graph capture and replay (the cudaGraph /
+// cudaGraphExec pair collapsed into one owning handle).
+//
+//   ompx::Stream s;                        // or a raw simt::Stream*
+//   stream_begin_capture(stream);
+//   ... enqueue kernels / copies / malloc_async on the stream ...
+//   ompx::Graph g = end_capture(stream);   // owns the captured graph
+//   g.instantiate();                       // optional: bake validation
+//   for (int i = 0; i < steps; ++i) g.launch(stream);
+//   stream->synchronize();
+//   // ~Graph waits for outstanding replays and frees graph-owned
+//   // allocations.
+//
+// A Graph is move-only; the destructor is the only release point, so a
+// captured sequence can be replayed from any thread for as long as the
+// handle lives. The C ABI (ompx_graph_*) and kl layer (klGraph*) wrap
+// the same engine object.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simt/simt.h"
+
+namespace ompx {
+
+class Graph {
+ public:
+  /// An empty handle; valid() is false and launch() throws.
+  Graph() = default;
+  /// Takes ownership of a captured engine graph (Stream::end_capture).
+  explicit Graph(std::unique_ptr<simt::Graph> g) : g_(std::move(g)) {}
+  ~Graph();
+
+  Graph(Graph&& other) noexcept : g_(std::move(other.g_)) {}
+  Graph& operator=(Graph&& other) noexcept;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  [[nodiscard]] bool valid() const { return g_ != nullptr; }
+
+  /// Validates the captured kernels and bakes per-node launch state so
+  /// replays skip per-launch setup. Optional: launch() instantiates on
+  /// demand.
+  void instantiate();
+  /// Enqueues one replay of the captured sequence on `stream`.
+  void launch(simt::Stream& stream);
+
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::vector<simt::Graph::NodeInfo> nodes() const;
+  [[nodiscard]] std::uint64_t replay_count() const;
+
+  /// The underlying engine graph (null for an empty handle) — the same
+  /// pointer the C ABI hands out as ompx_graph_t.
+  [[nodiscard]] simt::Graph* get() const { return g_.get(); }
+  /// Releases ownership to the caller (C-ABI interop).
+  [[nodiscard]] simt::Graph* release() { return g_.release(); }
+
+ private:
+  std::unique_ptr<simt::Graph> g_;
+};
+
+/// Free-function capture API mirroring the C entry points.
+void stream_begin_capture(simt::Stream& stream);
+[[nodiscard]] Graph end_capture(simt::Stream& stream);
+
+}  // namespace ompx

@@ -1,8 +1,10 @@
 #include "core/ompx_host.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "simt/device.h"
 #include "simt/profiler.h"
@@ -10,6 +12,18 @@
 #include "simt/memory.h"
 
 namespace ompx {
+
+namespace {
+/// cudaMemcpy-style legacy-stream semantics: with launches async by
+/// default, a host-synchronous memory op must first observe every
+/// launch already enqueued on the device. Skipped on executor threads
+/// (a host-fn callback calling back into the host API must not wait on
+/// its own stream).
+void sync_for_host_op(simt::Device& dev) {
+  if (simt::telemetry_detail::t_in_stream_op) return;
+  dev.synchronize();
+}
+}  // namespace
 
 void* malloc_on(simt::Device& dev, std::size_t bytes) {
   return dev.memory().allocate(bytes);
@@ -21,7 +35,10 @@ void free_on(simt::Device& dev, void* ptr) {
   // single-device-registry bug). Unresolved pointers fall through to
   // `dev`, whose registry produces the invalid-free diagnostic.
   simt::Device* owner = simt::resolve_device(ptr);
-  (owner != nullptr ? *owner : dev).memory().deallocate(ptr);
+  simt::Device& target = owner != nullptr ? *owner : dev;
+  // An in-flight async launch may still be using the block.
+  sync_for_host_op(target);
+  target.memory().deallocate(ptr);
 }
 
 void memcpy_on(simt::Device& dev, void* dst, const void* src,
@@ -32,6 +49,9 @@ void memcpy_on(simt::Device& dev, void* dst, const void* src,
   // accounting, memcheck false negatives).
   simt::Device* dst_dev = simt::resolve_device(dst);
   simt::Device* src_dev = simt::resolve_device(src);
+  if (dst_dev != nullptr) sync_for_host_op(*dst_dev);
+  if (src_dev != nullptr && src_dev != dst_dev) sync_for_host_op(*src_dev);
+  if (dst_dev == nullptr && src_dev == nullptr) sync_for_host_op(dev);
   if (dst_dev != nullptr && src_dev != nullptr) {
     // Same device: ordinary D2D. Two devices: a peer copy, costed with
     // the peer link (or host staging) and accounted on both devices.
@@ -56,7 +76,9 @@ void memcpy_on(simt::Device& dev, void* dst, const void* src,
 
 void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes) {
   simt::Device* owner = simt::resolve_device(ptr);
-  (owner != nullptr ? *owner : dev).memory().set(ptr, value, bytes);
+  simt::Device& target = owner != nullptr ? *owner : dev;
+  sync_for_host_op(target);
+  target.memory().set(ptr, value, bytes);
 }
 
 double memcpy_peer(simt::Device& dst_dev, void* dst, simt::Device& src_dev,
@@ -141,6 +163,20 @@ simt::Device* checked_device(const char* who, int index) {
     return nullptr;
   }
   return reg[static_cast<std::size_t>(index)];
+}
+
+/// Live graph for a C-API handle, or null (with the thread's last
+/// result set). Destroyed and foreign handles are caught by the live
+/// registry instead of dereferencing freed memory.
+simt::Graph* checked_graph(const char* who, ompx_graph_t handle) {
+  auto* g = static_cast<simt::Graph*>(handle);
+  if (g == nullptr || !simt::graph_alive(g)) {
+    const std::string msg =
+        std::string(who) + ": invalid or destroyed graph handle";
+    record_result(OMPX_ERROR_INVALID_VALUE, msg.c_str());
+    return nullptr;
+  }
+  return g;
 }
 
 }  // namespace
@@ -311,6 +347,166 @@ ompx_result_t ompx_memset_async(void* ptr, int value, std::size_t bytes,
     if (stream == nullptr)
       throw std::invalid_argument("ompx_memset_async: null stream");
     static_cast<simt::Stream*>(stream)->memset_async(ptr, value, bytes);
+  });
+}
+
+void* ompx_malloc_async(std::size_t bytes, ompx_stream_t stream) {
+  void* p = nullptr;
+  guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_malloc_async: null stream");
+    p = static_cast<simt::Stream*>(stream)->malloc_async(bytes);
+  });
+  return p;
+}
+
+ompx_result_t ompx_free_async(void* ptr, ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_free_async: null stream");
+    static_cast<simt::Stream*>(stream)->free_async(ptr);
+  });
+}
+
+ompx_result_t ompx_mempool_get_stats(int device, ompx_mempool_stats_t* stats) {
+  if (stats == nullptr) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_mempool_get_stats: null out pointer");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  simt::Device* dev = checked_device("ompx_mempool_get_stats", device);
+  if (dev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] {
+    const simt::MemPoolStats s = dev->mem_pool().stats();
+    stats->reuse_hits = s.reuse_hits;
+    stats->misses = s.misses;
+    stats->frees = s.frees;
+    stats->bytes_reused = s.bytes_reused;
+    stats->pooled_blocks = s.pooled_blocks;
+    stats->pooled_bytes = s.pooled_bytes;
+  });
+}
+
+ompx_result_t ompx_mempool_trim(int device) {
+  simt::Device* dev = checked_device("ompx_mempool_trim", device);
+  if (dev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] {
+    // Quiesce first so no pending pooled op races the deallocation.
+    dev->synchronize();
+    dev->mem_pool().trim();
+  });
+}
+
+ompx_result_t ompx_stream_begin_capture(ompx_stream_t stream) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_stream_begin_capture: null stream");
+    static_cast<simt::Stream*>(stream)->begin_capture();
+  });
+}
+
+ompx_result_t ompx_stream_end_capture(ompx_stream_t stream,
+                                      ompx_graph_t* graph) {
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_stream_end_capture: null stream");
+    auto* s = static_cast<simt::Stream*>(stream);
+    if (graph == nullptr) {
+      // End the capture anyway (discarding it) so the stream is usable,
+      // then report the bad out-param.
+      if (s->capturing()) s->end_capture();
+      throw std::invalid_argument(
+          "ompx_stream_end_capture: null graph out pointer");
+    }
+    *graph = s->end_capture().release();
+  });
+}
+
+int ompx_stream_is_capturing(ompx_stream_t stream) {
+  int out = 0;
+  guarded([&] {
+    if (stream == nullptr) return;
+    out = static_cast<simt::Stream*>(stream)->capturing() ? 1 : 0;
+  });
+  return out;
+}
+
+ompx_result_t ompx_graph_instantiate(ompx_graph_t graph) {
+  simt::Graph* g = checked_graph("ompx_graph_instantiate", graph);
+  if (g == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { g->instantiate(); });
+}
+
+ompx_result_t ompx_graph_launch(ompx_graph_t graph, ompx_stream_t stream) {
+  simt::Graph* g = checked_graph("ompx_graph_launch", graph);
+  if (g == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] {
+    if (stream == nullptr)
+      throw std::invalid_argument("ompx_graph_launch: null stream");
+    static_cast<simt::Stream*>(stream)->launch_graph(*g);
+  });
+}
+
+ompx_result_t ompx_graph_destroy(ompx_graph_t graph) {
+  return guarded([&] {
+    if (graph == nullptr) return;
+    simt::destroy_graph(static_cast<simt::Graph*>(graph));
+  });
+}
+
+ompx_result_t ompx_graph_node_count(ompx_graph_t graph, std::size_t* count) {
+  if (count == nullptr) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_graph_node_count: null out pointer");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  simt::Graph* g = checked_graph("ompx_graph_node_count", graph);
+  if (g == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { *count = g->node_count(); });
+}
+
+ompx_result_t ompx_graph_get_nodes(ompx_graph_t graph,
+                                   ompx_graph_node_info_t* nodes,
+                                   std::size_t capacity, std::size_t* written) {
+  if (written == nullptr || (nodes == nullptr && capacity != 0)) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_graph_get_nodes: null out pointer");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  simt::Graph* g = checked_graph("ompx_graph_get_nodes", graph);
+  if (g == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] {
+    const std::vector<simt::Graph::NodeInfo> infos = g->nodes();
+    const std::size_t n = std::min(capacity, infos.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes[i] = ompx_graph_node_info_t{};
+      std::strncpy(nodes[i].kind, infos[i].kind.c_str(),
+                   sizeof nodes[i].kind - 1);
+      std::strncpy(nodes[i].name, infos[i].name.c_str(),
+                   sizeof nodes[i].name - 1);
+      nodes[i].bytes = infos[i].bytes;
+    }
+    *written = n;
+  });
+}
+
+ompx_result_t ompx_launch_kernel(void (*fn)(void*), void* arg,
+                                 const unsigned grid[3],
+                                 const unsigned block[3],
+                                 ompx_stream_t stream) {
+  return guarded([&] {
+    if (fn == nullptr)
+      throw std::invalid_argument("ompx_launch_kernel: null kernel function");
+    simt::LaunchParams p;
+    p.grid = grid != nullptr ? simt::Dim3{grid[0], grid[1], grid[2]}
+                             : simt::Dim3{1, 1, 1};
+    p.block = block != nullptr ? simt::Dim3{block[0], block[1], block[2]}
+                               : simt::Dim3{1, 1, 1};
+    p.name = "ompx_launch_kernel";
+    simt::Stream* s = stream != nullptr
+                          ? static_cast<simt::Stream*>(stream)
+                          : &ompx::default_device().default_stream();
+    s->launch(p, [fn, arg] { fn(arg); });
   });
 }
 

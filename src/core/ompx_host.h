@@ -12,6 +12,12 @@
 //   cudaMemcpyPeer(d,dd,s,sd,n)      ompx_memcpy_peer(d, dd, s, sd, n)
 //   cudaDeviceEnablePeerAccess(p,f)  ompx_device_enable_peer_access(p, f)
 //   cudaDeviceCanAccessPeer(&c,d,p)  ompx_device_can_access_peer(&c, d, p)
+//   cudaMallocAsync(&p, n, s)        p = ompx_malloc_async(n, s)
+//   cudaFreeAsync(p, s)              ompx_free_async(p, s)
+//   cudaStreamBeginCapture(s, m)     ompx_stream_begin_capture(s)
+//   cudaStreamEndCapture(s, &g)      ompx_stream_end_capture(s, &g)
+//   cudaGraphLaunch(x, s)            ompx_graph_launch(g, s)
+//   cudaGraphDestroy(g)              ompx_graph_destroy(g)
 //
 // C++ forms live in namespace ompx and accept an explicit device.
 //
@@ -104,6 +110,76 @@ ompx_result_t ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
                                 ompx_stream_t stream);
 ompx_result_t ompx_memset_async(void* ptr, int value, std::size_t bytes,
                                 ompx_stream_t stream);
+
+/// Stream-ordered memory (cudaMallocAsync / cudaFreeAsync shaped).
+/// Allocation is immediate but the block is owned by the stream's
+/// order: ompx_free_async returns it to a per-stream pool from which a
+/// later same-stream ompx_malloc_async of the same size is recycled
+/// without touching the device allocator. Null stream (or allocation
+/// failure) returns nullptr with the thread's last result set.
+void* ompx_malloc_async(std::size_t bytes, ompx_stream_t stream);
+ompx_result_t ompx_free_async(void* ptr, ompx_stream_t stream);
+
+/// Reuse accounting for a device's stream-ordered memory pool.
+typedef struct ompx_mempool_stats_t {
+  unsigned long long reuse_hits;     /* malloc_async served from the pool */
+  unsigned long long misses;         /* malloc_async that hit the allocator */
+  unsigned long long frees;          /* free_async calls pooled */
+  unsigned long long bytes_reused;   /* total bytes served from the pool */
+  unsigned long long pooled_blocks;  /* blocks currently cached */
+  unsigned long long pooled_bytes;   /* bytes currently cached */
+} ompx_mempool_stats_t;
+ompx_result_t ompx_mempool_get_stats(int device, ompx_mempool_stats_t* stats);
+/// Releases every cached block back to the device allocator
+/// (cudaMemPoolTrimTo(0) analogue).
+ompx_result_t ompx_mempool_trim(int device);
+
+/// Graph capture and replay (cudaGraph shaped). Between begin_capture
+/// and end_capture, work submitted to the stream is recorded instead of
+/// executed; the captured ompx_graph_t can then be instantiated once
+/// and launched many times at a fraction of per-launch cost. Handles
+/// are tracked: every graph entry point reports
+/// OMPX_ERROR_INVALID_VALUE for a destroyed or foreign handle instead
+/// of invoking undefined behavior.
+typedef void* ompx_graph_t;
+
+ompx_result_t ompx_stream_begin_capture(ompx_stream_t stream);
+/// Ends capture and writes the new graph handle to *graph (null
+/// out-param: the capture is discarded and INVALID_VALUE returned).
+ompx_result_t ompx_stream_end_capture(ompx_stream_t stream,
+                                      ompx_graph_t* graph);
+/// 1 while `stream` is capturing, 0 otherwise (including null/invalid).
+int ompx_stream_is_capturing(ompx_stream_t stream);
+/// Validates and bakes the graph (lane-exec resolution, span names) so
+/// replays skip per-launch setup. Optional: the first launch
+/// instantiates on demand.
+ompx_result_t ompx_graph_instantiate(ompx_graph_t graph);
+/// Enqueues one replay of the whole captured sequence on `stream`.
+ompx_result_t ompx_graph_launch(ompx_graph_t graph, ompx_stream_t stream);
+/// Waits for outstanding replays, frees graph-owned allocations, and
+/// releases the handle; null is a no-op.
+ompx_result_t ompx_graph_destroy(ompx_graph_t graph);
+
+/// Two-call node enumeration: count first, then fill up to `capacity`
+/// entries and report how many were written.
+typedef struct ompx_graph_node_info_t {
+  char kind[16];            /* "kernel", "memcpy", "alloc", ... */
+  char name[64];            /* kernel name; empty otherwise */
+  unsigned long long bytes; /* memcpy/memset/alloc payload */
+} ompx_graph_node_info_t;
+ompx_result_t ompx_graph_node_count(ompx_graph_t graph, std::size_t* count);
+ompx_result_t ompx_graph_get_nodes(ompx_graph_t graph,
+                                   ompx_graph_node_info_t* nodes,
+                                   std::size_t capacity, std::size_t* written);
+
+/// Enqueues `fn(arg)` once per thread of the grid on `stream` (or the
+/// current device's default stream when null) — the C-ABI launch path,
+/// capturable like any stream op. grid/block are xyz extents; null
+/// pointers mean {1,1,1}.
+ompx_result_t ompx_launch_kernel(void (*fn)(void*), void* arg,
+                                 const unsigned grid[3],
+                                 const unsigned block[3],
+                                 ompx_stream_t stream);
 
 ompx_event_t ompx_event_create();
 /// Releases the event once no enqueued operation still references it;

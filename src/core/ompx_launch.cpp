@@ -3,11 +3,49 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <string_view>
 
 #include "simt/stream.h"
 
 namespace ompx {
+
+/// The shared completion state behind an asynchronous LaunchResult.
+/// The default stream's completion callback fills it; wait()/query()
+/// read it. shared_ptr-owned so the ticket outlives whichever side
+/// finishes last.
+struct LaunchResult::Ticket {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  simt::LaunchRecord rec;
+};
+
+void LaunchResult::wait() {
+  if (ticket_ == nullptr) return;
+  {
+    std::unique_lock lock(ticket_->mu);
+    ticket_->cv.wait(lock, [&] { return ticket_->done; });
+    record = ticket_->rec;
+  }
+  completed = true;
+  ticket_.reset();
+}
+
+bool LaunchResult::query() {
+  if (ticket_ == nullptr) return completed;
+  {
+    std::unique_lock lock(ticket_->mu);
+    if (!ticket_->done) return false;
+    record = ticket_->rec;
+  }
+  completed = true;
+  ticket_.reset();
+  return true;
+}
 
 namespace {
 
@@ -21,6 +59,15 @@ struct CurrentDevice {
 thread_local CurrentDevice t_current;
 
 std::atomic<int> g_shard_devices{1};
+
+LaunchMode initial_launch_mode() {
+  const char* env = std::getenv("OMPX_LAUNCH");
+  if (env != nullptr && std::string_view(env) == "sync")
+    return LaunchMode::kSync;
+  return LaunchMode::kAsync;
+}
+
+std::atomic<LaunchMode> g_launch_mode{initial_launch_mode()};
 
 simt::LaunchParams to_params(const LaunchSpec& spec, const simt::Device& dev) {
   simt::LaunchParams p;
@@ -80,6 +127,14 @@ int shard_devices() {
   return g_shard_devices.load(std::memory_order_relaxed);
 }
 
+void set_launch_mode(LaunchMode mode) {
+  g_launch_mode.store(mode, std::memory_order_relaxed);
+}
+
+LaunchMode launch_mode() {
+  return g_launch_mode.load(std::memory_order_relaxed);
+}
+
 void launch_hints(const char* kernel, bool convergent, bool needs_fibers) {
   simt::set_exec_hint(kernel, {convergent, needs_fibers});
 }
@@ -128,6 +183,25 @@ LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {
     omp::TaskGraph::global().submit(
         [&dev, p, body = std::move(body)] { dev.launch_sync(p, body); },
         spec.depends);
+    return result;
+  }
+
+  if (launch_mode() == LaunchMode::kAsync) {
+    // Stream-ordered launch: enqueue on the device's default stream and
+    // hand back a ticket. The stream executor runs the same launch_sync
+    // path off-thread, so the record the ticket delivers is the one the
+    // synchronous mode would have produced.
+    auto ticket = std::make_shared<LaunchResult::Ticket>();
+    dev.default_stream().launch(
+        p, std::move(body), [ticket](const simt::LaunchRecord& rec) {
+          {
+            std::lock_guard lock(ticket->mu);
+            ticket->rec = rec;
+            ticket->done = true;
+          }
+          ticket->cv.notify_all();
+        });
+    result.ticket_ = std::move(ticket);
     return result;
   }
 
@@ -241,7 +315,10 @@ LaunchResult shard_launch(const LaunchSpec& spec,
 }
 
 simt::LaunchRecord launch_record(simt::Device* dev) {
-  return (dev != nullptr ? *dev : default_device()).last_launch();
+  simt::Device& d = dev != nullptr ? *dev : default_device();
+  // In-flight async launches must land in the log before we read it.
+  d.synchronize();
+  return d.last_launch();
 }
 
 void taskwait(const omp::Interop& obj) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "omp/api.h"
@@ -72,27 +73,68 @@ struct LaunchSpec {
 void launch_hints(const char* kernel, bool convergent,
                   bool needs_fibers = false);
 
-/// What a launch hands back: a ticket saying whether the work already
-/// completed and, if so, the engine's record for it (measured stats +
-/// modeled time). Callers read launch measurements from here — no layer
-/// above core should reach into simt::Device internals for stats.
+/// How plain ompx::launch calls execute. kAsync (the default) enqueues
+/// the kernel on the target device's default stream and returns a
+/// ticket immediately — CUDA's launch semantics. kSync runs the kernel
+/// on the calling thread before returning (the pre-stream behavior;
+/// also the reference side of the async differential tests). Initial
+/// value comes from OMPX_LAUNCH=sync|async; process-wide.
+enum class LaunchMode : std::uint8_t { kSync, kAsync };
+void set_launch_mode(LaunchMode mode);
+[[nodiscard]] LaunchMode launch_mode();
+
+/// What a launch hands back: a ticket for work that may still be in
+/// flight. The synchronous forms (LaunchMode::kSync, shard launches,
+/// depend_interop without nowait) return with `completed` already true
+/// and `record` filled; asynchronous launches return immediately and
+/// the record becomes available through wait()/query(). Callers read
+/// launch measurements from here — no layer above core should reach
+/// into simt::Device internals for stats.
 struct LaunchResult {
-  /// True for the synchronous forms (plain, or depend_interop without
-  /// nowait). False for deferred work: the record is then empty; fetch
-  /// it after taskwait()/synchronization via launch_record().
+  /// True once the engine's record for the launch is in `record`:
+  /// immediately for the synchronous forms, after wait() (or a true
+  /// query()) for asynchronous ones. nowait task-graph launches never
+  /// carry a ticket; fetch their record after taskwait() via
+  /// launch_record().
   bool completed = false;
   simt::LaunchRecord record;
-  [[nodiscard]] double modeled_ms() const { return record.time.total_ms; }
-  [[nodiscard]] double wall_ms() const { return record.wall_ms; }
+
+  /// Blocks until the launch finished, then fills `record` and sets
+  /// `completed`. No-op for already-completed results. A launch that
+  /// failed leaves an empty record here; the error itself surfaces at
+  /// the stream/device synchronize, as with any async failure.
+  void wait();
+  /// Non-blocking: true iff the launch finished (record then filled).
+  bool query();
+  /// Measurement accessors wait() first, so existing call sites keep
+  /// reading correct values under the async default.
+  [[nodiscard]] double modeled_ms() {
+    wait();
+    return record.time.total_ms;
+  }
+  [[nodiscard]] double wall_ms() {
+    wait();
+    return record.wall_ms;
+  }
+
+  struct Ticket;  // shared completion state, defined in ompx_launch.cpp
+
+ private:
+  std::shared_ptr<Ticket> ticket_;
+  friend LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body);
 };
 
 /// Launches `body` once per thread of the num_teams x thread_limit
-/// space. Synchronous unless nowait or depend_interop says otherwise.
+/// space. Stream-ordered and asynchronous by default (see LaunchMode);
+/// synchronize with the returned ticket, ompx_stream_sync on the
+/// default stream, or device synchronization.
 LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body);
 
 /// The most recent completed launch on `dev` (default device if null) —
 /// the sanctioned way to read stats for launches that went through a
-/// stream or task graph. Throws std::logic_error if nothing launched.
+/// stream or task graph. Synchronizes the device first so in-flight
+/// async launches are included. Throws std::logic_error if nothing
+/// launched.
 simt::LaunchRecord launch_record(simt::Device* dev = nullptr);
 
 /// #pragma omp taskwait depend(interopobj: obj): synchronizes the

@@ -39,6 +39,15 @@ klError guarded(F&& f) {
   }
 }
 
+/// cudaMemcpy-style legacy-stream semantics: a host-blocking memory op
+/// must first observe every launch already enqueued on the device's
+/// streams. Skipped on executor threads (a host-fn callback calling
+/// back into the runtime must not wait on its own stream).
+void sync_legacy(simt::Device& dev) {
+  if (simt::telemetry_detail::t_in_stream_op) return;
+  dev.synchronize();
+}
+
 simt::CopyKind to_engine(klMemcpyKind k) {
   switch (k) {
     case klMemcpyHostToDevice: return simt::CopyKind::kHostToDevice;
@@ -105,13 +114,18 @@ klError klMalloc(void** ptr, std::size_t bytes) {
 }
 
 klError klFree(void* ptr) {
-  return guarded([&] { current_device().memory().deallocate(ptr); });
+  return guarded([&] {
+    auto& dev = current_device();
+    sync_legacy(dev);  // an in-flight launch may still use the block
+    dev.memory().deallocate(ptr);
+  });
 }
 
 klError klMemcpy(void* dst, const void* src, std::size_t bytes,
                  klMemcpyKind kind) {
   return guarded([&] {
     auto& dev = current_device();
+    sync_legacy(dev);
     dev.memory().copy(dst, src, bytes, to_engine(kind));
     if (kind == klMemcpyHostToDevice || kind == klMemcpyDeviceToHost)
       dev.add_transfer(bytes);
@@ -137,7 +151,11 @@ klError klMemcpyPeer(void* dst, int dst_device, const void* src,
   if (ddev == nullptr) return err;
   simt::Device* sdev = checked_device(src_device, &err);
   if (sdev == nullptr) return err;
-  return guarded([&] { simt::peer_copy(*ddev, dst, *sdev, src, bytes); });
+  return guarded([&] {
+    sync_legacy(*ddev);
+    if (sdev != ddev) sync_legacy(*sdev);
+    simt::peer_copy(*ddev, dst, *sdev, src, bytes);
+  });
 }
 
 klError klDeviceEnablePeerAccess(int peer_device, unsigned int flags) {
@@ -172,6 +190,7 @@ klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
                    klMemcpyKind kind) {
   return guarded([&] {
     auto& dev = current_device();
+    sync_legacy(dev);
     const std::size_t payload =
         dev.memory().copy_2d(dst, dpitch, src, spitch, width, height,
                              to_engine(kind));
@@ -181,7 +200,11 @@ klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
 }
 
 klError klMemset(void* ptr, int value, std::size_t bytes) {
-  return guarded([&] { current_device().memory().set(ptr, value, bytes); });
+  return guarded([&] {
+    auto& dev = current_device();
+    sync_legacy(dev);
+    dev.memory().set(ptr, value, bytes);
+  });
 }
 
 klError klStreamCreate(klStream_t* stream) {
@@ -217,6 +240,72 @@ klError klMemsetAsync(void* ptr, int value, std::size_t bytes,
   });
 }
 
+klError klMallocAsync(void** ptr, std::size_t bytes, klStream_t stream) {
+  if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    *ptr = s.malloc_async(bytes);
+  });
+}
+
+klError klFreeAsync(void* ptr, klStream_t stream) {
+  return guarded([&] {
+    auto& s = stream != nullptr ? *stream : current_device().default_stream();
+    s.free_async(ptr);
+  });
+}
+
+klError klStreamBeginCapture(klStream_t stream) {
+  if (stream == nullptr)
+    return record_error(klErrorInvalidValue,
+                        "klStreamBeginCapture: the default stream cannot be "
+                        "captured; pass a created stream");
+  return guarded([&] { stream->begin_capture(); });
+}
+
+klError klStreamEndCapture(klStream_t stream, klGraph_t* graph) {
+  if (stream == nullptr)
+    return record_error(klErrorInvalidValue, "null stream");
+  if (graph == nullptr) {
+    // End the capture anyway (discarding it) so the stream is usable.
+    guarded([&] {
+      if (stream->capturing()) stream->end_capture();
+    });
+    return record_error(klErrorInvalidValue, "null graph out pointer");
+  }
+  return guarded([&] { *graph = stream->end_capture().release(); });
+}
+
+namespace {
+klError check_graph(klGraph_t graph) {
+  if (graph == nullptr || !simt::graph_alive(graph))
+    return record_error(klErrorInvalidValue,
+                        "invalid or destroyed graph handle");
+  return klSuccess;
+}
+}  // namespace
+
+klError klGraphInstantiate(klGraph_t graph) {
+  const klError e = check_graph(graph);
+  if (e != klSuccess) return e;
+  return guarded([&] { graph->instantiate(); });
+}
+
+klError klGraphLaunch(klGraph_t graph, klStream_t stream) {
+  const klError e = check_graph(graph);
+  if (e != klSuccess) return e;
+  return guarded([&] {
+    auto& s =
+        stream != nullptr ? *stream : graph->device().default_stream();
+    s.launch_graph(*graph);
+  });
+}
+
+klError klGraphDestroy(klGraph_t graph) {
+  if (graph == nullptr) return klSuccess;
+  return guarded([&] { simt::destroy_graph(graph); });
+}
+
 klError klMallocConstant(void** ptr, std::size_t bytes) {
   if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
   return guarded(
@@ -225,9 +314,11 @@ klError klMallocConstant(void** ptr, std::size_t bytes) {
 
 klError klMemcpyToSymbol(void* symbol, const void* src, std::size_t bytes) {
   return guarded([&] {
-    current_device().constant_memory().copy(symbol, src, bytes,
-                                            simt::CopyKind::kHostToDevice);
-    current_device().add_transfer(bytes);
+    auto& dev = current_device();
+    sync_legacy(dev);  // in-flight kernels read the old symbol value
+    dev.constant_memory().copy(symbol, src, bytes,
+                               simt::CopyKind::kHostToDevice);
+    dev.add_transfer(bytes);
   });
 }
 

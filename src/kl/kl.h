@@ -103,6 +103,31 @@ klError klMemsetAsync(void* ptr, int value, std::size_t bytes,
 /// constant space and write it from the host (cudaMemcpyToSymbol). The
 /// returned pointer is readable from kernels like any other pointer;
 /// the space is capacity-limited and host-writable only.
+/// Stream-ordered memory (cudaMallocAsync / cudaFreeAsync): the block
+/// is pooled per stream, so a free/malloc pair of the same size on the
+/// same stream recycles without touching the device allocator. Null
+/// stream means the current device's default stream.
+klError klMallocAsync(void** ptr, std::size_t bytes,
+                      klStream_t stream = nullptr);
+template <typename T>
+klError klMallocAsync(T** ptr, std::size_t bytes, klStream_t stream = nullptr) {
+  return klMallocAsync(reinterpret_cast<void**>(ptr), bytes, stream);
+}
+klError klFreeAsync(void* ptr, klStream_t stream = nullptr);
+
+/// Graph capture and replay (cudaGraph / cudaGraphExec collapsed into
+/// one handle, like hipGraph in practice). Work submitted to the
+/// stream between BeginCapture and EndCapture is recorded, not
+/// executed; the captured graph replays with klGraphLaunch at a
+/// fraction of per-launch cost. Destroy waits for outstanding replays
+/// and frees graph-owned (captured klMallocAsync) allocations.
+using klGraph_t = simt::Graph*;
+klError klStreamBeginCapture(klStream_t stream);
+klError klStreamEndCapture(klStream_t stream, klGraph_t* graph);
+klError klGraphInstantiate(klGraph_t graph);
+klError klGraphLaunch(klGraph_t graph, klStream_t stream = nullptr);
+klError klGraphDestroy(klGraph_t graph);
+
 klError klMallocConstant(void** ptr, std::size_t bytes);
 template <typename T>
 klError klMallocConstant(T** ptr, std::size_t bytes) {

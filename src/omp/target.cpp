@@ -4,6 +4,7 @@
 
 #include "simt/device.h"
 #include "simt/memory.h"
+#include "simt/stream.h"
 
 namespace omp {
 
@@ -70,7 +71,13 @@ void run_target(const TargetClauses& c, bool generic, std::int64_t n,
     simt::LaunchParams p = base_params(c, shape, generic);
     p.mode = (generic || c.needs_sync) ? simt::ExecMode::kCooperative
                                        : simt::ExecMode::kDirect;
-    dev.launch_sync(p, make_kernel(env));
+    // Route through the default stream so target regions are
+    // stream-ordered with ompx/kl async work on the same device, then
+    // wait: a target region without nowait is synchronous by spec (the
+    // unmap below must observe the kernel's writes either way).
+    simt::Stream& st = dev.default_stream();
+    st.launch(p, make_kernel(env));
+    st.synchronize();
   } catch (...) {
     for (const Map& m : c.maps) table.exit(m);
     throw;

@@ -190,6 +190,38 @@ int rewrite_host_api(std::string& s, Report* r) {
           R"(\bcudaEventElapsedTime\s*\(\s*&\s*([\w.\->\[\]]+)\s*,\s*([^,]+),\s*([^)]+)\)\s*;)"),
       "$1 = ompx_event_elapsed_ms($2, $3);");
 
+  // Stream-ordered allocation and graph capture/replay. cudaGraph_t
+  // and cudaGraphExec_t collapse into one ompx_graph_t handle
+  // (instantiate bakes in place), so cudaGraphInstantiate becomes an
+  // aliasing assignment and a leftover cudaGraphDestroy after
+  // cudaGraphExecDestroy degrades to a benign error code, not UB.
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaMallocAsync\s*\(\s*(?:\(\s*void\s*\*\s*\*\s*\)\s*)?&\s*([\w.\->\[\]]+)\s*,\s*([^,;]+?),\s*([^)]+)\)\s*;)"),
+      "$1 = static_cast<decltype($1)>(ompx_malloc_async($2, $3));");
+  total += apply(s, std::regex(R"(\bcudaFreeAsync\s*\()"), "ompx_free_async(");
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaStreamBeginCapture\s*\(\s*([^,)]+?)\s*(?:,\s*[^)]+)?\)\s*;)"),
+      "ompx_stream_begin_capture($1);");
+  total += apply(s, std::regex(R"(\bcudaStreamEndCapture\s*\()"),
+                 "ompx_stream_end_capture(");
+  total += apply(
+      s,
+      std::regex(
+          R"(\bcudaGraphInstantiate\s*\(\s*&\s*([\w.\->\[\]]+)\s*,\s*([\w.\->\[\]]+)[^;]*\)\s*;)"),
+      "$1 = $2; ompx_graph_instantiate($1);");
+  total += apply(s, std::regex(R"(\bcudaGraphLaunch\s*\()"),
+                 "ompx_graph_launch(");
+  total += apply(s, std::regex(R"(\bcudaGraphExecDestroy\s*\()"),
+                 "ompx_graph_destroy(");
+  total += apply(s, std::regex(R"(\bcudaGraphDestroy\s*\()"),
+                 "ompx_graph_destroy(");
+  total += apply(s, std::regex("\\bcudaGraphExec_t\\b"), "ompx_graph_t");
+  total += apply(s, std::regex("\\bcudaGraph_t\\b"), "ompx_graph_t");
+
   // dim3 stays a value type; ompx::dim3 aliases simt::Dim3.
   total += apply(s, std::regex("\\bdim3\\b"), "ompx::dim3");
   note(r, total, "cuda* runtime calls -> ompx_* host APIs");

@@ -138,12 +138,18 @@ Device::Device(DeviceConfig cfg, EngineOptions opts)
     : cfg_(std::move(cfg)), opts_(opts),
       mem_(std::make_unique<DeviceMemory>(cfg_.global_mem_bytes)),
       cmem_(std::make_unique<DeviceMemory>(cfg_.const_mem_bytes)),
+      pool_(std::make_unique<StreamMemPool>(*mem_)),
       exec_(std::make_unique<StreamExecutor>(*this)) {
   if (opts_.fiber_stack_bytes != 0)
     g_fiber_stack_bytes.store(opts_.fiber_stack_bytes);
 }
 
 Device::~Device() {
+  // Stop the stream workers first (an abandoned capture's graph-owned
+  // allocations are released with it), then trim the stream-ordered
+  // pool — pooled blocks are live-but-reusable, not leaks.
+  exec_.reset();
+  pool_.reset();
   // Teardown leak report, unconditional (cheap: one registry walk). A
   // process that exits with live device allocations almost always
   // forgot its frees — CUDA's cudaErrorLeak analogue. Under kSanMem the
@@ -199,6 +205,45 @@ LaunchRecord Device::launch_sync(const LaunchParams& caller_params,
   LaunchParams params = caller_params;
   params.lane_exec = resolve_lane_exec(caller_params);
 
+  const LaunchStats stats = run_blocks(params, kernel);
+
+  LaunchRecord rec;
+  rec.name = params.name;
+  rec.grid = params.grid;
+  rec.block = params.block;
+  rec.exec_mode = exec_mode_name(params.mode, params.lane_exec);
+  rec.stats = stats;
+  rec.time = model_time(cfg_, params.profile, params.cost, stats,
+                        static_cast<std::uint32_t>(params.block.count()),
+                        params.dynamic_smem_bytes, costs_);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (params.log) {
+    std::lock_guard lock(log_mu_);
+    log_.push_back(rec);
+  }
+  // Stream kernels are spanned by the executor (it knows the stream
+  // track and modeled start); only direct host-synchronous launches
+  // record here, on the device's sync track.
+  if (profiling_enabled() && !telemetry_detail::t_in_stream_op) {
+    TraceSpan span;
+    span.kind = SpanKind::kKernel;
+    span.name = rec.name;
+    span.dur_ms = rec.time.total_ms;
+    span.wall_ms = rec.wall_ms;
+    span.grid = rec.grid;
+    span.block = rec.block;
+    span.exec_mode = rec.exec_mode;
+    span.stats = rec.stats;
+    span.time = rec.time;
+    Profiler::instance().record(*this, span);
+  }
+  return rec;
+}
+
+LaunchStats Device::run_blocks(const LaunchParams& params,
+                               const KernelFn& kernel) {
   LaunchStats stats;
   stats.blocks = params.grid.count();
   stats.threads = stats.blocks * params.block.count();
@@ -304,40 +349,7 @@ LaunchRecord Device::launch_sync(const LaunchParams& caller_params,
   stats.sched_steals = steals_total;
   stats.sched_lane_loops = total.sched_lane_loops;
   stats.sched_deflations = total.sched_deflations;
-
-  LaunchRecord rec;
-  rec.name = params.name;
-  rec.grid = params.grid;
-  rec.block = params.block;
-  rec.exec_mode = exec_mode_name(params.mode, params.lane_exec);
-  rec.stats = stats;
-  rec.time = model_time(cfg_, params.profile, params.cost, stats,
-                        static_cast<std::uint32_t>(params.block.count()),
-                        params.dynamic_smem_bytes, costs_);
-  rec.wall_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-  if (params.log) {
-    std::lock_guard lock(log_mu_);
-    log_.push_back(rec);
-  }
-  // Stream kernels are spanned by the executor (it knows the stream
-  // track and modeled start); only direct host-synchronous launches
-  // record here, on the device's sync track.
-  if (profiling_enabled() && !telemetry_detail::t_in_stream_op) {
-    TraceSpan span;
-    span.kind = SpanKind::kKernel;
-    span.name = rec.name;
-    span.dur_ms = rec.time.total_ms;
-    span.wall_ms = rec.wall_ms;
-    span.grid = rec.grid;
-    span.block = rec.block;
-    span.exec_mode = rec.exec_mode;
-    span.stats = rec.stats;
-    span.time = rec.time;
-    Profiler::instance().record(*this, span);
-  }
-  return rec;
+  return stats;
 }
 
 Stream& Device::default_stream() { return exec_->default_stream(); }
@@ -345,6 +357,7 @@ Stream* Device::create_stream() { return exec_->create_stream(); }
 Event* Device::create_event() { return exec_->create_event(); }
 void Device::destroy_stream(Stream* stream) { exec_->destroy_stream(stream); }
 void Device::destroy_event(Event* event) { exec_->destroy_event(event); }
+unsigned Device::stream_worker_count() const { return exec_->worker_count(); }
 
 void Device::synchronize() {
   exec_->synchronize_all();

@@ -115,6 +115,11 @@ struct EngineOptions {
   /// kFiber/kConvergent force that path for every cooperative launch
   /// on this device (convergent still deflates dynamically).
   LaneExec lane_exec = LaneExec::kDefault;
+  /// Stream-executor pool threads per device (how many stream ops run
+  /// concurrently in host wall time). 0 = auto: OMPX_STREAM_WORKERS if
+  /// set, else a small share of the host (2..4). Simulation results
+  /// are identical for any value; only overlap/wall time changes.
+  unsigned stream_workers = 0;
 };
 
 /// One completed kernel launch: measured stats + modeled time.
@@ -134,6 +139,8 @@ class Stream;
 class Event;
 class StreamExecutor;
 class DeviceMemory;
+class StreamMemPool;
+class Graph;
 
 /// A simulated GPU: configuration, global memory, streams, and the
 /// launch path. Thread-safe for host-side use.
@@ -148,6 +155,9 @@ class Device {
   [[nodiscard]] const DeviceConfig& config() const { return cfg_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
   DeviceMemory& memory() { return *mem_; }
+  /// The stream-ordered allocator's free pool (malloc_async /
+  /// free_async reuse; see simt/memory.h).
+  StreamMemPool& mem_pool() { return *pool_; }
   /// The __constant__ memory space (§2.5's fourth space): small,
   /// host-writable, broadcast-read by kernels. Same allocation API as
   /// global memory with the 64 KiB capacity CUDA gives it.
@@ -179,6 +189,9 @@ class Device {
   /// Wait for every operation on every stream (cudaDeviceSynchronize),
   /// then rethrow any asynchronous error.
   void synchronize();
+  /// Pool threads executing this device's stream ops (see
+  /// EngineOptions::stream_workers / OMPX_STREAM_WORKERS).
+  [[nodiscard]] unsigned stream_worker_count() const;
 
   /// Modeled host<->device transfer time for `bytes` (used by the data
   /// mapping layers; also accumulated when stream memcpys execute).
@@ -212,17 +225,25 @@ class Device {
 
  private:
   friend class StreamExecutor;
+  friend class Graph;
 
   void validate(const LaunchParams& params) const;
   /// Resolves a launch's LaneExec request (per-launch > engine options
   /// > OMPX_EXEC policy + hint registry) to kFiber or kConvergent.
   [[nodiscard]] LaneExec resolve_lane_exec(const LaunchParams& params) const;
+  /// The block-execution core of launch_sync (grid fan-out over the
+  /// work-stealing launch pool, folded counters). Shared with graph
+  /// replay, which skips the per-launch setup around it — callers own
+  /// validation, lane-exec resolution, timing, logging, telemetry.
+  [[nodiscard]] LaunchStats run_blocks(const LaunchParams& params,
+                                       const KernelFn& kernel);
 
   DeviceConfig cfg_;
   EngineOptions opts_;
   EventCosts costs_;
   std::unique_ptr<DeviceMemory> mem_;
   std::unique_ptr<DeviceMemory> cmem_;
+  std::unique_ptr<StreamMemPool> pool_;
   std::unique_ptr<StreamExecutor> exec_;
 
   mutable std::mutex log_mu_;

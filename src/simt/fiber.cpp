@@ -45,6 +45,36 @@
 #define SIMT_ASAN_FINISH_SWITCH(fake, bottom, size) ((void)0)
 #endif
 
+// TSan has the same blind spot: it models one synchronization clock per
+// OS thread and reports false races (or loses real ones) across a manual
+// stack switch unless every switch is announced through its fiber API.
+#if defined(__SANITIZE_THREAD__)
+#define SIMT_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIMT_FIBER_TSAN 1
+#endif
+#endif
+#ifndef SIMT_FIBER_TSAN
+#define SIMT_FIBER_TSAN 0
+#endif
+
+#if SIMT_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#define SIMT_TSAN_CREATE_FIBER() __tsan_create_fiber(0)
+#define SIMT_TSAN_DESTROY_FIBER(f) \
+  do {                             \
+    if ((f) != nullptr) __tsan_destroy_fiber(f); \
+  } while (0)
+#define SIMT_TSAN_CURRENT_FIBER() __tsan_get_current_fiber()
+#define SIMT_TSAN_SWITCH_TO_FIBER(f) __tsan_switch_to_fiber(f, 0)
+#else
+#define SIMT_TSAN_CREATE_FIBER() nullptr
+#define SIMT_TSAN_DESTROY_FIBER(f) ((void)0)
+#define SIMT_TSAN_CURRENT_FIBER() nullptr
+#define SIMT_TSAN_SWITCH_TO_FIBER(f) ((void)0)
+#endif
+
 namespace simt {
 
 namespace {
@@ -83,6 +113,7 @@ Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
       link_(std::make_unique<Context>()) {
   stack_size_ = pool_.stack_size();
   stack_ = pool_.lease();
+  tsan_fiber_ = SIMT_TSAN_CREATE_FIBER();
   arm();
 }
 
@@ -117,6 +148,8 @@ void Fiber::resume() {
   started_ = true;
   [[maybe_unused]] void* host_fake = nullptr;
   SIMT_ASAN_START_SWITCH(&host_fake, stack_, stack_size_);
+  tsan_link_ = SIMT_TSAN_CURRENT_FIBER();
+  SIMT_TSAN_SWITCH_TO_FIBER(tsan_fiber_);
   simt_fiber_swap(&link_->sp, ctx_->sp);
   SIMT_ASAN_FINISH_SWITCH(host_fake, nullptr, nullptr);
   t_current_fiber = prev;
@@ -130,6 +163,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   SIMT_ASAN_START_SWITCH(&asan_fake_stack_, asan_link_stack_,
                          asan_link_stack_size_);
+  SIMT_TSAN_SWITCH_TO_FIBER(tsan_link_);
   simt_fiber_swap(&ctx_->sp, link_->sp);
   SIMT_ASAN_FINISH_SWITCH(asan_fake_stack_, &asan_link_stack_,
                           &asan_link_stack_size_);
@@ -148,6 +182,7 @@ void Fiber::trampoline(Fiber* self) {
   // stack instead of keeping it for a return that never happens.
   SIMT_ASAN_START_SWITCH(nullptr, self->asan_link_stack_,
                          self->asan_link_stack_size_);
+  SIMT_TSAN_SWITCH_TO_FIBER(self->tsan_link_);
   // Final switch back to the scheduler. The save slot is never resumed
   // again; it only exists because the swap routine unconditionally saves.
   simt_fiber_swap(&self->ctx_->sp, self->link_->sp);
@@ -172,6 +207,7 @@ Fiber::Fiber(FiberStackPool& pool, EntryFn entry)
       link_(std::make_unique<Context>()) {
   stack_size_ = pool_.stack_size();
   stack_ = pool_.lease();
+  tsan_fiber_ = SIMT_TSAN_CREATE_FIBER();
   arm();
 }
 
@@ -194,6 +230,8 @@ void Fiber::resume() {
   started_ = true;
   [[maybe_unused]] void* host_fake = nullptr;
   SIMT_ASAN_START_SWITCH(&host_fake, stack_, stack_size_);
+  tsan_link_ = SIMT_TSAN_CURRENT_FIBER();
+  SIMT_TSAN_SWITCH_TO_FIBER(tsan_fiber_);
   swapcontext(&link_->uc, &ctx_->uc);
   SIMT_ASAN_FINISH_SWITCH(host_fake, nullptr, nullptr);
   t_current_fiber = prev;
@@ -207,6 +245,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   SIMT_ASAN_START_SWITCH(&asan_fake_stack_, asan_link_stack_,
                          asan_link_stack_size_);
+  SIMT_TSAN_SWITCH_TO_FIBER(tsan_link_);
   swapcontext(&ctx_->uc, &link_->uc);
   SIMT_ASAN_FINISH_SWITCH(asan_fake_stack_, &asan_link_stack_,
                           &asan_link_stack_size_);
@@ -225,6 +264,7 @@ void Fiber::trampoline(Fiber* self) {
   // stack instead of keeping it for a return that never happens.
   SIMT_ASAN_START_SWITCH(nullptr, self->asan_link_stack_,
                          self->asan_link_stack_size_);
+  SIMT_TSAN_SWITCH_TO_FIBER(self->tsan_link_);
   // uc_link returns to the scheduler when this function falls off the end.
 }
 
@@ -250,6 +290,7 @@ void Fiber::reset(EntryFn entry) {
 }
 
 Fiber::~Fiber() {
+  SIMT_TSAN_DESTROY_FIBER(tsan_fiber_);
   if (stack_ != nullptr) pool_.release(stack_);
 }
 

@@ -90,6 +90,10 @@ class Fiber {
   void* asan_fake_stack_ = nullptr;        // this fiber's fake-stack save
   const void* asan_link_stack_ = nullptr;  // scheduler stack bottom
   std::size_t asan_link_stack_size_ = 0;
+  // TSan fiber-switch bookkeeping (see SIMT_TSAN_* in fiber.cpp). Same
+  // rule: members exist whether or not TSan is enabled.
+  void* tsan_fiber_ = nullptr;  // __tsan_create_fiber handle
+  void* tsan_link_ = nullptr;   // scheduler's TSan fiber to return to
 };
 
 /// Recycles whole Fiber objects (and the stacks they lease) across

@@ -291,4 +291,60 @@ void DeviceMemory::set(void* ptr, int value, std::size_t bytes) const {
   std::memset(ptr, value, bytes);
 }
 
+// ---------------------------------------------------------- StreamMemPool
+
+void* StreamMemPool::acquire(std::uint64_t stream_id, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  auto pit = pools_.find(stream_id);
+  if (pit != pools_.end()) {
+    auto bit = pit->second.find(bytes);
+    if (bit != pit->second.end()) {
+      void* p = bit->second;
+      pit->second.erase(bit);
+      stats_.reuse_hits++;
+      stats_.bytes_reused += bytes;
+      return p;
+    }
+  }
+  stats_.misses++;
+  return nullptr;
+}
+
+void StreamMemPool::release(std::uint64_t stream_id, void* ptr,
+                            std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  pools_[stream_id].emplace(bytes, ptr);
+  stats_.frees++;
+}
+
+void StreamMemPool::trim() {
+  std::lock_guard lock(mu_);
+  for (auto& [id, pool] : pools_)
+    for (auto& [bytes, ptr] : pool) mem_.deallocate(ptr);
+  pools_.clear();
+}
+
+void StreamMemPool::trim_stream(std::uint64_t stream_id) {
+  std::lock_guard lock(mu_);
+  auto it = pools_.find(stream_id);
+  if (it == pools_.end()) return;
+  for (auto& [bytes, ptr] : it->second) mem_.deallocate(ptr);
+  pools_.erase(it);
+}
+
+MemPoolStats StreamMemPool::stats() const {
+  std::lock_guard lock(mu_);
+  MemPoolStats s = stats_;
+  for (const auto& [id, pool] : pools_) {
+    s.pooled_blocks += pool.size();
+    for (const auto& [bytes, ptr] : pool) s.pooled_bytes += bytes;
+  }
+  return s;
+}
+
+void StreamMemPool::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = MemPoolStats{};
+}
+
 }  // namespace simt

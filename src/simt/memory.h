@@ -22,6 +22,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace simt {
@@ -142,6 +143,59 @@ class DeviceMemory {
   std::deque<std::uintptr_t> quarantine_order_;
   std::uint64_t quarantine_bytes_ = 0;
   static constexpr std::uint64_t kQuarantineCap = 64ull << 20;
+};
+
+/// Aggregate accounting of a device's stream-ordered memory pool.
+struct MemPoolStats {
+  std::uint64_t reuse_hits = 0;    ///< malloc_async served from the pool
+  std::uint64_t misses = 0;        ///< malloc_async fell back to allocate()
+  std::uint64_t frees = 0;         ///< free_async blocks returned to the pool
+  std::uint64_t bytes_reused = 0;  ///< payload bytes served from the pool
+  std::uint64_t pooled_blocks = 0; ///< blocks currently cached
+  std::uint64_t pooled_bytes = 0;  ///< bytes currently cached
+};
+
+/// The stream-ordered allocator's free pool (cudaMallocAsync semantics).
+///
+/// `Stream::free_async` returns a block to its stream's pool at *enqueue*
+/// time: previously enqueued ops on the same stream still execute before
+/// any op that uses the reused pointer, so same-stream reuse is ordered
+/// by construction — exactly the guarantee CUDA's stream-ordered
+/// allocator gives. Blocks stay live in DeviceMemory while pooled (no
+/// poison/quarantine) and are only deallocate()d by trim(), which runs
+/// on stream destroy and device teardown. Reuse requires an exact size
+/// match and never crosses streams (cross-stream reuse would need event
+/// ordering the pool cannot see).
+class StreamMemPool {
+ public:
+  explicit StreamMemPool(DeviceMemory& mem) : mem_(mem) {}
+  ~StreamMemPool() { trim(); }
+
+  StreamMemPool(const StreamMemPool&) = delete;
+  StreamMemPool& operator=(const StreamMemPool&) = delete;
+
+  /// A pooled block of exactly `bytes` from `stream_id`'s pool, or
+  /// nullptr on a miss (the caller then allocates fresh). Updates
+  /// hit/miss accounting either way.
+  void* acquire(std::uint64_t stream_id, std::size_t bytes);
+
+  /// Returns `ptr` (a live DeviceMemory allocation of `bytes`) to
+  /// `stream_id`'s pool for reuse by later malloc_asyncs on that stream.
+  void release(std::uint64_t stream_id, void* ptr, std::size_t bytes);
+
+  /// deallocate()s every pooled block (all streams / one stream).
+  void trim();
+  void trim_stream(std::uint64_t stream_id);
+
+  [[nodiscard]] MemPoolStats stats() const;
+  void reset_stats();
+
+ private:
+  DeviceMemory& mem_;
+  mutable std::mutex mu_;
+  // stream id -> exact-size free lists (size -> block), LIFO per size.
+  std::unordered_map<std::uint64_t, std::multimap<std::size_t, void*>> pools_;
+  MemPoolStats stats_;
 };
 
 }  // namespace simt

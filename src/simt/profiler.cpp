@@ -78,6 +78,9 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kHostFn: return "host-fn";
     case SpanKind::kEventRecord: return "event-record";
     case SpanKind::kEventWait: return "event-wait";
+    case SpanKind::kAlloc: return "alloc";
+    case SpanKind::kFree: return "free";
+    case SpanKind::kGraph: return "graph";
   }
   return "?";
 }
@@ -146,6 +149,18 @@ void Profiler::record(const Device& dev, TraceSpan span) {
       break;
     case SpanKind::kEventWait:
       counters_.event_waits++;
+      break;
+    case SpanKind::kAlloc:
+      counters_.allocs++;
+      break;
+    case SpanKind::kFree:
+      counters_.frees++;
+      break;
+    case SpanKind::kGraph:
+      // Umbrella replay slices only; per-node spans count themselves
+      // (the zero-duration fence spans are filtered by duration).
+      if (span.dur_ms > 0.0 || span.flow_out == false)
+        counters_.graph_replays++;
       break;
     case SpanKind::kHostFn:
       break;
@@ -243,7 +258,8 @@ std::string Profiler::chrome_trace_json() const {
              s.time.compute_ms, s.time.memory_ms, s.time.overhead_ms,
              s.time.occupancy);
     }
-    if (s.kind == SpanKind::kMemcpy || s.kind == SpanKind::kMemset)
+    if (s.kind == SpanKind::kMemcpy || s.kind == SpanKind::kMemset ||
+        s.kind == SpanKind::kAlloc || s.kind == SpanKind::kFree)
       append(out, ",\"bytes\":%llu",
              static_cast<unsigned long long>(s.bytes));
     out += "}}";
@@ -256,7 +272,9 @@ std::string Profiler::chrome_trace_json() const {
       append(out,
              "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%s\","
              "\"id\":%llu,\"pid\":%u,\"tid\":%llu,\"ts\":%.4f%s}",
-             s.kind == SpanKind::kMemcpy ? "peer-copy" : "event",
+             s.kind == SpanKind::kMemcpy   ? "peer-copy"
+             : s.kind == SpanKind::kGraph  ? "graph-replay"
+                                           : "event",
              s.flow_out ? "s" : "f",
              static_cast<unsigned long long>(s.flow_id), s.device_pid,
              static_cast<unsigned long long>(s.track), ts_us,
@@ -268,6 +286,7 @@ std::string Profiler::chrome_trace_json() const {
   append(out,
          "\"launches\":%llu,\"memcpys\":%llu,\"memsets\":%llu,"
          "\"event_records\":%llu,\"event_waits\":%llu,"
+         "\"allocs\":%llu,\"frees\":%llu,\"graph_replays\":%llu,"
          "\"bytes_copied\":%llu,\"blocks\":%llu,\"threads\":%llu,"
          "\"block_barriers\":%llu,\"warp_collectives\":%llu,"
          "\"atomics\":%llu,\"parallel_handshakes\":%llu,"
@@ -279,6 +298,9 @@ std::string Profiler::chrome_trace_json() const {
          static_cast<unsigned long long>(counters_.memsets),
          static_cast<unsigned long long>(counters_.event_records),
          static_cast<unsigned long long>(counters_.event_waits),
+         static_cast<unsigned long long>(counters_.allocs),
+         static_cast<unsigned long long>(counters_.frees),
+         static_cast<unsigned long long>(counters_.graph_replays),
          static_cast<unsigned long long>(counters_.bytes_copied),
          static_cast<unsigned long long>(counters_.blocks),
          static_cast<unsigned long long>(counters_.threads),

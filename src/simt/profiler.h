@@ -43,6 +43,9 @@ enum class SpanKind : std::uint8_t {
   kHostFn,
   kEventRecord,
   kEventWait,
+  kAlloc,       ///< stream-ordered malloc_async
+  kFree,        ///< stream-ordered free_async
+  kGraph,       ///< a graph replay (umbrella slice over its node spans)
 };
 
 const char* span_kind_name(SpanKind k);
@@ -80,6 +83,9 @@ struct ProfilerCounters {
   std::uint64_t memsets = 0;
   std::uint64_t event_records = 0;
   std::uint64_t event_waits = 0;
+  std::uint64_t allocs = 0;         ///< stream-ordered malloc_asyncs
+  std::uint64_t frees = 0;          ///< stream-ordered free_asyncs
+  std::uint64_t graph_replays = 0;  ///< completed graph replays
   std::uint64_t bytes_copied = 0;
   std::uint64_t blocks = 0;
   std::uint64_t threads = 0;

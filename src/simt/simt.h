@@ -6,6 +6,7 @@
 #include "simt/device.h"
 #include "simt/dim.h"
 #include "simt/fiber.h"
+#include "simt/graph.h"
 #include "simt/kernel.h"
 #include "simt/memory.h"
 #include "simt/perf.h"

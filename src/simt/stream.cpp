@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
 #include "simt/device.h"
+#include "simt/graph.h"
 #include "simt/profiler.h"
 
 namespace simt {
@@ -38,6 +40,25 @@ const char* copy_kind_label(CopyKind k) {
 std::uint64_t event_flow_id(std::uint64_t uid, std::uint64_t generation) {
   return generation == 0 ? 0 : (uid << 20) + generation;
 }
+
+/// Pool workers per device executor: explicit EngineOptions value, else
+/// OMPX_STREAM_WORKERS, else a small share of the host (2..4). More
+/// than a handful buys nothing — each op already fans blocks out over
+/// the launch worker pool; these threads only provide stream overlap.
+unsigned stream_worker_count(unsigned requested) {
+  if (requested > 0) return std::min(requested, 64u);
+  if (const char* e = std::getenv("OMPX_STREAM_WORKERS")) {
+    const int v = std::atoi(e);
+    if (v > 0) return std::min<unsigned>(static_cast<unsigned>(v), 64u);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::clamp(hw / 2, 2u, 4u);
+}
+
+/// Modeled cost of a stream-ordered alloc/free op: a fixed sliver of
+/// device time (suballocation from a resident pool, not an OS call).
+constexpr double kAllocModelMs = 0.0005;
 
 }  // namespace
 
@@ -74,8 +95,8 @@ void Stream::launch(const LaunchParams& params, KernelFn kernel) {
 void Stream::launch(const LaunchParams& params, KernelFn kernel,
                     std::function<void(const LaunchRecord&)> on_complete) {
   dev_.validate_launch(params);
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kKernel;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
   op.params = params;
   op.kernel = std::move(kernel);
   op.on_complete = std::move(on_complete);
@@ -84,8 +105,8 @@ void Stream::launch(const LaunchParams& params, KernelFn kernel,
 
 void Stream::memcpy_async(void* dst, const void* src, std::size_t bytes,
                           CopyKind kind) {
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kMemcpy;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpy;
   op.dst = dst;
   op.src = src;
   op.bytes = bytes;
@@ -94,42 +115,139 @@ void Stream::memcpy_async(void* dst, const void* src, std::size_t bytes,
 }
 
 void Stream::memset_async(void* ptr, int value, std::size_t bytes) {
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kMemset;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemset;
   op.dst = ptr;
   op.value = value;
   op.bytes = bytes;
   ex_.submit(*this, std::move(op));
 }
 
+void* Stream::malloc_async(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  {
+    std::lock_guard lock(ex_.mu_);
+    if (capturing_) {
+      // Captured allocation: materialize now so every replay sees the
+      // same virtual address; the graph owns the block until destroy.
+      void* p = dev_.memory().allocate(bytes);
+      ex_.capture_->own_allocation(p);
+      StreamOp op;
+      op.kind = StreamOp::Kind::kAlloc;
+      op.dst = p;
+      op.bytes = bytes;
+      ex_.capture_->add_node(std::move(op));
+      return p;
+    }
+  }
+  // Stream-ordered reuse happens at enqueue time: a block freed_async
+  // earlier on this stream is safe to hand out because every op that
+  // used it was enqueued (and thus executes) before any op that will
+  // use it under its new life — the cudaMallocAsync guarantee.
+  void* p = dev_.mem_pool().acquire(id_, bytes);
+  const bool hit = p != nullptr;
+  if (p == nullptr) p = dev_.memory().allocate(bytes);
+  StreamOp op;
+  op.kind = StreamOp::Kind::kAlloc;
+  op.dst = p;
+  op.bytes = bytes;
+  op.pool_hit = hit;
+  ex_.submit(*this, std::move(op));
+  return p;
+}
+
+void Stream::free_async(void* ptr) {
+  if (ptr == nullptr) return;
+  const std::size_t bytes = dev_.memory().allocation_size(ptr);
+  if (bytes == 0)
+    throw std::invalid_argument(
+        "free_async: pointer is not the base of a live allocation on this "
+        "stream's device");
+  {
+    std::lock_guard lock(ex_.mu_);
+    if (capturing_) {
+      if (!ex_.capture_->owns_allocation(ptr))
+        throw std::invalid_argument(
+            "free_async during capture: only blocks from a captured "
+            "malloc_async may be freed (an external block would be freed "
+            "again on every replay)");
+      StreamOp op;
+      op.kind = StreamOp::Kind::kFree;
+      op.dst = ptr;
+      op.bytes = bytes;
+      ex_.capture_->add_node(std::move(op));
+      return;
+    }
+  }
+  dev_.mem_pool().release(id_, ptr, bytes);
+  StreamOp op;
+  op.kind = StreamOp::Kind::kFree;
+  op.dst = ptr;
+  op.bytes = bytes;
+  ex_.submit(*this, std::move(op));
+}
+
 void Stream::host_fn(std::function<void()> fn) {
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kHostFn;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kHostFn;
   op.fn = std::move(fn);
   ex_.submit(*this, std::move(op));
 }
 
 void Stream::record(Event& ev) {
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kEventRecord;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kEventRecord;
   op.event = &ev;
-  {
-    std::lock_guard lock(ex_.mu_);
-    ev.pending_ = true;
-    ev.recorded_ = false;
-  }
   ex_.submit(*this, std::move(op));
 }
 
 void Stream::wait(Event& ev) {
-  StreamExecutor::Op op;
-  op.kind = StreamExecutor::Op::Kind::kEventWait;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kEventWait;
   op.event = &ev;
+  ex_.submit(*this, std::move(op));
+}
+
+void Stream::begin_capture() {
+  std::lock_guard lock(ex_.mu_);
+  if (ex_.capture_stream_ != nullptr)
+    throw std::invalid_argument(
+        "begin_capture: a capture is already active on this device");
+  ex_.capture_ = std::unique_ptr<Graph>(new Graph(dev_));
+  ex_.capture_stream_ = this;
+  capturing_ = true;
+}
+
+std::unique_ptr<Graph> Stream::end_capture() {
+  std::lock_guard lock(ex_.mu_);
+  if (!capturing_)
+    throw std::invalid_argument("end_capture: stream is not capturing");
+  capturing_ = false;
+  ex_.capture_stream_ = nullptr;
+  return std::move(ex_.capture_);
+}
+
+bool Stream::capturing() const {
+  std::lock_guard lock(ex_.mu_);
+  return capturing_;
+}
+
+void Stream::launch_graph(Graph& g) {
+  if (&g.device() != &dev_)
+    throw std::invalid_argument(
+        "launch_graph: graph was captured on a different device");
+  g.instantiate();  // idempotent; no-op after the first call
+  StreamOp op;
+  op.kind = StreamOp::Kind::kGraph;
+  op.graph = &g;
   ex_.submit(*this, std::move(op));
 }
 
 void Stream::synchronize() {
   std::unique_lock lock(ex_.mu_);
+  if (capturing_)
+    throw std::invalid_argument(
+        "cannot synchronize a stream while it is capturing a graph");
   const std::uint64_t upto = submitted_;
   ex_.cv_complete_.wait(lock, [&] {
     return completed_ >= upto || ex_.async_error_ != nullptr;
@@ -153,7 +271,11 @@ double Stream::modeled_ready_ms() const {
 StreamExecutor::StreamExecutor(Device& dev) : dev_(dev) {
   streams_.emplace_back(new Stream(dev_, *this, next_stream_id_++));
   queues_.emplace(streams_.front()->id(), std::deque<Op>{});
-  worker_ = std::make_unique<std::thread>([this] { worker_loop(); });
+  const unsigned n = stream_worker_count(dev_.options().stream_workers);
+  inflight_events_.resize(n, nullptr);
+  workers_.reserve(n);
+  for (unsigned slot = 0; slot < n; ++slot)
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
 }
 
 StreamExecutor::~StreamExecutor() {
@@ -162,7 +284,9 @@ StreamExecutor::~StreamExecutor() {
     shutdown_ = true;
   }
   cv_submit_.notify_all();
-  worker_->join();
+  for (std::thread& w : workers_) w.join();
+  // An abandoned capture (begin_capture with no end_capture) dies here:
+  // ~Graph releases any graph-owned allocations.
 }
 
 Stream* StreamExecutor::create_stream() {
@@ -181,30 +305,41 @@ Event* StreamExecutor::create_event() {
 
 void StreamExecutor::destroy_stream(Stream* s) {
   if (s == nullptr) return;
-  std::unique_lock lock(mu_);
-  if (!streams_.empty() && s == streams_.front().get())
-    throw std::invalid_argument("cannot destroy the default stream");
-  // Drain the stream's queued and in-flight work first (completed_ is
-  // bumped only after execute() returns, so this also covers the op the
-  // worker is currently running). The dependency-deadlock detector
-  // guarantees this terminates even for permanently blocked heads.
-  cv_complete_.wait(lock, [&] { return s->completed_ >= s->submitted_; });
-  destroyed_streams_max_ms_ =
-      std::max(destroyed_streams_max_ms_, s->modeled_ready_ms_);
-  queues_.erase(s->id_);
-  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
-    if (it->get() == s) {
-      streams_.erase(it);
-      break;
+  std::uint64_t id = 0;
+  {
+    std::unique_lock lock(mu_);
+    if (!streams_.empty() && s == streams_.front().get())
+      throw std::invalid_argument("cannot destroy the default stream");
+    if (s->capturing_)
+      throw std::invalid_argument(
+          "cannot destroy a stream while it is capturing a graph");
+    // Drain the stream's queued and in-flight work first (completed_ is
+    // bumped only after execute() returns, so this also waits out an op
+    // a pool worker is currently running). The dependency-deadlock
+    // detector guarantees this terminates even for permanently blocked
+    // heads.
+    cv_complete_.wait(lock, [&] { return s->completed_ >= s->submitted_; });
+    destroyed_streams_max_ms_ =
+        std::max(destroyed_streams_max_ms_, s->modeled_ready_ms_);
+    id = s->id_;
+    queues_.erase(s->id_);
+    for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+      if (it->get() == s) {
+        streams_.erase(it);
+        break;
+      }
     }
   }
+  // The dead stream's free pool can never be reused; return it to the
+  // device heap. Outside mu_ — trimming takes the memory locks.
+  dev_.mem_pool().trim_stream(id);
 }
 
 void StreamExecutor::destroy_event(Event* ev) {
   if (ev == nullptr) return;
   std::unique_lock lock(mu_);
   // Queued EventRecord/EventWait ops hold a raw pointer to the event;
-  // wait until none remain (the worker notifies cv_complete_ per op).
+  // wait until none remain (workers notify cv_complete_ per op).
   cv_complete_.wait(lock, [&] { return !event_referenced_locked(ev); });
   for (auto it = events_.begin(); it != events_.end(); ++it) {
     if (it->get() == ev) {
@@ -214,8 +349,16 @@ void StreamExecutor::destroy_event(Event* ev) {
   }
 }
 
+bool StreamExecutor::event_alive(const Event* ev) const {
+  std::lock_guard lock(mu_);
+  for (const auto& e : events_)
+    if (e.get() == ev) return true;
+  return false;
+}
+
 bool StreamExecutor::event_referenced_locked(const Event* ev) const {
-  if (inflight_event_ == ev) return true;
+  for (const Event* inflight : inflight_events_)
+    if (inflight == ev) return true;
   for (const auto& [id, q] : queues_)
     for (const Op& op : q)
       if (op.event == ev) return true;
@@ -226,6 +369,18 @@ void StreamExecutor::submit(Stream& s, Op op) {
   {
     std::lock_guard lock(mu_);
     if (shutdown_) throw std::logic_error("submit on shut-down executor");
+    if (s.capturing_) {
+      if (op.kind == Op::Kind::kGraph)
+        throw std::invalid_argument(
+            "cannot capture a graph launch (child graphs are not "
+            "supported)");
+      capture_->add_node(std::move(op));
+      return;
+    }
+    if (op.kind == Op::Kind::kEventRecord) {
+      op.event->pending_ = true;
+      op.event->recorded_ = false;
+    }
     queues_[s.id_].push_back(std::move(op));
     s.submitted_++;
     total_submitted_++;
@@ -242,6 +397,7 @@ bool StreamExecutor::head_blocked_locked(const Stream& s) const {
 
 Stream* StreamExecutor::pick_ready_locked() {
   for (auto& sp : streams_) {
+    if (sp->inflight_) continue;  // stream order: one op in flight each
     auto it = queues_.find(sp->id_);
     if (it == queues_.end() || it->second.empty()) continue;
     if (!head_blocked_locked(*sp)) return sp.get();
@@ -249,30 +405,36 @@ Stream* StreamExecutor::pick_ready_locked() {
   return nullptr;
 }
 
-void StreamExecutor::worker_loop() {
+void StreamExecutor::worker_loop(unsigned slot) {
   std::unique_lock lock(mu_);
   while (true) {
     Stream* s = pick_ready_locked();
     if (s == nullptr) {
       bool any_pending = false;
       for (auto& [id, q] : queues_) any_pending |= !q.empty();
-      if (any_pending && async_error_ == nullptr) {
-        // Every nonempty stream head waits on an unrecorded event. Only
-        // this worker records events, so the queues can only unblock if
-        // the host submits the missing record. Give it a grace period;
-        // if nothing new arrives, declare a dependency deadlock (a wait
-        // submitted before its record forming a cycle, or a wait on an
-        // event that is never recorded) instead of hanging forever.
+      if (any_pending && executing_ == 0 && async_error_ == nullptr) {
+        // Every nonempty stream head waits on an unrecorded event and
+        // no in-flight op can record one. Only workers record events,
+        // so the queues can only unblock if the host submits the
+        // missing record. Give it a grace period; if nothing changes,
+        // declare a dependency deadlock (a wait submitted before its
+        // record forming a cycle, or a wait on an event that is never
+        // recorded) instead of hanging forever.
         const std::uint64_t subs_before = total_submitted_;
+        const std::uint64_t comps_before = total_completed_;
         cv_submit_.wait_for(lock, std::chrono::milliseconds(250));
-        if (total_submitted_ != subs_before || shutdown_) continue;
-        async_error_ = std::make_exception_ptr(std::runtime_error(
-            "stream dependency deadlock: every stream head waits on an "
-            "event whose record cannot execute"));
+        if (total_submitted_ != subs_before ||
+            total_completed_ != comps_before || executing_ != 0 || shutdown_)
+          continue;
+        if (async_error_ == nullptr)  // another worker may have raced us
+          async_error_ = std::make_exception_ptr(std::runtime_error(
+              "stream dependency deadlock: every stream head waits on an "
+              "event whose record cannot execute"));
         // Drain everything so host-side synchronize() calls return.
         for (auto& sp : streams_) {
           auto& q = queues_[sp->id_];
           sp->completed_ += q.size();
+          total_completed_ += q.size();
           q.clear();
         }
         cv_complete_.notify_all();
@@ -285,18 +447,37 @@ void StreamExecutor::worker_loop() {
 
     Op op = std::move(queues_[s->id_].front());
     queues_[s->id_].pop_front();
-    inflight_event_ = op.event;  // pins the event against destroy_event
+    s->inflight_ = true;
+    executing_++;
+    inflight_events_[slot] = op.event;  // pins against destroy_event
     lock.unlock();
     try {
       execute(*s, op);
     } catch (...) {
-      std::lock_guard elock(mu_);
-      if (async_error_ == nullptr) async_error_ = std::current_exception();
+      {
+        std::lock_guard elock(mu_);
+        if (async_error_ == nullptr) async_error_ = std::current_exception();
+      }
+      // A failed kernel never reached its completion callback; release
+      // any ticket waiter with an empty record (the error itself
+      // surfaces at the next synchronize).
+      if (op.kind == Op::Kind::kKernel && op.on_complete) {
+        try {
+          op.on_complete(LaunchRecord{});
+        } catch (...) {
+        }
+      }
     }
     lock.lock();
-    inflight_event_ = nullptr;
+    inflight_events_[slot] = nullptr;
+    s->inflight_ = false;
     s->completed_++;
+    total_completed_++;
+    executing_--;
     cv_complete_.notify_all();
+    // A completed op (an event record, or the drain of a full stream)
+    // may unblock other streams' heads for parked workers.
+    cv_submit_.notify_all();
   }
 }
 
@@ -363,6 +544,24 @@ void StreamExecutor::execute(Stream& s, Op& op) {
       }
       break;
     }
+    case Op::Kind::kAlloc:
+    case Op::Kind::kFree: {
+      // The memory work happened at enqueue time (pool acquire/release);
+      // executing the op charges the modeled sliver and leaves a span.
+      std::lock_guard lock(mu_);
+      span.ts_ms = s.modeled_ready_ms_;
+      s.modeled_ready_ms_ += kAllocModelMs;
+      if (prof) {
+        span.kind = op.kind == Op::Kind::kAlloc ? SpanKind::kAlloc
+                                                : SpanKind::kFree;
+        span.name = op.kind == Op::Kind::kFree ? "free_async"
+                    : op.pool_hit              ? "malloc_async (pooled)"
+                                               : "malloc_async";
+        span.dur_ms = kAllocModelMs;
+        span.bytes = op.bytes;
+      }
+      break;
+    }
     case Op::Kind::kHostFn: {
       op.fn();
       if (prof) {
@@ -402,6 +601,20 @@ void StreamExecutor::execute(Stream& s, Op& op) {
         span.dur_ms = s.modeled_ready_ms_ - span.ts_ms;
         span.flow_id =
             event_flow_id(op.event->uid_, op.event->generation_);
+      }
+      break;
+    }
+    case Op::Kind::kGraph: {
+      const Graph::ReplayExtent ext = op.graph->execute_on(s);
+      if (prof) {
+        span.kind = SpanKind::kGraph;
+        span.name = "graph replay";
+        span.ts_ms = ext.start_ms;
+        span.dur_ms = ext.end_ms - ext.start_ms;
+        // Destination of the previous replay's fence arrow: chained
+        // replays are visually linked across stream tracks.
+        span.flow_id = ext.chain_flow_id;
+        span.flow_out = false;
       }
       break;
     }

@@ -3,12 +3,20 @@
 // A stream is an ordered queue of device operations; operations in
 // different streams may execute concurrently and are ordered only
 // through events — CUDA/HIP semantics. The engine executes operations
-// functionally on one executor thread per device, choosing any ready
-// stream head (a legal interleaving), while a *modeled* timeline tracks
-// what the concurrency would cost on the simulated device: each op
-// begins at max(stream-ready, awaited-event timestamps) and advances
-// its stream by the op's modeled duration. Cross-stream dependency
-// cycles are detected and thrown instead of hanging.
+// functionally on a small per-device worker pool (OMPX_STREAM_WORKERS /
+// EngineOptions::stream_workers), one op per stream in flight at a
+// time, choosing any ready stream head (a legal interleaving) — so
+// independent streams genuinely overlap in host wall time. A *modeled*
+// timeline tracks what the concurrency would cost on the simulated
+// device: each op begins at max(stream-ready, awaited-event timestamps)
+// and advances its stream by the op's modeled duration. Cross-stream
+// dependency cycles are detected and thrown instead of hanging.
+//
+// Streams also feed two higher-level mechanisms:
+//  - the stream-ordered allocator (malloc_async/free_async) reusing
+//    freed blocks from a per-stream pool (see simt/memory.h), and
+//  - graph capture (begin_capture/end_capture), which redirects
+//    submitted ops into a simt::Graph for cheap replay (simt/graph.h).
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +35,7 @@
 namespace simt {
 
 class Device;
+class Graph;
 class StreamExecutor;
 struct LaunchRecord;
 
@@ -47,6 +56,7 @@ class Event {
   friend class StreamExecutor;
   friend class Stream;
   friend class Device;
+  friend class Graph;
   explicit Event(StreamExecutor& ex) : ex_(ex) {}
 
   StreamExecutor& ex_;
@@ -55,6 +65,36 @@ class Event {
   double modeled_ms_ = 0.0;
   std::uint64_t generation_ = 0;
   std::uint64_t uid_ = 0;   // stable id; seeds trace flow-arrow ids
+};
+
+/// One queued stream operation. Normally these live briefly in the
+/// executor's per-stream rings; during graph capture they are recorded
+/// into a simt::Graph instead and replayed from there.
+struct StreamOp {
+  enum class Kind : std::uint8_t {
+    kKernel, kMemcpy, kMemset, kHostFn, kEventRecord, kEventWait,
+    kAlloc, kFree, kGraph
+  };
+  Kind kind = Kind::kKernel;
+  // kernel
+  LaunchParams params;
+  KernelFn kernel;
+  std::function<void(const LaunchRecord&)> on_complete;
+  // memcpy / memset / alloc / free (alloc & free carry the block in
+  // `dst` and its size in `bytes`; the memory work happened at enqueue
+  // time — executing the op only advances the modeled timeline)
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::size_t bytes = 0;
+  CopyKind copy_kind = CopyKind::kHostToDevice;
+  int value = 0;
+  bool pool_hit = false;  // kAlloc: served from the stream pool
+  // host fn
+  std::function<void()> fn;
+  // events
+  Event* event = nullptr;
+  // graph replay
+  Graph* graph = nullptr;
 };
 
 /// An ordered queue of device operations. Create via
@@ -72,13 +112,27 @@ class Stream {
   /// Like launch(), additionally invoking `on_complete` with the
   /// finished record on the executor thread — how a sharded launch
   /// collects per-shard records whose log entries are suppressed
-  /// (LaunchParams::log = false).
+  /// (LaunchParams::log = false), and how ompx::launch tickets complete.
   void launch(const LaunchParams& params, KernelFn kernel,
               std::function<void(const LaunchRecord&)> on_complete);
 
   /// Asynchronous memcpy/memset on this stream.
   void memcpy_async(void* dst, const void* src, std::size_t bytes, CopyKind kind);
   void memset_async(void* ptr, int value, std::size_t bytes);
+
+  /// Stream-ordered allocation (cudaMallocAsync): the pointer is usable
+  /// by any op enqueued on this stream after this call. Reuses an
+  /// exact-size block from this stream's free pool when one is
+  /// available, else allocates fresh device memory.
+  void* malloc_async(std::size_t bytes);
+  /// Stream-ordered free (cudaFreeAsync): the block joins this stream's
+  /// free pool for reuse by later malloc_asyncs; it is only returned to
+  /// the device heap when the pool is trimmed (stream destroy / device
+  /// teardown / explicit trim). Throws std::invalid_argument unless
+  /// `ptr` is the base of a live allocation on this stream's device.
+  /// During capture, only graph-owned (captured-malloc_async) blocks
+  /// may be freed.
+  void free_async(void* ptr);
 
   /// Enqueue a host callback (runs on the executor thread when reached).
   void host_fn(std::function<void()> fn);
@@ -87,6 +141,22 @@ class Stream {
   /// for `ev` before executing later operations.
   void record(Event& ev);
   void wait(Event& ev);
+
+  /// Graph capture (cudaStreamBeginCapture): until end_capture(), ops
+  /// submitted to this stream are recorded into a Graph instead of
+  /// executing. One capture may be active per device at a time.
+  /// Synchronizing or destroying a capturing stream throws.
+  void begin_capture();
+  /// Ends capture and returns the recorded graph. Throws if the stream
+  /// is not capturing.
+  std::unique_ptr<Graph> end_capture();
+  [[nodiscard]] bool capturing() const;
+
+  /// Enqueue a replay of `g` (cudaGraphLaunch): the captured op
+  /// sequence re-executes as a single stream op, skipping per-launch
+  /// setup (validation, exec-mode resolution, record assembly).
+  /// Instantiates the graph first if the caller has not.
+  void launch_graph(Graph& g);
 
   /// Host-side wait for everything enqueued so far on this stream.
   void synchronize();
@@ -99,6 +169,7 @@ class Stream {
  private:
   friend class StreamExecutor;
   friend class Device;
+  friend class Graph;
   Stream(Device& dev, StreamExecutor& ex, std::uint64_t id)
       : dev_(dev), ex_(ex), id_(id) {}
 
@@ -108,9 +179,13 @@ class Stream {
   double modeled_ready_ms_ = 0.0;   // guarded by executor mutex
   std::uint64_t submitted_ = 0;     // ops enqueued (executor mutex)
   std::uint64_t completed_ = 0;     // ops executed (executor mutex)
+  bool inflight_ = false;           // a worker is executing this stream's
+                                    // head (executor mutex)
+  bool capturing_ = false;          // ops redirect into a Graph (executor
+                                    // mutex)
 };
 
-/// One executor per device: owns the op queues and the worker thread.
+/// One executor per device: owns the op queues and the worker pool.
 class StreamExecutor {
  public:
   explicit StreamExecutor(Device& dev);
@@ -123,11 +198,15 @@ class StreamExecutor {
   Event* create_event();
   Stream& default_stream() { return *streams_.front(); }
 
-  /// Drains the stream's pending/in-flight ops, then releases it.
-  /// Destroying the default stream throws; nullptr is a no-op.
+  /// Drains the stream's pending/in-flight ops (including anything a
+  /// pool worker is currently running), trims its memory pool, then
+  /// releases it. Destroying the default stream or a capturing stream
+  /// throws; nullptr is a no-op.
   void destroy_stream(Stream* s);
   /// Waits until no queued or in-flight op references the event, then
-  /// releases it. nullptr is a no-op.
+  /// releases it. nullptr is a no-op. (Captured graphs hold event
+  /// references this cannot see; destroying an event a live graph uses
+  /// invalidates that graph — re-instantiate to detect it.)
   void destroy_event(Event* ev);
 
   /// Host-side wait for every op on every stream submitted so far.
@@ -140,34 +219,26 @@ class StreamExecutor {
   /// cudaGetLastError surfacing async failures.
   void check_async_error();
 
+  /// True if `ev` is a live event of this executor (graphs validate
+  /// their captured event references against this at instantiate).
+  [[nodiscard]] bool event_alive(const Event* ev) const;
+
+  /// Number of pool workers executing this device's stream ops.
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
  private:
   friend class Stream;
   friend class Event;
+  friend class Graph;
 
-  struct Op {
-    enum class Kind : std::uint8_t {
-      kKernel, kMemcpy, kMemset, kHostFn, kEventRecord, kEventWait
-    };
-    Kind kind;
-    // kernel
-    LaunchParams params;
-    KernelFn kernel;
-    std::function<void(const LaunchRecord&)> on_complete;
-    // memcpy / memset
-    void* dst = nullptr;
-    const void* src = nullptr;
-    std::size_t bytes = 0;
-    CopyKind copy_kind = CopyKind::kHostToDevice;
-    int value = 0;
-    // host fn
-    std::function<void()> fn;
-    // events
-    Event* event = nullptr;
-  };
+  using Op = StreamOp;
 
   void submit(Stream& s, Op op);
-  void worker_loop();
-  /// Under lock: a stream whose head op can run now, or nullptr.
+  void worker_loop(unsigned slot);
+  /// Under lock: a stream whose head op can run now and that has no op
+  /// already in flight, or nullptr.
   Stream* pick_ready_locked();
   [[nodiscard]] bool head_blocked_locked(const Stream& s) const;
   void execute(Stream& s, Op& op);  // runs without the lock where possible
@@ -176,7 +247,7 @@ class StreamExecutor {
 
   Device& dev_;
   mutable std::mutex mu_;
-  std::condition_variable cv_submit_;   // worker waits for work
+  std::condition_variable cv_submit_;   // workers wait for work
   std::condition_variable cv_complete_; // host waits for completion
   std::unordered_map<std::uint64_t, std::deque<Op>> queues_;
   std::vector<std::unique_ptr<Stream>> streams_;
@@ -186,9 +257,14 @@ class StreamExecutor {
   std::uint64_t next_stream_id_ = 0;
   std::uint64_t next_event_uid_ = 1;
   std::uint64_t total_submitted_ = 0;
-  const Event* inflight_event_ = nullptr;  // event of the op being executed
+  std::uint64_t total_completed_ = 0;
+  unsigned executing_ = 0;                 // ops currently in flight
+  std::vector<const Event*> inflight_events_;  // per-worker-slot pin
   double destroyed_streams_max_ms_ = 0.0;  // keeps modeled_now_ms monotonic
-  std::unique_ptr<std::thread> worker_;
+  // Graph capture: at most one capturing stream per device.
+  Stream* capture_stream_ = nullptr;
+  std::unique_ptr<Graph> capture_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace simt

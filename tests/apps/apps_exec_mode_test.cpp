@@ -183,7 +183,7 @@ TEST_F(AppsExecMode, ConvergentPolicyActuallyInlinesSomewhere) {
   spec.name = "exec_mode_probe";
   ompx::launch(spec, [=] {
     out[ompx::global_thread_id()] = 1;
-  });
+  }).wait();
   const auto ops = prof.counters();
   prof.stop();
   ompx::free_on(simt::sim_a100(), out);

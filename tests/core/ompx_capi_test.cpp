@@ -27,7 +27,7 @@ class CApi : public ::testing::TestWithParam<int> {
     spec.num_teams = {1};
     spec.thread_limit = {ws()};
     spec.name = "capi";
-    ompx::launch(spec, std::forward<F>(body));
+    ompx::launch(spec, std::forward<F>(body)).wait();
   }
 };
 
@@ -204,7 +204,7 @@ void one_launch(const char* name) {
   spec.num_teams = {2};
   spec.thread_limit = {32};
   spec.name = name;
-  ompx::launch(spec, [] {});
+  ompx::launch(spec, [] {}).wait();
 }
 
 }  // namespace capi_profiler
@@ -285,7 +285,7 @@ TEST(CApiHost, ExecHintAndPolicyRoundTrip) {
   spec.thread_limit = {32};
   spec.mode = simt::ExecMode::kCooperative;
   spec.name = "capi_exec_kernel";
-  ompx::launch(spec, [] {});
+  ompx::launch(spec, [] {}).wait();
   ompx_launch_info_t info;
   ASSERT_EQ(ompx_get_last_launch_info(&info), 0);
   EXPECT_STREQ(info.exec_mode, "convergent");
@@ -293,7 +293,7 @@ TEST(CApiHost, ExecHintAndPolicyRoundTrip) {
 
   // needs_fibers pins the fiber path even under the convergent policy.
   ASSERT_EQ(ompx_set_exec_hint("capi_exec_kernel", 0, 1), OMPX_SUCCESS);
-  ompx::launch(spec, [] {});
+  ompx::launch(spec, [] {}).wait();
   ASSERT_EQ(ompx_get_last_launch_info(&info), 0);
   EXPECT_STREQ(info.exec_mode, "fiber");
   EXPECT_EQ(info.lane_loops, 0ull);
@@ -303,12 +303,13 @@ TEST(CApiHost, ExecHintAndPolicyRoundTrip) {
   simt::set_exec_policy(saved);
 }
 
-TEST(CApiHost, LaunchReturnsCompletedTicket) {
+TEST(CApiHost, LaunchReturnsTicket) {
   ompx::LaunchSpec spec;
   spec.num_teams = {3};
   spec.thread_limit = {32};
   spec.name = "ticket_kernel";
-  const ompx::LaunchResult r = ompx::launch(spec, [] {});
+  ompx::LaunchResult r = ompx::launch(spec, [] {});
+  r.wait();  // async by default; the ticket delivers the record
   EXPECT_TRUE(r.completed);
   EXPECT_STREQ(r.record.name.c_str(), "ticket_kernel");
   EXPECT_EQ(r.record.stats.blocks, 3u);

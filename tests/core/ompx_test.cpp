@@ -43,7 +43,7 @@ TEST(OmpxDevice, CAndCppApisAgreeWithEngine) {
     if (ompx::grid_dim(ompx::dim_z) != ompx_grid_dim_z()) ok = false;
     if (ompx_lane_id() != static_cast<int>(t.lane)) ok = false;
     if (ompx_warp_size() != 32) ok = false;
-  });
+  }).wait();
   EXPECT_TRUE(ok);
 }
 
@@ -83,7 +83,7 @@ TEST(OmpxLaunch, BareModeHasNoRuntimeMachinery) {
   spec.num_teams = {16};
   spec.thread_limit = {64};
   spec.name = "bare";
-  ompx::launch(spec, [] {});
+  ompx::launch(spec, [] {}).wait();
   const auto rec = a100().last_launch();
   EXPECT_FALSE(rec.stats.runtime_init);
   EXPECT_FALSE(rec.stats.generic_mode);
@@ -96,7 +96,7 @@ TEST(OmpxLaunch, NonBareInitializesRuntime) {
   ompx::LaunchSpec spec;
   spec.bare = false;
   spec.name = "nonbare";
-  ompx::launch(spec, [] {});
+  ompx::launch(spec, [] {}).wait();
   EXPECT_TRUE(a100().last_launch().stats.runtime_init);
 }
 
@@ -105,12 +105,12 @@ TEST(OmpxLaunch, BareIsCheaperThanNonBare) {
   ompx::LaunchSpec bare;
   bare.num_teams = {8};
   bare.name = "abl_bare";
-  ompx::launch(bare, [] {});
+  ompx::launch(bare, [] {}).wait();
   const double t_bare = a100().last_launch().time.total_ms;
   ompx::LaunchSpec nonbare = bare;
   nonbare.bare = false;
   nonbare.name = "abl_nonbare";
-  ompx::launch(nonbare, [] {});
+  ompx::launch(nonbare, [] {}).wait();
   const double t_nonbare = a100().last_launch().time.total_ms;
   EXPECT_LT(t_bare, t_nonbare);
 }
@@ -134,7 +134,7 @@ TEST(OmpxLaunch, MultiDimensionalGridAndBlock) {
         static_cast<std::uint64_t>(ompx_thread_id_y()) * 8 +
         ompx_thread_id_x();
     h[block_flat * 64 + thread_flat]++;
-  });
+  }).wait();
   for (int v : hits) ASSERT_EQ(v, 1);
 }
 
@@ -155,7 +155,7 @@ TEST(OmpxDevice, GroupprivateSharedAcrossTeamThreads) {
       for (int i = 0; i < 128; ++i) s += shared[i];
       out[ompx_block_id_x()] = s;
     }
-  });
+  }).wait();
   for (int s : sums) EXPECT_EQ(s, 128);
 }
 
@@ -176,7 +176,7 @@ TEST(OmpxDevice, DynamicGroupprivateSegment) {
       for (int i = 0; i < 32; ++i) s += dyn[i];
       po[ompx_block_id_x()] = s;
     }
-  });
+  }).wait();
   EXPECT_FLOAT_EQ(out[0], 16.0f);
   EXPECT_FLOAT_EQ(out[1], 16.0f);
 }
@@ -201,7 +201,7 @@ TEST(OmpxDevice, WarpPrimitivesOnBothWarpSizes) {
         *pb = b;
         *pr = v;
       }
-    });
+    }).wait();
     const unsigned ws = dev->config().warp_size;
     std::uint64_t expect = 0;
     for (unsigned i = 1; i < ws; i += 2) expect |= 1ull << i;
@@ -329,7 +329,7 @@ TEST(OmpxLaunch, UnsupportedDimensionsDisregarded) {
   spec.mode = simt::ExecMode::kDirect;
   spec.name = "dims";
   std::atomic<int> count{0};
-  ompx::launch(spec, [&] { count.fetch_add(1); });
+  ompx::launch(spec, [&] { count.fetch_add(1); }).wait();
   const auto rec = dev.last_launch();
   EXPECT_EQ(rec.grid, (simt::Dim3{4, 1, 1}));
   EXPECT_EQ(rec.block, (simt::Dim3{16, 1, 1}));
@@ -352,7 +352,7 @@ TEST(OmpxDevice, ReduceApisMatchShuffleTree) {
       via_reduce = r;
       via_tree = v;
     }
-  });
+  }).wait();
   EXPECT_EQ(via_reduce, via_tree);
   EXPECT_EQ(via_reduce, 32 * 1 + 3 * (31 * 32 / 2));
 }
@@ -366,7 +366,7 @@ TEST(OmpxLaunch, SynchronousLaunchOnSecondDevice) {
   int warp = 0;
   ompx::launch(spec, [&] {
     if (ompx::global_thread_id() == 0) warp = ompx_warp_size();
-  });
+  }).wait();
   EXPECT_EQ(warp, 64);
 }
 

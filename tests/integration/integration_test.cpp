@@ -132,7 +132,7 @@ TEST(Integration, AllSyncFeaturesInOneCooperativeKernel) {
         simt::atomic_add(&odd_lanes_seen, static_cast<std::uint64_t>(
                                               __builtin_popcountll(odd)));
     }
-  });
+  }).wait();
   const long long per_team =
       static_cast<long long>(kThreads) * (kThreads + 1) / 2;
   EXPECT_EQ(grand_total, static_cast<long long>(kTeams) * per_team);

@@ -97,6 +97,29 @@ TEST(Cuda2Ompx, StreamsAndEvents) {
             "ms = ompx_event_elapsed_ms(e0, e1);");
 }
 
+TEST(Cuda2Ompx, AsyncAllocAndGraphs) {
+  EXPECT_EQ(rw("cudaMallocAsync(&p, n * sizeof(float), s);"),
+            "p = static_cast<decltype(p)>(ompx_malloc_async(n * "
+            "sizeof(float), s));");
+  EXPECT_EQ(rw("cudaMallocAsync((void**)&p, bytes, s);"),
+            "p = static_cast<decltype(p)>(ompx_malloc_async(bytes, s));");
+  EXPECT_EQ(rw("cudaFreeAsync(p, s);"), "ompx_free_async(p, s);");
+  EXPECT_EQ(rw("cudaStreamBeginCapture(s, cudaStreamCaptureModeGlobal);"),
+            "ompx_stream_begin_capture(s);");
+  EXPECT_EQ(rw("cudaStreamBeginCapture(s);"), "ompx_stream_begin_capture(s);");
+  EXPECT_EQ(rw("cudaStreamEndCapture(s, &g);"),
+            "ompx_stream_end_capture(s, &g);");
+  // cudaGraph_t / cudaGraphExec_t collapse into one ompx_graph_t handle;
+  // instantiate becomes an aliasing assignment plus in-place bake.
+  EXPECT_EQ(rw("cudaGraph_t g; cudaGraphExec_t x;"),
+            "ompx_graph_t g; ompx_graph_t x;");
+  EXPECT_EQ(rw("cudaGraphInstantiate(&x, g, NULL, NULL, 0);"),
+            "x = g; ompx_graph_instantiate(x);");
+  EXPECT_EQ(rw("cudaGraphLaunch(x, s);"), "ompx_graph_launch(x, s);");
+  EXPECT_EQ(rw("cudaGraphExecDestroy(x); cudaGraphDestroy(g);"),
+            "ompx_graph_destroy(x); ompx_graph_destroy(g);");
+}
+
 TEST(Cuda2Ompx, ChevronLaunchSimple) {
   Report r;
   const std::string out = rw("kernel<<<gsize, bsize>>>(a, b, n);", &r);

@@ -249,7 +249,8 @@ TEST_F(MultiDevice, ShardLaunchMatchesSingleDeviceResults) {
     };
   };
 
-  const ompx::LaunchResult ref = ompx::launch(spec, body_into(single, nullptr));
+  ompx::LaunchResult ref = ompx::launch(spec, body_into(single, nullptr));
+  ref.wait();
   std::vector<simt::Device*> devs{&sim_a100(), &sim_mi250()};
   const ompx::LaunchResult sh =
       ompx::shard_launch(spec, devs, body_into(sharded, &grids));
