@@ -30,11 +30,11 @@ void graph_demo(simt::Device& dev) {
   auto* vv = ompx::malloc_n<float>(o.n);
   auto* g = ompx::malloc_n<float>(o.n);
   auto* tdev = ompx::malloc_n<int>(1);
-  ompx_memcpy(p, d.params0.data(), o.n * sizeof(float));
-  ompx_memcpy(g, d.grads.data(), o.n * sizeof(float));
-  ompx_memset(m, 0, o.n * sizeof(float));
-  ompx_memset(vv, 0, o.n * sizeof(float));
-  ompx_memset(tdev, 0, sizeof(int));
+  OMPX_CHECK(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memset(m, 0, o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memset(vv, 0, o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memset(tdev, 0, sizeof(int)));
 
   ompx::LaunchSpec tick;
   tick.num_teams = {1};
@@ -65,7 +65,7 @@ void graph_demo(simt::Device& dev) {
     graph.instantiate();
     for (int t = 0; t < o.steps; ++t) graph.launch(s);
     std::vector<float> result(o.n);
-    ompx_memcpy(result.data(), p, o.n * sizeof(float));  // syncs first
+    OMPX_CHECK(ompx_memcpy(result.data(), p, o.n * sizeof(float)));  // syncs first
     bench::print_graph_row(dev, graph.node_count(), graph.replay_count(),
                            checksum_of(result), ref);
   }

@@ -25,7 +25,7 @@ void graph_demo(simt::Device& dev) {
   const std::int64_t n = o.n;
   auto* din = ompx::malloc_n<int>(d.input.size());
   auto* dout = ompx::malloc_n<int>(n);
-  ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int));
+  OMPX_CHECK(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(n, kBlock))};
@@ -58,7 +58,7 @@ void graph_demo(simt::Device& dev) {
     graph.instantiate();
     for (int it = 0; it < o.iterations; ++it) graph.launch(s);
     std::vector<int> out(n);
-    ompx_memcpy(out.data(), dout, n * sizeof(int));  // syncs first
+    OMPX_CHECK(ompx_memcpy(out.data(), dout, n * sizeof(int)));  // syncs first
     bench::print_graph_row(dev, graph.node_count(), graph.replay_count(),
                            checksum_of(out), ref);
   }

@@ -266,6 +266,34 @@ int emit_json(const std::string& path) {
   const ExecRow bh_conv = measure_exec(dev, p, simt::LaneExec::kConvergent,
                                        warm, iters, barrier_kernel);
 
+  // Atomics-only kernel, three ways. Fibers; convergent without a hint
+  // (the first atomic deflates each block's lane loop and pins
+  // needs_fibers — parity, like the barrier row); and convergent under
+  // the ompx-analyze verdict "convergent, atomics inline-safe", where
+  // note_atomic runs the RMW inline in the lane loop: zero fibers,
+  // zero deflations. The hint is not hand-written — register_exec_hints
+  // runs the analyzer over the kernel's own source.
+  p.name = "json_atomic";
+  p.grid = {16};
+  std::uint64_t atomic_cell = 0;
+  auto atomic_kernel = [&] {
+    simt::atomic_add(&atomic_cell, std::uint64_t{1});
+  };
+  const ExecRow at_fiber = measure_exec(dev, p, simt::LaneExec::kFiber, warm,
+                                        iters, atomic_kernel);
+  simt::clear_exec_hints();
+  const ExecRow at_deflate = measure_exec(dev, p, simt::LaneExec::kConvergent,
+                                          warm, iters, atomic_kernel);
+  simt::clear_exec_hints();
+  const int hinted = ompx::register_exec_hints(R"(
+    p.name = "json_atomic";
+    dev.launch_sync(p, [&] {
+      simt::atomic_add(&atomic_cell, std::uint64_t{1});
+    });
+  )");
+  const ExecRow at_inline = measure_exec(dev, p, simt::LaneExec::kConvergent,
+                                         warm, iters, atomic_kernel);
+
   // Sanitizer-off overhead: the same shared-memory traffic through the
   // instrumented accessors (ompx::san) vs raw pointers, sanitizer
   // disabled. The instrumented path must cost one relaxed atomic load
@@ -441,6 +469,33 @@ int emit_json(const std::string& path) {
       "    \"note\": \"convergent deflates once, learns needs_fibers, then "
       "matches fiber\"\n"
       "  },\n"
+      "  \"atomic_inline\": {\n"
+      "    \"grid\": 16, \"block\": 256, \"threads\": 4096,\n"
+      "    \"hints_registered\": %d,\n",
+      hinted);
+  out += buf;
+  exec_rows(at_fiber, at_deflate, sync_threads);
+  std::snprintf(
+      buf, sizeof buf,
+      "    \"convergent_hinted\": {\n"
+      "      \"ms_per_launch\": %.3f,\n"
+      "      \"launches_per_s\": %.0f,\n"
+      "      \"ns_per_thread\": %.1f,\n"
+      "      \"lane_loops\": %llu,\n"
+      "      \"deflations\": %llu,\n"
+      "      \"speedup_vs_fiber\": %.2f\n"
+      "    },\n"
+      "    \"note\": \"hint comes from register_exec_hints over the kernel "
+      "source: atomics run inline, no fibers, no deflations\"\n"
+      "  },\n",
+      at_inline.ms_per_launch, 1000.0 / at_inline.ms_per_launch,
+      at_inline.ms_per_launch * 1e6 / sync_threads,
+      static_cast<unsigned long long>(at_inline.lane_loops),
+      static_cast<unsigned long long>(at_inline.deflations),
+      at_fiber.ms_per_launch / at_inline.ms_per_launch);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
       "  \"san_overhead\": {\n"
       "    \"grid\": 16, \"block\": 256, \"rounds\": %d, \"san\": \"off\",\n"
       "    \"ms_per_launch_raw\": %.3f,\n"

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
   simt::Device& dev = ompx::default_device();
   auto* a = ompx::malloc_n<float>(host.size());
   auto* b = ompx::malloc_n<float>(host.size());
-  ompx_memcpy(a, host.data(), host.size() * sizeof(float));
-  ompx_memcpy(b, host.data(), host.size() * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(a, host.data(), host.size() * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(b, host.data(), host.size() * sizeof(float)));
   dev.clear_launch_log();
 
   ompx::LaunchSpec spec;
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<float> result(host.size());
-  ompx_memcpy(result.data(), src, result.size() * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(result.data(), src, result.size() * sizeof(float)));
 
   // Host reference.
   std::vector<float> ra = host, rb = host;
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
               rec.time.total_ms * 1e3, rec.time.memory_ms * 1e3,
               rec.time.shared_ms * 1e3, rec.time.overhead_ms * 1e3,
               rec.time.occupancy * 100.0);
-  ompx_free(a);
-  ompx_free(b);
+  OMPX_CHECK(ompx_free(a));
+  OMPX_CHECK(ompx_free(b));
   return max_err < 1e-4 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

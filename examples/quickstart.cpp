@@ -42,7 +42,7 @@ int main() {
   int* d_b = static_cast<int*>(ompx_malloc(size));
 
   // Copy inputs to device (direction inferred, like cudaMemcpyDefault).
-  ompx_memcpy(d_a, h_a, size);
+  OMPX_CHECK(ompx_memcpy(d_a, h_a, size));
 
   // Set up grid size (launch parameters), exactly as in Figure 1.
   const int bsize = 128;
@@ -73,7 +73,7 @@ int main() {
   // returned a ticket), but ompx_memcpy follows CUDA's legacy-stream
   // rule: it synchronizes the device before copying, so no explicit
   // wait is needed here.
-  ompx_memcpy(h_b, d_b, size);
+  OMPX_CHECK(ompx_memcpy(h_b, d_b, size));
 
   // Verify.
   for (int i = 0; i < n; ++i) {
@@ -89,8 +89,8 @@ int main() {
               ompx::launch_record().time.total_ms * 1e3);
 
   // Free device and host memory.
-  ompx_free(d_a);
-  ompx_free(d_b);
+  OMPX_CHECK(ompx_free(d_a));
+  OMPX_CHECK(ompx_free(d_b));
   delete[] h_a;
   delete[] h_b;
   return EXIT_SUCCESS;

@@ -39,8 +39,8 @@ int main() {
   for (int p = 0; p < kPipelines; ++p) {
     xs[p] = ompx::malloc_n<float>(kN);
     ys[p] = ompx::malloc_n<float>(kN);
-    ompx_memcpy(xs[p], host.data(), kN * sizeof(float));
-    ompx_memcpy(ys[p], host.data(), kN * sizeof(float));
+    OMPX_CHECK(ompx_memcpy(xs[p], host.data(), kN * sizeof(float)));
+    OMPX_CHECK(ompx_memcpy(ys[p], host.data(), kN * sizeof(float)));
   }
 
   const double t0 = dev.modeled_now_ms();
@@ -75,7 +75,7 @@ int main() {
   // Verify: y = 1 + steps * a (x stays 1).
   for (int p = 0; p < kPipelines; ++p) {
     std::vector<float> out(kN);
-    ompx_memcpy(out.data(), ys[p], kN * sizeof(float));
+    OMPX_CHECK(ompx_memcpy(out.data(), ys[p], kN * sizeof(float)));
     const float expect = 1.0f + kSteps * (0.5f + 0.25f * static_cast<float>(p));
     for (int i = 0; i < kN; ++i) {
       if (out[i] != expect) {
@@ -94,8 +94,8 @@ int main() {
               elapsed, elapsed * kPipelines);
 
   for (int p = 0; p < kPipelines; ++p) {
-    ompx_free(xs[p]);
-    ompx_free(ys[p]);
+    OMPX_CHECK(ompx_free(xs[p]));
+    OMPX_CHECK(ompx_free(ys[p]));
     omp::interop_destroy(objs[p]);
   }
   return EXIT_SUCCESS;

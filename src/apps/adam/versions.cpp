@@ -136,10 +136,10 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* m = ompx::malloc_n<float>(o.n);
   auto* vv = ompx::malloc_n<float>(o.n);
   auto* g = ompx::malloc_n<float>(o.n);
-  ompx_memcpy(p, d.params0.data(), o.n * sizeof(float));
-  ompx_memcpy(g, d.grads.data(), o.n * sizeof(float));
-  ompx_memset(m, 0, o.n * sizeof(float));
-  ompx_memset(vv, 0, o.n * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memset(m, 0, o.n * sizeof(float)));
+  OMPX_CHECK(ompx_memset(vv, 0, o.n * sizeof(float)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(o.n, kBlock))};
@@ -157,7 +157,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<float> result(o.n);
-  ompx_memcpy(result.data(), p, o.n * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(result.data(), p, o.n * sizeof(float)));
   for (void* q : {static_cast<void*>(p), static_cast<void*>(m),
                   static_cast<void*>(vv), static_cast<void*>(g)})
     ompx::free_on(dev, q);

@@ -267,11 +267,11 @@ std::vector<float> run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* qx = ompx::malloc_n<float>(o.n_query);
   auto* qy = ompx::malloc_n<float>(o.n_query);
   auto* out = ompx::malloc_n<float>(o.n_query);
-  ompx_memcpy(dx, d.dx.data(), o.n_data * sizeof(float));
-  ompx_memcpy(dy, d.dy.data(), o.n_data * sizeof(float));
-  ompx_memcpy(dz, d.dz.data(), o.n_data * sizeof(float));
-  ompx_memcpy(qx, d.qx.data(), o.n_query * sizeof(float));
-  ompx_memcpy(qy, d.qy.data(), o.n_query * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(dx, d.dx.data(), o.n_data * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(dy, d.dy.data(), o.n_data * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(dz, d.dz.data(), o.n_data * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(qx, d.qx.data(), o.n_query * sizeof(float)));
+  OMPX_CHECK(ompx_memcpy(qy, d.qy.data(), o.n_query * sizeof(float)));
 
   ompx::LaunchSpec spec;
   const int tile = o.tile;
@@ -291,7 +291,7 @@ std::vector<float> run_ompx(const SimulationData& d, simt::Device& dev) {
         [] { ompx_sync_thread_block(); });
   });
   std::vector<float> result(o.n_query);
-  ompx_memcpy(result.data(), out, o.n_query * sizeof(float));
+  OMPX_CHECK(ompx_memcpy(result.data(), out, o.n_query * sizeof(float)));
   for (void* p : {static_cast<void*>(dx), static_cast<void*>(dy),
                   static_cast<void*>(dz), static_cast<void*>(qx),
                   static_cast<void*>(qy), static_cast<void*>(out)})

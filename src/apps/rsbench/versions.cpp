@@ -173,14 +173,14 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* mats = ompx::malloc_n<int>(d.mats.size());
   auto* concs = ompx::malloc_n<double>(d.concs.size());
   auto* hash = ompx::malloc_n<std::uint64_t>(1);
-  ompx_memcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole));
-  ompx_memcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window));
-  ompx_memcpy(k0rs, d.pseudo_k0rs.data(),
-              d.pseudo_k0rs.size() * sizeof(double));
-  ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int));
-  ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int));
-  ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double));
-  ompx_memset(hash, 0, sizeof(std::uint64_t));
+  OMPX_CHECK(ompx_memcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole)));
+  OMPX_CHECK(ompx_memcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window)));
+  OMPX_CHECK(ompx_memcpy(k0rs, d.pseudo_k0rs.data(),
+              d.pseudo_k0rs.size() * sizeof(double)));
+  OMPX_CHECK(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
+  OMPX_CHECK(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
+  OMPX_CHECK(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
+  OMPX_CHECK(ompx_memset(hash, 0, sizeof(std::uint64_t)));
 
   const Options opt = d.opt;
   const std::int64_t n = opt.lookups;

@@ -131,7 +131,7 @@ std::vector<int> run_ompx(const SimulationData& d, simt::Device& dev) {
   const std::int64_t n = d.opt.n;
   auto* din = ompx::malloc_n<int>(d.input.size());
   auto* dout = ompx::malloc_n<int>(n);
-  ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int));
+  OMPX_CHECK(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(n, kBlock))};
@@ -161,7 +161,7 @@ std::vector<int> run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<int> out(n);
-  ompx_memcpy(out.data(), dout, n * sizeof(int));
+  OMPX_CHECK(ompx_memcpy(out.data(), dout, n * sizeof(int)));
   ompx::free_on(dev, din);
   ompx::free_on(dev, dout);
   return out;

@@ -141,8 +141,8 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* da = ompx::malloc_n<Matrix>(d.a.size());
   auto* db = ompx::malloc_n<Matrix>(d.b.size());
   auto* dc = ompx::malloc_n<Matrix>(d.a.size());
-  ompx_memcpy(da, d.a.data(), d.a.size() * sizeof(Matrix));
-  ompx_memcpy(db, d.b.data(), d.b.size() * sizeof(Matrix));
+  OMPX_CHECK(ompx_memcpy(da, d.a.data(), d.a.size() * sizeof(Matrix)));
+  OMPX_CHECK(ompx_memcpy(db, d.b.data(), d.b.size() * sizeof(Matrix)));
 
   ompx::LaunchSpec spec;
   const unsigned bs = static_cast<unsigned>(d.opt.threads_per_block);
@@ -163,7 +163,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<Matrix> c(d.a.size());
-  ompx_memcpy(c.data(), dc, c.size() * sizeof(Matrix));
+  OMPX_CHECK(ompx_memcpy(c.data(), dc, c.size() * sizeof(Matrix)));
   ompx::free_on(dev, da);
   ompx::free_on(dev, db);
   ompx::free_on(dev, dc);

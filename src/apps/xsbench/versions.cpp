@@ -149,12 +149,12 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* mats = ompx::malloc_n<int>(d.mats.size());
   auto* concs = ompx::malloc_n<double>(d.concs.size());
   auto* hash = ompx::malloc_n<std::uint64_t>(1);
-  ompx_memcpy(energy, d.energy.data(), d.energy.size() * sizeof(double));
-  ompx_memcpy(xs, d.xs.data(), d.xs.size() * sizeof(double));
-  ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int));
-  ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int));
-  ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double));
-  ompx_memset(hash, 0, sizeof(std::uint64_t));
+  OMPX_CHECK(ompx_memcpy(energy, d.energy.data(), d.energy.size() * sizeof(double)));
+  OMPX_CHECK(ompx_memcpy(xs, d.xs.data(), d.xs.size() * sizeof(double)));
+  OMPX_CHECK(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
+  OMPX_CHECK(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
+  OMPX_CHECK(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
+  OMPX_CHECK(ompx_memset(hash, 0, sizeof(std::uint64_t)));
 
   const std::int64_t n = d.opt.lookups;
   const int gp = d.opt.n_gridpoints, mx = d.opt.max_nucs_per_mat,
@@ -162,7 +162,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(n, kBlock))};
   spec.thread_limit = {kBlock};
-  spec.mode = simt::ExecMode::kDirect;
+  spec.mode = d.opt.mode;
   spec.name = "xsbench_event";
   spec.profile = profile_for(Version::kOmpx);
   spec.cost = cost_for(d);

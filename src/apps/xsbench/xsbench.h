@@ -19,6 +19,11 @@ struct Options {
   int n_mats = 12;           ///< materials
   int max_nucs_per_mat = 12; ///< densest material size
   std::int64_t lookups = 50000;  ///< events (paper CLI: -m event)
+  /// Launch mode of the ompx version's event kernel. Direct by default
+  /// (sync-free, one plain call per thread); tests flip it to
+  /// cooperative to prove the analyzer's convergent verdict routes the
+  /// kernel onto the lane-loop fast path.
+  simt::ExecMode mode = simt::ExecMode::kDirect;
 };
 
 /// Flattened simulation data (SoA, as XSBench lays it out).

@@ -1,11 +1,14 @@
 #include "core/ompx_host.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "rewrite/analyze.h"
 #include "simt/device.h"
 #include "simt/profiler.h"
 #include "simt/stream.h"
@@ -611,6 +614,36 @@ ompx_result_t ompx_set_exec_hint(const char* kernel, int convergent,
       throw std::invalid_argument("ompx_set_exec_hint: null kernel name");
     simt::set_exec_hint(kernel, {convergent != 0, needs_fibers != 0});
   });
+}
+
+ompx_result_t ompx_set_exec_hint_ex(const char* kernel, int convergent,
+                                    int needs_fibers, int atomics_ok) {
+  return guarded([&] {
+    if (kernel == nullptr)
+      throw std::invalid_argument("ompx_set_exec_hint_ex: null kernel name");
+    simt::ExecHint hint;
+    hint.convergent = convergent != 0;
+    hint.needs_fibers = needs_fibers != 0;
+    hint.atomics_ok = atomics_ok != 0;
+    simt::set_exec_hint(kernel, hint);
+  });
+}
+
+ompx_result_t ompx_register_exec_hints(const char* source, int* registered) {
+  return guarded([&] {
+    if (source == nullptr)
+      throw std::invalid_argument("ompx_register_exec_hints: null source");
+    const int n = rewrite::register_exec_hints(source);
+    if (registered != nullptr) *registered = n;
+  });
+}
+
+void ompx_check_failed(const char* expr, const char* file, int line,
+                       ompx_result_t result) {
+  std::fprintf(stderr, "OMPX_CHECK failed at %s:%d: %s -> %s (%d)\n", file,
+               line, expr, ompx_result_string(result),
+               static_cast<int>(result));
+  std::abort();
 }
 
 ompx_result_t ompx_set_exec_policy(const char* policy) {

@@ -235,15 +235,44 @@ typedef struct ompx_launch_info_t {
 /// path under OMPX_EXEC=auto; `needs_fibers` != 0 pins the fiber path.
 ompx_result_t ompx_set_exec_hint(const char* kernel, int convergent,
                                  int needs_fibers);
+/// ompx_set_exec_hint plus the atomics_ok flag: a convergent kernel
+/// statically proven rendezvous-free may run its atomics inline in the
+/// lane loop instead of deflating (see simt::ExecHint::atomics_ok).
+ompx_result_t ompx_set_exec_hint_ex(const char* kernel, int convergent,
+                                    int needs_fibers, int atomics_ok);
+/// Runs the ompx-analyze exec classifier (rewrite/analyze.h) over
+/// `source` — one translation unit's text — and registers one exec
+/// hint per named kernel region found. `registered` (optional)
+/// receives the number of hints registered. This is the C view of
+/// rewrite::register_exec_hints: static convergence proofs feed the
+/// launch-time registry directly.
+ompx_result_t ompx_register_exec_hints(const char* source, int* registered);
 /// Overrides the OMPX_EXEC policy at run time: "fiber", "convergent",
 /// or "auto". Anything else is OMPX_ERROR_INVALID_VALUE.
 ompx_result_t ompx_set_exec_policy(const char* policy);
+
+/// OMPX_CHECK's failure sink: prints the failing expression, location
+/// and result string to stderr and aborts. Out-of-line so the macro
+/// stays cheap at every call site.
+void ompx_check_failed(const char* expr, const char* file, int line,
+                       ompx_result_t result);
 
 /// Fills `info` from the last completed launch; 0 on success, -1 if no
 /// launch has completed yet (or info is null).
 int ompx_get_last_launch_info(ompx_launch_info_t* info);
 
 }  // extern "C"
+
+/// Result check for the host C ABI (the cudaCheck idiom). Statement
+/// position only; evaluates `expr` once. The unchecked-result lint rule
+/// flags statement-position ompx_* calls that discard their
+/// ompx_result_t — wrapping them in OMPX_CHECK satisfies it.
+#define OMPX_CHECK(expr)                                                 \
+  do {                                                                   \
+    const ompx_result_t ompx_check_result_ = (expr);                     \
+    if (ompx_check_result_ != OMPX_SUCCESS)                              \
+      ompx_check_failed(#expr, __FILE__, __LINE__, ompx_check_result_);  \
+  } while (0)
 
 namespace ompx {
 

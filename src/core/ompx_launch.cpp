@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "rewrite/analyze.h"
 #include "simt/stream.h"
 
 namespace ompx {
@@ -135,8 +136,13 @@ LaunchMode launch_mode() {
   return g_launch_mode.load(std::memory_order_relaxed);
 }
 
-void launch_hints(const char* kernel, bool convergent, bool needs_fibers) {
-  simt::set_exec_hint(kernel, {convergent, needs_fibers});
+void launch_hints(const char* kernel, bool convergent, bool needs_fibers,
+                  bool atomics_ok) {
+  simt::set_exec_hint(kernel, {convergent, needs_fibers, atomics_ok});
+}
+
+int register_exec_hints(const std::string& source) {
+  return rewrite::register_exec_hints(source);
 }
 
 LaunchResult launch(const LaunchSpec& spec, simt::KernelFn body) {

@@ -71,7 +71,15 @@ struct LaunchSpec {
 /// (rewrite::classify_exec) or be learned at run time when a convergent
 /// launch deflates.
 void launch_hints(const char* kernel, bool convergent,
-                  bool needs_fibers = false);
+                  bool needs_fibers = false, bool atomics_ok = false);
+
+/// Runs the static exec classifier (rewrite::register_exec_hints) over
+/// one translation unit's source text and registers a hint per named
+/// kernel region — kernels the analyzer proves rendezvous-free take
+/// the convergent lane loop (atomics inline when atomics_ok) without
+/// any per-kernel launch_hints call. Returns the number of kernels
+/// hinted.
+int register_exec_hints(const std::string& source);
 
 /// How plain ompx::launch calls execute. kAsync (the default) enqueues
 /// the kernel on the target device's default stream and returns a

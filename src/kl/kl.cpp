@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "rewrite/analyze.h"
+
 namespace kl {
 
 namespace {
@@ -400,6 +402,15 @@ klError klSetKernelExecHint(const char* kernel, int convergent,
     return record_error(klErrorInvalidValue, "null kernel name");
   return guarded([&] {
     simt::set_exec_hint(kernel, {convergent != 0, needs_fibers != 0});
+  });
+}
+
+klError klRegisterExecHints(const char* source, int* registered) {
+  if (source == nullptr)
+    return record_error(klErrorInvalidValue, "null source");
+  return guarded([&] {
+    const int n = rewrite::register_exec_hints(source);
+    if (registered != nullptr) *registered = n;
   });
 }
 

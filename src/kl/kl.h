@@ -171,6 +171,13 @@ klError klSanReport(unsigned long long* errors);
 klError klSetKernelExecHint(const char* kernel, int convergent,
                             int needs_fibers);
 
+/// Runs the static ompx-analyze exec classifier over `source` (one
+/// translation unit's text) and registers a hint per named kernel
+/// region found; `registered` (optional) receives the count. Kernels
+/// proven rendezvous-free take the convergent lane loop (atomics
+/// inline) with no per-kernel klSetKernelExecHint call.
+klError klRegisterExecHints(const char* source, int* registered);
+
 // ------------------------------------------------------------- launch
 
 /// Per-kernel attributes: code-generation profile (registers, binary

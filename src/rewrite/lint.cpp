@@ -1,10 +1,13 @@
 #include "rewrite/lint.h"
 
+#include <algorithm>
 #include <cctype>
-#include <regex>
 #include <set>
-#include <unordered_map>
+#include <string>
 #include <unordered_set>
+#include <vector>
+
+#include "rewrite/analyze.h"
 
 namespace rewrite {
 
@@ -13,6 +16,9 @@ const char* lint_rule_name(LintRule r) {
     case LintRule::kDivergentSync: return "divergent-sync";
     case LintRule::kUnsyncedSharedRead: return "unsynced-shared-read";
     case LintRule::kUnportedBuiltin: return "unported-builtin";
+    case LintRule::kBarrierMismatch: return "barrier-mismatch";
+    case LintRule::kUncheckedResult: return "unchecked-result";
+    case LintRule::kTwoCallEnumeration: return "two-call-enumeration";
   }
   return "?";
 }
@@ -20,18 +26,16 @@ const char* lint_rule_name(LintRule r) {
 namespace {
 
 /// Replaces comments and string/char literals with spaces (newlines
-/// kept, so line numbers survive), and records which lines carry the
-/// `ompx-lint-allow` suppression marker.
-std::string strip_source(const std::string& src, std::set<int>* allow_lines) {
+/// kept, so line numbers survive). The dataflow rules have their own
+/// lexer (rewrite/cfg.h); this feeds the unported-builtin word scan.
+std::string strip_source(const std::string& src) {
   std::string out(src.size(), ' ');
   int line = 1;
   enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
   St st = St::kCode;
-  static const std::string kAllow = "ompx-lint-allow";
   for (std::size_t i = 0; i < src.size(); ++i) {
     const char c = src[i];
     if (c == '\n') line++;
-    if (src.compare(i, kAllow.size(), kAllow) == 0) allow_lines->insert(line);
     switch (st) {
       case St::kCode:
         if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
@@ -70,33 +74,15 @@ std::string strip_source(const std::string& src, std::set<int>* allow_lines) {
   return out;
 }
 
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Thread-identity seeds: an expression mentioning any of these (or a
-/// variable assigned from one) is divergent across the threads of a
-/// block. blockIdx is deliberately absent — it is uniform per block.
-const std::unordered_set<std::string>& divergence_seeds() {
-  static const std::unordered_set<std::string> s = {
-      "threadIdx",         "ompx_thread_id_x", "ompx_thread_id_y",
-      "ompx_thread_id_z",  "thread_id",        "global_thread_id",
-      "global_thread_id_x", "ompx_lane_id",    "lane_id",
-      "laneId",            "flat_tid",
-  };
-  return s;
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Block-wide barrier spellings across the layers.
-const std::unordered_set<std::string>& sync_tokens() {
-  static const std::unordered_set<std::string> s = {
-      "__syncthreads", "ompx_sync_thread_block", "sync_thread_block",
-      "syncthreads",
-  };
-  return s;
-}
-
-/// CUDA builtins that should not survive a port (rule 3). Qualified
-/// uses (kl::threadIdx) are exempted by the caller.
+/// CUDA builtins that should not survive a port. Qualified uses
+/// (kl::threadIdx) are exempted by the caller.
 const std::unordered_set<std::string>& cuda_builtins() {
   static const std::unordered_set<std::string> s = {
       "threadIdx",       "blockIdx",        "blockDim",
@@ -109,7 +95,7 @@ const std::unordered_set<std::string>& cuda_builtins() {
   return s;
 }
 
-/// CUDA peer-copy host APIs (also rule 3). Kept separate from
+/// CUDA peer-copy host APIs (also unported-builtin). Kept separate from
 /// cuda_builtins() so the diagnostic can name the exact replacement —
 /// a half-ported multi-device app otherwise compiles host-side and
 /// fails only at link time.
@@ -124,397 +110,98 @@ const std::unordered_set<std::string>& peer_copy_builtins() {
   return s;
 }
 
-struct Word {
-  std::string text;
-  std::size_t pos;
-};
-
-std::vector<Word> words_of(const std::string& s) {
-  std::vector<Word> out;
-  for (std::size_t i = 0; i < s.size();) {
-    if (ident_start(s[i])) {
-      std::size_t j = i;
-      while (j < s.size() && ident_char(s[j])) j++;
-      out.push_back({s.substr(i, j - i), i});
-      i = j;
-    } else {
-      i++;
-    }
-  }
-  return out;
+bool is_dim_builtin(const std::string& w) {
+  return w == "threadIdx" || w == "blockIdx" || w == "blockDim" ||
+         w == "gridDim";
 }
 
-class Linter {
- public:
-  Linter(const std::string& stripped, const std::set<int>& allow_lines,
-         const LintOptions& opt)
-      : s_(stripped), allow_(allow_lines), opt_(opt) {}
-
-  std::vector<LintFinding> run() {
-    scopes_.push_back({false});
-    while (i_ < s_.size()) step();
-    flush_statement();
-    return std::move(findings_);
-  }
-
- private:
-  struct Scope {
-    bool divergent;
-  };
-
-  void step() {
-    const char c = s_[i_];
+/// Word scan over stripped source for CUDA remnants. ::-qualified names
+/// (kl::threadIdx) are this library's own spellings, never remnants;
+/// the dim builtins are structs in CUDA (`threadIdx.x`), so a call
+/// (`threadIdx()`, the kl spelling under a using-directive) is not a
+/// remnant either.
+void scan_unported(const std::string& s, std::vector<LintFinding>& findings) {
+  int line = 1;
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     if (c == '\n') {
-      line_++;
-      i_++;
-      stmt_ += ' ';
-      return;
+      line++;
+      i++;
+      continue;
     }
-    if (ident_start(c)) {
-      std::size_t j = i_;
-      while (j < s_.size() && ident_char(s_[j])) j++;
-      const std::string w = s_.substr(i_, j - i_);
-      mark_stmt_start();
-      handle_word(w, j);
-      return;
+    if (!ident_start(c)) {
+      i++;
+      continue;
     }
-    if (c == '(') paren_depth_++;
-    if (c == ')') paren_depth_ = paren_depth_ > 0 ? paren_depth_ - 1 : 0;
-    if (c == '{' && paren_depth_ == 0) {
-      // Statement text before an opening brace is a header (function
-      // signature, struct, do/try/lambda) — never evaluated as code.
-      stmt_.clear();
-      stmt_line_ = line_;
-      scopes_.push_back({in_divergence() || pending_divergent_});
-      pending_divergent_ = false;
-      i_++;
-      return;
+    std::size_t j = i;
+    while (j < s.size() && ident_char(s[j])) j++;
+    const std::string w = s.substr(i, j - i);
+    const bool scoped = i >= 2 && s[i - 1] == ':' && s[i - 2] == ':';
+    auto call_follows = [&](std::size_t pos) {
+      while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+        pos++;
+      return pos < s.size() && s[pos] == '(';
+    };
+    if (cuda_builtins().count(w) != 0 && !scoped &&
+        !(is_dim_builtin(w) && call_follows(j))) {
+      LintFinding f;
+      f.rule = LintRule::kUnportedBuiltin;
+      f.line = line;
+      f.symbol = w;
+      f.severity = Severity::kError;
+      f.message = "unported CUDA builtin '" + w +
+                  "' — port it to the ompx/kl equivalent (see README mapping "
+                  "table)";
+      findings.push_back(std::move(f));
+    } else if (peer_copy_builtins().count(w) != 0 && !scoped) {
+      LintFinding f;
+      f.rule = LintRule::kUnportedBuiltin;
+      f.line = line;
+      f.symbol = w;
+      f.severity = Severity::kError;
+      f.message = "unported CUDA peer-copy API '" + w +
+                  "' — port it to ompx_memcpy_peer / "
+                  "ompx_device_enable_peer_access (or klMemcpyPeer)";
+      findings.push_back(std::move(f));
     }
-    if (c == '}' && paren_depth_ == 0) {
-      flush_statement();
-      if (scopes_.size() > 1) {
-        last_closed_divergent_ = scopes_.back().divergent;
-        scopes_.pop_back();
-      }
-      i_++;
-      return;
-    }
-    if (c == ';' && paren_depth_ == 0) {
-      flush_statement();
-      single_divergent_ = false;  // a divergent single statement ends here
-      i_++;
-      return;
-    }
-    if (!std::isspace(static_cast<unsigned char>(c))) mark_stmt_start();
-    stmt_ += c;
-    i_++;
+    i = j;
   }
-
-  /// Pins the statement's reported line to its first meaningful
-  /// character (not where the previous statement ended).
-  void mark_stmt_start() {
-    if (stmt_.find_first_not_of(" \t") == std::string::npos)
-      stmt_line_ = line_;
-  }
-
-  void handle_word(const std::string& w, std::size_t end) {
-    if ((w == "if" || w == "while" || w == "for") && paren_depth_ == 0) {
-      // A control header: capture its parenthesized condition and
-      // decide whether the guarded region is thread-divergent.
-      std::size_t j = end;
-      while (j < s_.size() && std::isspace(static_cast<unsigned char>(s_[j]))) {
-        if (s_[j] == '\n') line_++;
-        j++;
-      }
-      if (j < s_.size() && s_[j] == '(') {
-        int depth = 0;
-        std::size_t k = j;
-        for (; k < s_.size(); ++k) {
-          if (s_[k] == '\n') line_++;
-          if (s_[k] == '(') depth++;
-          if (s_[k] == ')' && --depth == 0) break;
-        }
-        const std::string cond = s_.substr(j, k - j + 1);
-        const bool div = expr_divergent(cond);
-        std::size_t m = k + 1;
-        int peek_lines = 0;
-        while (m < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[m]))) {
-          if (s_[m] == '\n') peek_lines++;
-          m++;
-        }
-        if (m < s_.size() && s_[m] == '{') {
-          pending_divergent_ = div || in_divergence();
-        } else if (div) {
-          single_divergent_ = true;
-        }
-        (void)peek_lines;  // lines are re-counted when the scan reaches them
-        i_ = k + 1;
-        stmt_.clear();
-        stmt_line_ = line_;
-        return;
-      }
-      i_ = end;
-      return;
-    }
-    if (w == "else" && paren_depth_ == 0) {
-      // The else of a divergent if covers the complementary (equally
-      // divergent) threads.
-      std::size_t m = end;
-      while (m < s_.size() && std::isspace(static_cast<unsigned char>(s_[m])))
-        m++;
-      if (m < s_.size() && s_[m] == '{') {
-        pending_divergent_ = last_closed_divergent_ || in_divergence();
-      } else if (last_closed_divergent_) {
-        single_divergent_ = true;
-      }
-      i_ = end;
-      return;
-    }
-    // Rule 3: bare CUDA builtins. ::-qualified names (kl::threadIdx)
-    // are this library's own spellings, never remnants; the dim
-    // builtins are structs in CUDA (`threadIdx.x`), so a call
-    // (`threadIdx()`, the kl spelling under a using-directive) is not
-    // a remnant either.
-    if (opt_.check_unported && cuda_builtins().count(w) != 0 &&
-        !preceded_by_scope(i_) && !(is_dim_builtin(w) && call_follows(end))) {
-      report(LintRule::kUnportedBuiltin, line_, w,
-             "unported CUDA builtin '" + w +
-                 "' — port it to the ompx/kl equivalent (see README mapping "
-                 "table)");
-    }
-    if (opt_.check_unported && peer_copy_builtins().count(w) != 0 &&
-        !preceded_by_scope(i_)) {
-      report(LintRule::kUnportedBuiltin, line_, w,
-             "unported CUDA peer-copy API '" + w +
-                 "' — port it to ompx_memcpy_peer / "
-                 "ompx_device_enable_peer_access (or klMemcpyPeer)");
-    }
-    stmt_ += w;
-    i_ = end;
-  }
-
-  [[nodiscard]] bool preceded_by_scope(std::size_t pos) const {
-    return pos >= 2 && s_[pos - 1] == ':' && s_[pos - 2] == ':';
-  }
-
-  [[nodiscard]] static bool is_dim_builtin(const std::string& w) {
-    return w == "threadIdx" || w == "blockIdx" || w == "blockDim" ||
-           w == "gridDim";
-  }
-
-  [[nodiscard]] bool call_follows(std::size_t pos) const {
-    while (pos < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos])))
-      pos++;
-    return pos < s_.size() && s_[pos] == '(';
-  }
-
-  [[nodiscard]] bool in_divergence() const {
-    if (single_divergent_) return true;
-    for (const Scope& sc : scopes_)
-      if (sc.divergent) return true;
-    return false;
-  }
-
-  bool expr_divergent(const std::string& expr) const {
-    for (const Word& w : words_of(expr)) {
-      if (divergence_seeds().count(w.text) != 0) return true;
-      if (divergent_vars_.count(w.text) != 0) return true;
-    }
-    return false;
-  }
-
-  /// Statement-level evaluation, run at each top-level `;`:
-  /// (1) barriers under divergent flow; (2) shared-memory reads vs the
-  /// pre-statement dirty state (so `a[tid] += a[tid+s];` stays clean);
-  /// (3) shared-variable declarations; (4) divergence propagation
-  /// through assignments.
-  void flush_statement() {
-    if (stmt_.find_first_not_of(" \t") == std::string::npos) {
-      stmt_.clear();
-      stmt_line_ = line_;
-      return;
-    }
-    const std::string stmt = stmt_;
-    const int at_line = stmt_line_;
-    stmt_.clear();
-    stmt_line_ = line_;
-
-    const std::vector<Word> words = words_of(stmt);
-
-    bool is_sync = false;
-    for (const Word& w : words)
-      if (sync_tokens().count(w.text) != 0) is_sync = true;
-
-    if (is_sync) {
-      if (opt_.check_divergent_sync && in_divergence()) {
-        report(LintRule::kDivergentSync, at_line, "barrier",
-               "block-wide barrier under a thread-divergent condition — "
-               "threads that skip it deadlock the block (barrier "
-               "divergence)");
-      }
-      // Any barrier (even a diagnosed one) orders shared memory.
-      for (auto& [name, dirty] : shared_dirty_) dirty = false;
-      return;
-    }
-
-    // New shared variables declared by this statement.
-    static const std::regex kSharedDecl(
-        R"(__shared__\s+[\w:<>]+\s+(\w+))");
-    static const std::regex kSharedAlloc(
-        R"((\w+)\s*=[^=]*\b(?:groupprivate|dynamic_groupprivate|shared_array|shared_var|dynamic_shared)\s*<)");
-    std::smatch m;
-    std::string rest = stmt;
-    while (std::regex_search(rest, m, kSharedDecl)) {
-      shared_dirty_.emplace(m[1].str(), false);
-      rest = m.suffix();
-    }
-    rest = stmt;
-    while (std::regex_search(rest, m, kSharedAlloc)) {
-      shared_dirty_.emplace(m[1].str(), false);
-      divergent_vars_.erase(m[1].str());
-      rest = m.suffix();
-    }
-
-    // Writes this statement makes: `v = / v[i] = / v += ...` with v a
-    // known shared variable at the start of the statement's assignment.
-    std::unordered_set<std::string> written;
-    {
-      static const std::regex kWrite(
-          R"(\b(\w+)\s*(?:\[[^\]]*\])?\s*(?:[+\-*/%&|^]?=(?!=)|\+\+|--))");
-      std::string r2 = stmt;
-      while (std::regex_search(r2, m, kWrite)) {
-        if (shared_dirty_.count(m[1].str()) != 0) written.insert(m[1].str());
-        r2 = m.suffix();
-      }
-    }
-
-    if (opt_.check_shared_sync) {
-      // Reads: occurrences of a shared variable beyond its write
-      // position(s). Heuristic: if the variable occurs more times than
-      // it is written, or occurs without being written, it is read.
-      std::unordered_map<std::string, int> occurrences;
-      for (const Word& w : words)
-        if (shared_dirty_.count(w.text) != 0) occurrences[w.text]++;
-      for (const auto& [name, n] : occurrences) {
-        const bool wrote = written.count(name) != 0;
-        const bool read = wrote ? n > 1 : true;
-        if (read && shared_dirty_[name]) {
-          report(LintRule::kUnsyncedSharedRead, at_line, name,
-                 "read of shared variable '" + name +
-                     "' after a write with no block barrier in between — "
-                     "another thread's write may not be visible");
-          shared_dirty_[name] = false;  // one report per unsynced window
-        }
-      }
-    }
-
-    for (const std::string& name : written) shared_dirty_[name] = true;
-
-    // Divergence propagation: `v = <expr mentioning thread identity>`.
-    static const std::regex kAssign(R"(\b(\w+)\s*=(?!=)\s*(.*))");
-    if (std::regex_search(stmt, m, kAssign)) {
-      const std::string target = m[1].str();
-      // `a[i] = ...` writes an element, not the name itself.
-      const std::size_t tpos = static_cast<std::size_t>(m.position(1));
-      const std::size_t after = tpos + target.size();
-      const bool array_elem = stmt.find('[', after) != std::string::npos &&
-                              stmt.find('[', after) <
-                                  static_cast<std::size_t>(m.position(2));
-      if (!array_elem && expr_divergent(m[2].str()))
-        divergent_vars_.insert(target);
-    }
-  }
-
-  void report(LintRule rule, int line, std::string symbol, std::string msg) {
-    if (allow_.count(line) != 0 || allow_.count(line - 1) != 0) return;
-    LintFinding f;
-    f.rule = rule;
-    f.line = line;
-    f.symbol = std::move(symbol);
-    f.message = std::move(msg);
-    findings_.push_back(std::move(f));
-  }
-
-  const std::string& s_;
-  const std::set<int>& allow_;
-  LintOptions opt_;
-
-  std::size_t i_ = 0;
-  int line_ = 1;
-  int paren_depth_ = 0;
-  std::string stmt_;
-  int stmt_line_ = 1;
-
-  std::vector<Scope> scopes_;
-  bool pending_divergent_ = false;
-  bool single_divergent_ = false;
-  bool last_closed_divergent_ = false;
-
-  std::unordered_set<std::string> divergent_vars_;
-  std::unordered_map<std::string, bool> shared_dirty_;
-
-  std::vector<LintFinding> findings_;
-};
+}
 
 }  // namespace
 
 std::vector<LintFinding> lint_source(const std::string& source,
                                      const LintOptions& options) {
-  std::set<int> allow_lines;
-  const std::string stripped = strip_source(source, &allow_lines);
-  return Linter(stripped, allow_lines, options).run();
-}
+  AnalyzeOptions aopt;
+  aopt.check_divergent_sync = options.check_divergent_sync;
+  aopt.check_shared_sync = options.check_shared_sync;
+  aopt.check_contract = options.check_contract;
+  aopt.suppress_allowed = true;
+  AnalysisResult analysis = analyze_source(source, aopt);
+  std::vector<LintFinding> findings = std::move(analysis.findings);
 
-namespace {
-
-/// Every spelling of a blocking collective across the layers: block
-/// barriers (sync_tokens), warp shuffle/ballot/vote/sync in CUDA, kl
-/// and ompx dialects, and atomics. Any of these forces the fiber path
-/// — the convergent lane loop deflates on first contact, so a kernel
-/// that statically contains one should be pinned to fibers up front.
-const std::unordered_set<std::string>& fiber_tokens() {
-  static const std::unordered_set<std::string> s = {
-      // warp collectives — CUDA spellings
-      "__syncwarp", "__shfl_sync", "__shfl_up_sync", "__shfl_down_sync",
-      "__shfl_xor_sync", "__ballot_sync", "__any_sync", "__all_sync",
-      "__activemask", "__reduce_add_sync",
-      // warp collectives — kl / ompx spellings
-      "shfl", "shfl_up", "shfl_down", "shfl_xor", "ballot", "any_sync",
-      "all_sync", "syncwarp", "warp_reduce", "warp_scan", "warp_vote",
-      "ompx_shfl_down_sync", "ompx_shfl_sync", "ompx_ballot_sync",
-      // atomics — CUDA and engine spellings
-      "atomicAdd", "atomicSub", "atomicMax", "atomicMin", "atomicExch",
-      "atomicCAS", "atomicAnd", "atomicOr", "atomicXor", "atomic_add",
-      "atomic_sub", "atomic_max", "atomic_min", "atomic_exch", "atomic_cas",
-      "atomic_ref",
-  };
-  return s;
-}
-
-}  // namespace
-
-ExecClass classify_exec(const std::string& source) {
-  std::set<int> allow_lines;
-  const std::string stripped = strip_source(source, &allow_lines);
-  ExecClass out;
-  for (const Word& w : words_of(stripped)) {
-    if (sync_tokens().count(w.text) != 0 || fiber_tokens().count(w.text) != 0) {
-      out.needs_fibers = true;
-      out.reason = w.text;
-      return out;
-    }
+  if (options.check_unported) {
+    std::vector<LintFinding> unported;
+    scan_unported(strip_source(source), unported);
+    const std::map<int, AllowSpec> allows = collect_allows(source);
+    for (LintFinding& f : unported)
+      if (!allow_matches(allows, f.line, lint_rule_name(f.rule)))
+        findings.push_back(std::move(f));
   }
-  out.convergent = true;
-  return out;
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
 }
 
 std::string format_lint(const std::vector<LintFinding>& findings,
                         const std::string& filename) {
   std::string out;
   for (const LintFinding& f : findings) {
-    out += filename + ":" + std::to_string(f.line) + ": [" +
+    out += filename + ":" + std::to_string(f.line) + ": " +
+           (f.severity == Severity::kError ? "error" : "warning") + ": [" +
            lint_rule_name(f.rule) + "] " + f.message + "\n";
   }
   return out;

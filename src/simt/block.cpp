@@ -245,6 +245,7 @@ std::uint32_t BlockState::run_lane_loop() {
   t_ctx = &ctx;
   try {
     for (; i < nthreads_; ++i) {
+      inline_atomic_done_ = false;  // per-lane: each lane's own prefix
       kernel_();
       if (++ctx.thread_idx.x == bd.x) {
         ctx.thread_idx.x = 0;

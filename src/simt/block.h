@@ -133,7 +133,15 @@ class BlockState {
   /// with the fiber present it is a no-op.
   void require_fiber(ThreadCtx& ctx, const char* what) {
     if (ctx.fiber != nullptr) return;
-    if (inline_phase_) throw detail::DeflateSignal{};
+    if (inline_phase_) {
+      if (inline_atomic_done_)
+        throw std::logic_error(
+            std::string(what) +
+            " after an inline atomic in a kernel hinted atomics_ok — the "
+            "lane's prefix is no longer replayable; the atomics_ok exec "
+            "hint is wrong for this kernel");
+      throw detail::DeflateSignal{};
+    }
     throw std::logic_error(std::string(what) +
                            " in ExecMode::kDirect; launch cooperatively");
   }
@@ -142,9 +150,15 @@ class BlockState {
   /// atomic is not a rendezvous, but it is a non-idempotent side effect:
   /// deflating *before* the first one executes keeps every inline-run
   /// prefix replayable. Direct-mode and fiber threads just count.
+  /// With the launch's inline_atomics set (statically proven
+  /// rendezvous-free, see ExecHint::atomics_ok) the lane loop runs the
+  /// atomic in place instead — a later rendezvous on the same lane is
+  /// then a hard error, caught by require_fiber above.
   void note_atomic(ThreadCtx& ctx) {
-    if (ctx.fiber == nullptr && inline_phase_)
-      throw detail::DeflateSignal{};
+    if (ctx.fiber == nullptr && inline_phase_) {
+      if (!params_.inline_atomics) throw detail::DeflateSignal{};
+      inline_atomic_done_ = true;
+    }
     counters_.atomics++;
   }
 
@@ -253,6 +267,11 @@ class BlockState {
   // note_atomic to DeflateSignal instead of the kDirect error).
   bool convergent_ = false;
   bool inline_phase_ = false;
+  // True while the inline lane currently running has already executed
+  // an atomic in place (params_.inline_atomics launches only). Reset
+  // per lane by run_lane_loop; turns a subsequent rendezvous into a
+  // hard error instead of an (unsound) deflation-and-replay.
+  bool inline_atomic_done_ = false;
 
   // Bitmap of threads suspended at the current block barrier (one bit
   // per thread). Released by scanning set bits low-to-high, which gives

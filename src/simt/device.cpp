@@ -204,6 +204,9 @@ LaunchRecord Device::launch_sync(const LaunchParams& caller_params,
   // of this launch (and the record/trace span) sees the same decision.
   LaunchParams params = caller_params;
   params.lane_exec = resolve_lane_exec(caller_params);
+  if (params.lane_exec == LaneExec::kConvergent &&
+      exec_hint(params.name).atomics_ok)
+    params.inline_atomics = true;
 
   const LaunchStats stats = run_blocks(params, kernel);
 

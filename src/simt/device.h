@@ -68,6 +68,11 @@ enum class BlockScheduler { kReadyQueue, kSweep };
 struct ExecHint {
   bool convergent = false;
   bool needs_fibers = false;
+  /// Convergent AND its atomics are inline-safe: the lane loop may run
+  /// atomics in place instead of deflating (no barrier can follow one —
+  /// the static analyzer proves the kernel rendezvous-free before
+  /// setting this, see rewrite::register_exec_hints).
+  bool atomics_ok = false;
 };
 
 /// Process-wide lane-execution policy, initialized from the OMPX_EXEC

@@ -161,6 +161,9 @@ void Graph::instantiate_locked() {
         // configuration check and the resolved lane-execution mode.
         dev_.validate(n.params);
         n.params.lane_exec = dev_.resolve_lane_exec(n.params);
+        if (n.params.lane_exec == LaneExec::kConvergent &&
+            exec_hint(n.params.name).atomics_ok)
+          n.params.inline_atomics = true;
         span_names_[i] = n.params.name;
         exec_modes_[i] = exec_mode_name(n.params.mode, n.params.lane_exec);
         // Pre-build the node's BlockStates when the grid is small and

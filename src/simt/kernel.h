@@ -87,6 +87,13 @@ struct LaunchParams {
   /// OMPX_EXEC policy at launch time; Device::launch_sync stamps the
   /// resolved value before blocks run.
   LaneExec lane_exec = LaneExec::kDefault;
+  /// Stamped alongside lane_exec from the hint registry's atomics_ok:
+  /// a convergent lane loop may run atomics inline (count them, keep
+  /// going) instead of deflating to fibers. Only meaningful when the
+  /// kernel is statically proven rendezvous-free — a barrier after an
+  /// inline atomic is unrecoverable (the lane's prefix is no longer
+  /// idempotent) and raises std::logic_error.
+  bool inline_atomics = false;
   CompilerProfile profile;  ///< code-gen attributes of this version
   KernelCost cost;          ///< roofline characterization (see perf.h)
   RuntimeModeFlags rt;

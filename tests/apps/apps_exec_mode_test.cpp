@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 
 #include "apps/adam/adam.h"
@@ -160,6 +162,47 @@ TEST_F(AppsExecMode, StencilAllVersionsBothDevices) {
           apps::version_name(v));
     }
   }
+}
+
+TEST_F(AppsExecMode, AnalyzerVerdictRoutesXSBenchOntoTheLaneLoop) {
+  // End-to-end over a real app kernel: the static analyzer reads
+  // xsbench's versions.cpp, proves xsbench_event convergent with
+  // inline-safe atomics, registers the hint — and a cooperative run
+  // under the default kAuto policy takes the lane-loop fast path
+  // (fiber-free, atomics inline, zero deflations), with the checksum
+  // still matching the fiber reference.
+  apps::xsbench::Options o;
+  o.lookups = 5000;
+  o.n_gridpoints = 256;
+  o.mode = simt::ExecMode::kCooperative;
+  const auto run = [&] {
+    return apps::xsbench::run(Version::kOmpx, simt::sim_a100(), o);
+  };
+  const ExecCell fib = run_cell(simt::ExecPolicy::kFiber, run);
+
+  simt::set_exec_policy(simt::ExecPolicy::kAuto);
+  simt::clear_exec_hints();
+  std::ifstream in(std::string(OMPX_SOURCE_DIR) +
+                   "/src/apps/xsbench/versions.cpp");
+  ASSERT_TRUE(in.good());
+  std::ostringstream src;
+  src << in.rdbuf();
+  ASSERT_GE(ompx::register_exec_hints(src.str()), 1);
+  const simt::ExecHint h = simt::exec_hint("xsbench_event");
+  ASSERT_TRUE(h.convergent);
+  ASSERT_TRUE(h.atomics_ok);
+
+  auto& prof = simt::Profiler::instance();
+  prof.start();
+  prof.reset();
+  const apps::RunResult conv = run();
+  const auto ops = prof.counters();
+  prof.stop();
+  EXPECT_EQ(conv.checksum, fib.result.checksum);
+  EXPECT_TRUE(conv.valid);
+  EXPECT_GT(ops.lane_loops, 0u)
+      << "statically-proven-convergent kernel never took the lane loop";
+  EXPECT_EQ(ops.atomics, fib.ops.atomics);
 }
 
 TEST_F(AppsExecMode, ConvergentPolicyActuallyInlinesSomewhere) {

@@ -272,16 +272,16 @@ void k() {
 )");
   EXPECT_FALSE(c.convergent);
   EXPECT_TRUE(c.needs_fibers);
-  EXPECT_EQ(c.reason, "__syncthreads");
+  EXPECT_NE(c.reason.find("__syncthreads"), std::string::npos) << c.reason;
 }
 
 TEST(ClassifyExec, EverySpellingLayerCounts) {
   // The classifier must see kl::, ompx::, CUDA, and C-API spellings of
-  // barriers, collectives, and atomics alike.
+  // barriers and warp collectives alike — every rendezvous forces the
+  // fiber path.
   for (const char* frag :
        {"kl::syncthreads();", "ompx_sync_thread_block();",
         "__shfl_down_sync(mask, v, 1);", "ompx::shfl_down(v, 1);",
-        "atomicAdd(&x, 1);", "simt::atomic_add(&x, 1);",
         "__ballot_sync(mask, pred);", "warp_reduce(v);"}) {
     const auto c = rewrite::classify_exec(std::string("void k() { ") + frag +
                                           " }");
@@ -289,6 +289,28 @@ TEST(ClassifyExec, EverySpellingLayerCounts) {
     EXPECT_FALSE(c.convergent) << frag;
     EXPECT_FALSE(c.reason.empty()) << frag;
   }
+}
+
+TEST(ClassifyExec, AtomicsAloneStayConvergentWithAtomicsOk) {
+  // An atomic is a side effect, not a rendezvous: a kernel whose only
+  // collectives are atomics is proven convergent, and atomics_ok lets
+  // the lane loop run them inline instead of deflating.
+  for (const char* frag : {"atomicAdd(&x, 1);", "simt::atomic_add(&x, 1);",
+                           "atomicCAS(&x, a, b);"}) {
+    const auto c = rewrite::classify_exec(std::string("void k() { ") + frag +
+                                          " }");
+    EXPECT_TRUE(c.convergent) << frag;
+    EXPECT_FALSE(c.needs_fibers) << frag;
+    EXPECT_TRUE(c.atomics_ok) << frag;
+    EXPECT_FALSE(c.reason.empty()) << frag;
+  }
+}
+
+TEST(ClassifyExec, BarrierPlusAtomicForcesFibersNotInline) {
+  const auto c = rewrite::classify_exec(
+      "void k() { atomicAdd(&x, 1); __syncthreads(); }");
+  EXPECT_TRUE(c.needs_fibers);
+  EXPECT_FALSE(c.atomics_ok);
 }
 
 TEST(ClassifyExec, TokensInCommentsAndStringsDoNotCount) {

@@ -309,6 +309,66 @@ TEST(ExecModeDifferential, AtomicsDeflateBeforeExecutingTheRmw) {
   EXPECT_GE(r.rec.stats.sched_deflations, 1u);
 }
 
+TEST(ExecModeDifferential, AtomicsOkHintRunsAtomicsInlineNoDeflation) {
+  // With the analyzer's atomics_ok verdict registered, the lane loop
+  // runs the RMW in place: every lane completes fiber-free, nothing
+  // deflates, and the sum is exact (each lane adds exactly once).
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] { atomic_add(out, std::uint64_t{1}); };
+  };
+  clear_exec_hints();
+  set_exec_hint("exec_atomic_inline", {true, false, true});
+  const RunResult r =
+      run_exec(LaneExec::kConvergent, 1, mk, "exec_atomic_inline");
+  EXPECT_EQ(r.out[0], kBlocks * kThreads);
+  EXPECT_EQ(r.rec.stats.sched_deflations, 0u);
+  EXPECT_EQ(r.rec.stats.sched_lane_loops, kBlocks * kThreads);
+  EXPECT_EQ(r.rec.stats.atomics, kBlocks * kThreads);
+  clear_exec_hints();
+}
+
+TEST(ExecModeDifferential, BarrierAfterInlineAtomicIsALogicError) {
+  // atomics_ok promises no rendezvous after an atomic — once the RMW
+  // ran inline the lane's prefix is not replayable, so a barrier must
+  // fail loudly (wrong hint) instead of deflating into corruption.
+  clear_exec_hints();
+  set_exec_hint("exec_atomic_then_sync", {true, false, true});
+  Device dev = make_dev(BlockScheduler::kReadyQueue, 1);
+  LaunchParams p;
+  p.grid = {1};
+  p.block = {kThreads};
+  p.name = "exec_atomic_then_sync";
+  p.lane_exec = LaneExec::kConvergent;
+  std::uint64_t cell = 0;
+  try {
+    dev.launch_sync(p, [&cell] {
+      auto& t = this_thread();
+      atomic_add(&cell, std::uint64_t{1});
+      t.block->sync_threads(t);
+    });
+    FAIL() << "barrier after an inline atomic must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("atomics_ok"), std::string::npos)
+        << e.what();
+  }
+  clear_exec_hints();
+}
+
+TEST(ExecModeDifferential, UnhintedAtomicStillDeflatesSafely) {
+  // Without the hint the old conservative behavior is untouched: the
+  // probe deflates before the RMW executes and the result is exact.
+  const KernelMaker mk = [](std::uint64_t* out) -> KernelFn {
+    return [out] { atomic_add(out, std::uint64_t{1}); };
+  };
+  clear_exec_hints();
+  const RunResult r =
+      run_exec(LaneExec::kConvergent, 1, mk, "exec_atomic_unhinted");
+  EXPECT_EQ(r.out[0], kBlocks * kThreads);
+  EXPECT_GE(r.rec.stats.sched_deflations, 1u);
+  EXPECT_TRUE(exec_hint("exec_atomic_unhinted").needs_fibers);
+  clear_exec_hints();
+}
+
 TEST(ExecModeDifferential, CensusMessageShapeIdenticalUnderConvergent) {
   // The deflation probe must not distort the deadlock census: thread 0
   // deflates at its warp collective, the block restarts on fibers, and
