@@ -30,11 +30,11 @@ void graph_demo(simt::Device& dev) {
   auto* vv = ompx::malloc_n<float>(o.n);
   auto* g = ompx::malloc_n<float>(o.n);
   auto* tdev = ompx::malloc_n<int>(1);
-  OMPX_CHECK(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memset(m, 0, o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memset(vv, 0, o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memset(tdev, 0, sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memset(m, 0, o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memset(vv, 0, o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memset(tdev, 0, sizeof(int)));
 
   ompx::LaunchSpec tick;
   tick.num_teams = {1};
@@ -65,7 +65,7 @@ void graph_demo(simt::Device& dev) {
     graph.instantiate();
     for (int t = 0; t < o.steps; ++t) graph.launch(s);
     std::vector<float> result(o.n);
-    OMPX_CHECK(ompx_memcpy(result.data(), p, o.n * sizeof(float)));  // syncs first
+    OMPX_REQUIRE(ompx_memcpy(result.data(), p, o.n * sizeof(float)));  // syncs first
     bench::print_graph_row(dev, graph.node_count(), graph.replay_count(),
                            checksum_of(result), ref);
   }
@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_adam_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "Adam", "8e", "8k",
       "ompx matches cuda on the A100 and is ~16.6% faster than hip on the "

@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_aidw_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "AIDW", "8d", "8j",
       "on the MI250 every version aligns; on the A100 ompx matches "

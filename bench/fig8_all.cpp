@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_all_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   std::printf("=== Figure 8 (complete grid) — execution time, modeled ms ===\n");
   std::printf("paper headline: \"OpenMP, augmented with our extensions, can "
               "not only match but\nalso in some cases exceed the performance "

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,40 @@ class ShardGuard {
   int devices_ = 1;
 };
 
+/// `--fault=<spec>` support for the bench CLIs: arm the deterministic
+/// fault injector (OMPX_FAULT grammar, see README "Robustness & fault
+/// injection") for the guard's lifetime. The destructor reports how
+/// many faults actually fired and disarms, so one driver run cannot
+/// leak an armed injector into the next. A bad spec is a usage error:
+/// print the parse failure and exit 2.
+class FaultGuard {
+ public:
+  FaultGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--fault=", 0) == 0) spec_ = arg.substr(8);
+    }
+    if (spec_.empty()) return;
+    if (ompx_fault_enable(spec_.c_str()) != OMPX_SUCCESS) {
+      std::fprintf(stderr, "ERROR: bad --fault spec '%s': %s\n", spec_.c_str(),
+                   ompx_last_result_detail());
+      std::exit(2);
+    }
+    std::fprintf(stderr, "fault injection armed: %s\n", spec_.c_str());
+  }
+  ~FaultGuard() {
+    if (spec_.empty()) return;
+    std::fprintf(stderr, "fault injection: %llu fault(s) injected\n",
+                 ompx_fault_injected_count());
+    ompx_fault_disable();
+  }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+
+ private:
+  std::string spec_;
+};
+
 /// `--graph` support for the bench CLIs: the iterative benchmarks
 /// (Adam, Stencil-1D) re-run their ompx version as a captured graph —
 /// one iteration recorded between stream_begin_capture/end_capture,
@@ -158,8 +193,22 @@ inline void run_fig8(const Fig8Spec& spec) {
                 nv ? spec.nv_subfig : spec.amd_subfig);
     double baseline = 0.0;  // the native-clang bar is the paper's baseline
     std::vector<apps::RunResult> rows;
-    for (apps::Version v : versions)
-      rows.push_back(apps::run_cell(app, v, *dev));
+    for (apps::Version v : versions) {
+      // Graceful degradation: an injected (or real) runtime failure in
+      // one cell becomes an INVALID row, not a dead driver — the
+      // remaining bars and the second system still print.
+      try {
+        rows.push_back(apps::run_cell(app, v, *dev));
+      } catch (const std::exception& e) {
+        apps::RunResult r;
+        r.app = app.name;
+        r.version = apps::bar_label(v, *dev);
+        r.device = dev->config().name;
+        r.valid = false;
+        r.note = std::string("fault: ") + e.what();
+        rows.push_back(r);
+      }
+    }
     for (const auto& r : rows)
       if (r.version == "cuda" || r.version == "hip") baseline = r.kernel_ms;
     std::printf("  %-10s %12s %10s  %s\n", "version", "modeled-ms",

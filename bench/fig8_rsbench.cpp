@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_rsbench_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "RSBench", "8b", "8h",
       "ompx exceeds the LLVM/Clang native version on both systems; on the "

@@ -25,7 +25,7 @@ void graph_demo(simt::Device& dev) {
   const std::int64_t n = o.n;
   auto* din = ompx::malloc_n<int>(d.input.size());
   auto* dout = ompx::malloc_n<int>(n);
-  OMPX_CHECK(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(n, kBlock))};
@@ -58,7 +58,7 @@ void graph_demo(simt::Device& dev) {
     graph.instantiate();
     for (int it = 0; it < o.iterations; ++it) graph.launch(s);
     std::vector<int> out(n);
-    OMPX_CHECK(ompx_memcpy(out.data(), dout, n * sizeof(int)));  // syncs first
+    OMPX_REQUIRE(ompx_memcpy(out.data(), dout, n * sizeof(int)));  // syncs first
     bench::print_graph_row(dev, graph.node_count(), graph.replay_count(),
                            checksum_of(out), ref);
   }
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_stencil1d_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "Stencil 1D", "8f", "8l",
       "ompx outperforms the native versions on both systems; omp is two "

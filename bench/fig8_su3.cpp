@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_su3_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "SU3", "8c", "8i",
       "on the A100 ompx lags cuda by ~9% (24 vs 26 registers; 3.9 KiB vs "

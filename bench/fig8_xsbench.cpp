@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   bench::TraceGuard trace(argc, argv, "fig8_xsbench_trace.json");
   bench::SanGuard san(argc, argv);
   bench::ShardGuard shard(argc, argv);
+  bench::FaultGuard fault(argc, argv);
   bench::run_fig8({
       "XSBench", "8a", "8g",
       "ompx consistently outperforms the native versions compiled with "

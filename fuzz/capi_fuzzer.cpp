@@ -1,0 +1,248 @@
+// libFuzzer harness for the ompx_*/kl* C ABI error contract.
+//
+// The fuzzer drives bounded random call sequences — including calls on
+// destroyed handles, null out-params, bad indices, and calls inside
+// armed fault windows — and asserts nothing: the contract under test
+// is "no crash, no hang, no sanitizer report, whatever the sequence".
+// Every input ends with full cleanup so leaks are real leaks.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ompx.h"
+#include "kl/kl.h"
+
+using namespace kl;
+
+namespace {
+
+// Deterministic byte stream reader.
+struct Input {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint8_t next() { return pos < size ? data[pos++] : 0; }
+  bool done() const { return pos >= size; }
+};
+
+void noop_kernel(void*) {}
+
+// Small deterministic fault specs; the fuzzer arms them mid-sequence.
+// Stall durations are kept to 1 ms so inputs stay fast.
+const char* const kFaultSpecs[] = {
+    "oom",
+    "oom:after=1",
+    "oom:every=2",
+    "oom:p=0.5,seed=7",
+    "host_oom:every=3",
+    "stall:ms=1,every=4",
+    "peer",
+    "graph:after=0",
+    "device_lost:after=2",
+    "oom:every=2;graph;host_oom:after=1",
+};
+
+constexpr std::size_t kMaxOps = 64;
+constexpr std::size_t kMaxStreams = 4;
+constexpr std::size_t kMaxBuffers = 8;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  Input in{data, size};
+
+  std::vector<ompx_stream_t> streams;
+  std::vector<ompx_stream_t> dead_streams;  // destroyed, still probed
+  std::vector<ompx_event_t> events;
+  std::vector<ompx_event_t> dead_events;
+  std::vector<ompx_graph_t> graphs;
+  std::vector<void*> buffers;
+
+  auto pick = [&](auto& v) -> decltype(v.front()) {
+    return v[in.next() % v.size()];
+  };
+
+  for (std::size_t op = 0; op < kMaxOps && !in.done(); ++op) {
+    switch (in.next() % 24) {
+      case 0:  // small device allocation (may fail under oom faults)
+        if (buffers.size() < kMaxBuffers) {
+          void* p = ompx_malloc(16 + in.next() * 8);
+          if (p != nullptr) buffers.push_back(p);
+        }
+        break;
+      case 1:
+        if (!buffers.empty()) {
+          const std::size_t i = in.next() % buffers.size();
+          (void)ompx_free(buffers[i]);
+          buffers.erase(buffers.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      case 2:
+        if (buffers.size() >= 2)
+          (void)ompx_memcpy(pick(buffers), pick(buffers), 8);
+        break;
+      case 3:
+        if (!buffers.empty())
+          (void)ompx_memset(pick(buffers), in.next(), 16);
+        break;
+      case 4:
+        if (streams.size() < kMaxStreams) {
+          ompx_stream_t s = ompx_stream_create();
+          if (s != nullptr) streams.push_back(s);
+        }
+        break;
+      case 5:
+        if (!streams.empty()) {
+          const std::size_t i = in.next() % streams.size();
+          if (ompx_stream_destroy(streams[i]) == OMPX_SUCCESS)
+            dead_streams.push_back(streams[i]);
+          streams.erase(streams.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      case 6:
+        if (!streams.empty()) (void)ompx_stream_synchronize(pick(streams));
+        break;
+      case 7:  // use-after-destroy probes: must fail cleanly, never crash
+        if (!dead_streams.empty()) {
+          ompx_stream_t s = pick(dead_streams);
+          (void)ompx_stream_synchronize(s);
+          (void)ompx_stream_begin_capture(s);
+          (void)ompx_stream_is_capturing(s);
+          (void)ompx_stream_destroy(s);
+        }
+        break;
+      case 8:
+        if (!streams.empty() && !buffers.empty())
+          (void)ompx_memset_async(pick(buffers), in.next(), 8, pick(streams));
+        break;
+      case 9:
+        if (!streams.empty()) {
+          ompx_stream_t s = pick(streams);
+          void* p = ompx_malloc_async(32 + in.next(), s);
+          if (p != nullptr) (void)ompx_free_async(p, s);
+        }
+        break;
+      case 10:
+        if (!streams.empty()) (void)ompx_stream_begin_capture(pick(streams));
+        break;
+      case 11:
+        if (!streams.empty()) {
+          ompx_graph_t g = nullptr;
+          if (ompx_stream_end_capture(pick(streams), &g) == OMPX_SUCCESS &&
+              g != nullptr)
+            graphs.push_back(g);
+        }
+        break;
+      case 12:
+        if (!graphs.empty()) (void)ompx_graph_instantiate(pick(graphs));
+        break;
+      case 13:
+        if (!graphs.empty() && !streams.empty())
+          (void)ompx_graph_launch(pick(graphs), pick(streams));
+        break;
+      case 14:
+        if (!graphs.empty()) {
+          const std::size_t i = in.next() % graphs.size();
+          ompx_graph_t g = graphs[i];
+          (void)ompx_graph_destroy(g);
+          graphs.erase(graphs.begin() + static_cast<std::ptrdiff_t>(i));
+          // Double destroy and post-destroy enumeration probes.
+          (void)ompx_graph_destroy(g);
+          std::size_t n = 0;
+          (void)ompx_graph_node_count(g, &n);
+        }
+        break;
+      case 15:
+        events.push_back(ompx_event_create());
+        if (events.back() == nullptr) events.pop_back();
+        break;
+      case 16:
+        if (!events.empty() && !streams.empty())
+          (void)ompx_event_record(pick(events), pick(streams));
+        break;
+      case 17:
+        if (!events.empty()) {
+          const std::size_t i = in.next() % events.size();
+          if (ompx_event_destroy(events[i]) == OMPX_SUCCESS)
+            dead_events.push_back(events[i]);
+          events.erase(events.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      case 18:
+        if (!dead_events.empty()) {
+          ompx_event_t e = pick(dead_events);
+          (void)ompx_event_synchronize(e);
+          (void)ompx_event_elapsed_ms(e, e);
+        }
+        break;
+      case 19: {  // kl mirror calls, including bad indices
+        void* p = nullptr;
+        if (klMalloc(&p, 64 + in.next()) == klSuccess) (void)klFree(p);
+        (void)klSetDevice(static_cast<int>(in.next()) - 2);
+        (void)klSetDevice(0);
+        break;
+      }
+      case 20:  // arm / rotate / disarm fault injection mid-sequence
+        if (in.next() % 3 == 0)
+          (void)ompx_fault_disable();
+        else
+          (void)ompx_fault_enable(
+              kFaultSpecs[in.next() %
+                          (sizeof kFaultSpecs / sizeof kFaultSpecs[0])]);
+        break;
+      case 21: {  // C-ABI kernel launch, null and non-null streams
+        const unsigned grid[3] = {1u + in.next() % 4u, 1, 1};
+        const unsigned block[3] = {32, 1, 1};
+        (void)ompx_launch_kernel(
+            &noop_kernel, nullptr, grid, block,
+            streams.empty() ? nullptr : pick(streams));
+        break;
+      }
+      case 22:  // introspection is always safe to call
+        (void)ompx_result_string(
+            static_cast<ompx_result_t>(in.next() % 12));
+        (void)ompx_last_result_detail();
+        (void)ompx_peek_last_result();
+        (void)ompx_get_last_result();
+        (void)klGetErrorString(static_cast<klError>(in.next() % 12));
+        (void)klGetLastErrorDetail();
+        (void)ompx_fault_active();
+        (void)ompx_fault_injected_count();
+        (void)ompx_get_watchdog_ms();
+        break;
+      case 23:  // deliberate contract violations
+        (void)ompx_memcpy(nullptr, nullptr, 8);
+        (void)ompx_stream_synchronize(nullptr);
+        (void)ompx_device_can_access_peer(nullptr, 0, 1);
+        (void)ompx_graph_get_nodes(nullptr, nullptr, 0, nullptr);
+        (void)ompx_device_reset(-1);
+        (void)klEventElapsedTime(nullptr, nullptr, nullptr);
+        break;
+    }
+  }
+
+  // Teardown: disarm faults first so cleanup itself cannot be injected,
+  // then recover lost devices and release every live handle.
+  (void)ompx_fault_disable();
+  (void)ompx_set_watchdog_ms(0.0);
+  for (int d = 0; d < ompx_get_num_devices(); ++d) (void)ompx_device_reset(d);
+  (void)ompx_set_device(0);
+  for (ompx_graph_t g : graphs) (void)ompx_graph_destroy(g);
+  for (ompx_event_t e : events) (void)ompx_event_destroy(e);
+  for (ompx_stream_t s : streams) {
+    // End any capture still open so destroy can drain the stream.
+    if (ompx_stream_is_capturing(s)) {
+      ompx_graph_t g = nullptr;
+      if (ompx_stream_end_capture(s, &g) == OMPX_SUCCESS)
+        (void)ompx_graph_destroy(g);
+    }
+    (void)ompx_stream_destroy(s);
+  }
+  for (void* p : buffers) (void)ompx_free(p);
+  (void)ompx_device_synchronize();
+  (void)ompx_get_last_result();
+  (void)klGetLastError();
+  return 0;
+}

@@ -95,17 +95,21 @@ simt::CompilerProfile profile_for(Version v, const simt::Device& dev) {
 
 std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   using namespace kl;
-  klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1);
+  check(klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1),
+        "klSetDevice");
   const Options o = d.opt;
   float *p = nullptr, *m = nullptr, *vv = nullptr, *g = nullptr;
-  klMalloc(&p, o.n * sizeof(float));
-  klMalloc(&m, o.n * sizeof(float));
-  klMalloc(&vv, o.n * sizeof(float));
-  klMalloc(&g, o.n * sizeof(float));
-  klMemcpy(p, d.params0.data(), o.n * sizeof(float), klMemcpyHostToDevice);
-  klMemcpy(g, d.grads.data(), o.n * sizeof(float), klMemcpyHostToDevice);
-  klMemset(m, 0, o.n * sizeof(float));
-  klMemset(vv, 0, o.n * sizeof(float));
+  check(klMalloc(&p, o.n * sizeof(float)), "klMalloc p");
+  check(klMalloc(&m, o.n * sizeof(float)), "klMalloc m");
+  check(klMalloc(&vv, o.n * sizeof(float)), "klMalloc v");
+  check(klMalloc(&g, o.n * sizeof(float)), "klMalloc g");
+  check(klMemcpy(p, d.params0.data(), o.n * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy p");
+  check(klMemcpy(g, d.grads.data(), o.n * sizeof(float), klMemcpyHostToDevice),
+        "klMemcpy g");
+  check(klMemset(m, 0, o.n * sizeof(float)), "klMemset m");
+  check(klMemset(vv, 0, o.n * sizeof(float)), "klMemset v");
 
   KernelAttrs attrs;
   attrs.name = "adam_step";
@@ -114,18 +118,21 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   attrs.cost = adam_cost();
   const int n = o.n;
   for (int t = 1; t <= o.steps; ++t) {
-    launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
+    check(
+        launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
            nullptr, attrs, [=] {
              const int i = static_cast<int>(global_thread_id_x());
              if (i < n) adam_update(i, t, o, g, p, m, vv);
-           });
+           }),
+        "adam_step launch");
   }
-  klDeviceSynchronize();
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::vector<float> result(o.n);
-  klMemcpy(result.data(), p, o.n * sizeof(float), klMemcpyDeviceToHost);
+  check(klMemcpy(result.data(), p, o.n * sizeof(float), klMemcpyDeviceToHost),
+        "klMemcpy D2H");
   for (void* q : {static_cast<void*>(p), static_cast<void*>(m),
                   static_cast<void*>(vv), static_cast<void*>(g)})
-    klFree(q);
+    check(klFree(q), "klFree");
   return checksum_of(result);
 }
 
@@ -136,10 +143,10 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* m = ompx::malloc_n<float>(o.n);
   auto* vv = ompx::malloc_n<float>(o.n);
   auto* g = ompx::malloc_n<float>(o.n);
-  OMPX_CHECK(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memset(m, 0, o.n * sizeof(float)));
-  OMPX_CHECK(ompx_memset(vv, 0, o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(p, d.params0.data(), o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(g, d.grads.data(), o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memset(m, 0, o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memset(vv, 0, o.n * sizeof(float)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(o.n, kBlock))};
@@ -157,7 +164,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<float> result(o.n);
-  OMPX_CHECK(ompx_memcpy(result.data(), p, o.n * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(result.data(), p, o.n * sizeof(float)));
   for (void* q : {static_cast<void*>(p), static_cast<void*>(m),
                   static_cast<void*>(vv), static_cast<void*>(g)})
     ompx::free_on(dev, q);

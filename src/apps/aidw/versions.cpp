@@ -215,21 +215,32 @@ void kernel_body(int q_count, int n_data, int tile, float avg_spacing,
 std::vector<float> run_kl(const SimulationData& d, simt::Device& dev,
                           Version v) {
   using namespace kl;
-  klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1);
+  check(klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1),
+        "klSetDevice");
   const Options& o = d.opt;
   float *dx = nullptr, *dy = nullptr, *dz = nullptr, *qx = nullptr,
         *qy = nullptr, *out = nullptr;
-  klMalloc(&dx, o.n_data * sizeof(float));
-  klMalloc(&dy, o.n_data * sizeof(float));
-  klMalloc(&dz, o.n_data * sizeof(float));
-  klMalloc(&qx, o.n_query * sizeof(float));
-  klMalloc(&qy, o.n_query * sizeof(float));
-  klMalloc(&out, o.n_query * sizeof(float));
-  klMemcpy(dx, d.dx.data(), o.n_data * sizeof(float), klMemcpyHostToDevice);
-  klMemcpy(dy, d.dy.data(), o.n_data * sizeof(float), klMemcpyHostToDevice);
-  klMemcpy(dz, d.dz.data(), o.n_data * sizeof(float), klMemcpyHostToDevice);
-  klMemcpy(qx, d.qx.data(), o.n_query * sizeof(float), klMemcpyHostToDevice);
-  klMemcpy(qy, d.qy.data(), o.n_query * sizeof(float), klMemcpyHostToDevice);
+  check(klMalloc(&dx, o.n_data * sizeof(float)), "klMalloc dx");
+  check(klMalloc(&dy, o.n_data * sizeof(float)), "klMalloc dy");
+  check(klMalloc(&dz, o.n_data * sizeof(float)), "klMalloc dz");
+  check(klMalloc(&qx, o.n_query * sizeof(float)), "klMalloc qx");
+  check(klMalloc(&qy, o.n_query * sizeof(float)), "klMalloc qy");
+  check(klMalloc(&out, o.n_query * sizeof(float)), "klMalloc out");
+  check(klMemcpy(dx, d.dx.data(), o.n_data * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy dx");
+  check(klMemcpy(dy, d.dy.data(), o.n_data * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy dy");
+  check(klMemcpy(dz, d.dz.data(), o.n_data * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy dz");
+  check(klMemcpy(qx, d.qx.data(), o.n_query * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy qx");
+  check(klMemcpy(qy, d.qy.data(), o.n_query * sizeof(float),
+                 klMemcpyHostToDevice),
+        "klMemcpy qy");
 
   KernelAttrs attrs;
   attrs.name = "aidw";
@@ -238,7 +249,8 @@ std::vector<float> run_kl(const SimulationData& d, simt::Device& dev,
   const int tile = o.tile;
   const float spacing = d.avg_spacing;
   const int nq = o.n_query, nd = o.n_data;
-  launch({static_cast<unsigned>(simt::ceil_div(nq, tile))},
+  check(
+      launch({static_cast<unsigned>(simt::ceil_div(nq, tile))},
          {static_cast<unsigned>(tile)}, 0, nullptr, attrs, [=] {
            kernel_body(
                nq, nd, tile, spacing, dx, dy, dz, qx, qy, out,
@@ -246,15 +258,17 @@ std::vector<float> run_kl(const SimulationData& d, simt::Device& dev,
                static_cast<int>(threadIdx().x),
                [&](int) { return shared_array<float>(tile); },
                [] { syncthreads(); });
-         });
-  klDeviceSynchronize();
+         }),
+      "aidw launch");
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::vector<float> result(o.n_query);
-  klMemcpy(result.data(), out, o.n_query * sizeof(float),
-           klMemcpyDeviceToHost);
+  check(klMemcpy(result.data(), out, o.n_query * sizeof(float),
+           klMemcpyDeviceToHost),
+        "klMemcpy D2H");
   for (void* p : {static_cast<void*>(dx), static_cast<void*>(dy),
                   static_cast<void*>(dz), static_cast<void*>(qx),
                   static_cast<void*>(qy), static_cast<void*>(out)})
-    klFree(p);
+    check(klFree(p), "klFree");
   return result;
 }
 
@@ -267,11 +281,11 @@ std::vector<float> run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* qx = ompx::malloc_n<float>(o.n_query);
   auto* qy = ompx::malloc_n<float>(o.n_query);
   auto* out = ompx::malloc_n<float>(o.n_query);
-  OMPX_CHECK(ompx_memcpy(dx, d.dx.data(), o.n_data * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(dy, d.dy.data(), o.n_data * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(dz, d.dz.data(), o.n_data * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(qx, d.qx.data(), o.n_query * sizeof(float)));
-  OMPX_CHECK(ompx_memcpy(qy, d.qy.data(), o.n_query * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(dx, d.dx.data(), o.n_data * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(dy, d.dy.data(), o.n_data * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(dz, d.dz.data(), o.n_data * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(qx, d.qx.data(), o.n_query * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(qy, d.qy.data(), o.n_query * sizeof(float)));
 
   ompx::LaunchSpec spec;
   const int tile = o.tile;
@@ -291,7 +305,7 @@ std::vector<float> run_ompx(const SimulationData& d, simt::Device& dev) {
         [] { ompx_sync_thread_block(); });
   });
   std::vector<float> result(o.n_query);
-  OMPX_CHECK(ompx_memcpy(result.data(), out, o.n_query * sizeof(float)));
+  OMPX_REQUIRE(ompx_memcpy(result.data(), out, o.n_query * sizeof(float)));
   for (void* p : {static_cast<void*>(dx), static_cast<void*>(dy),
                   static_cast<void*>(dz), static_cast<void*>(qx),
                   static_cast<void*>(qy), static_cast<void*>(out)})

@@ -102,7 +102,8 @@ void xor_into(std::uint64_t* hash, std::uint64_t contrib) {
 
 std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   using namespace kl;
-  klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1);
+  check(klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1),
+        "klSetDevice");
   const VersionTraits t = traits_for(v, dev);
 
   Pole* poles = nullptr;
@@ -110,26 +111,35 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   double *k0rs = nullptr, *concs = nullptr;
   int *num_nucs = nullptr, *mats = nullptr;
   std::uint64_t* hash = nullptr;
-  klMalloc(&poles, d.poles.size() * sizeof(Pole));
-  klMalloc(&windows, d.windows.size() * sizeof(Window));
-  klMalloc(&k0rs, d.pseudo_k0rs.size() * sizeof(double));
-  klMalloc(&num_nucs, d.num_nucs.size() * sizeof(int));
-  klMalloc(&mats, d.mats.size() * sizeof(int));
-  klMalloc(&concs, d.concs.size() * sizeof(double));
-  klMalloc(&hash, sizeof(std::uint64_t));
-  klMemcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole),
-           klMemcpyHostToDevice);
-  klMemcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window),
-           klMemcpyHostToDevice);
-  klMemcpy(k0rs, d.pseudo_k0rs.data(), d.pseudo_k0rs.size() * sizeof(double),
-           klMemcpyHostToDevice);
-  klMemcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int),
-           klMemcpyHostToDevice);
-  klMemcpy(mats, d.mats.data(), d.mats.size() * sizeof(int),
-           klMemcpyHostToDevice);
-  klMemcpy(concs, d.concs.data(), d.concs.size() * sizeof(double),
-           klMemcpyHostToDevice);
-  klMemset(hash, 0, sizeof(std::uint64_t));
+  check(klMalloc(&poles, d.poles.size() * sizeof(Pole)), "klMalloc poles");
+  check(klMalloc(&windows, d.windows.size() * sizeof(Window)),
+        "klMalloc windows");
+  check(klMalloc(&k0rs, d.pseudo_k0rs.size() * sizeof(double)),
+        "klMalloc k0rs");
+  check(klMalloc(&num_nucs, d.num_nucs.size() * sizeof(int)),
+        "klMalloc num_nucs");
+  check(klMalloc(&mats, d.mats.size() * sizeof(int)), "klMalloc mats");
+  check(klMalloc(&concs, d.concs.size() * sizeof(double)), "klMalloc concs");
+  check(klMalloc(&hash, sizeof(std::uint64_t)), "klMalloc hash");
+  check(klMemcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole),
+           klMemcpyHostToDevice),
+        "klMemcpy poles");
+  check(klMemcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window),
+           klMemcpyHostToDevice),
+        "klMemcpy windows");
+  check(klMemcpy(k0rs, d.pseudo_k0rs.data(),
+                 d.pseudo_k0rs.size() * sizeof(double), klMemcpyHostToDevice),
+        "klMemcpy k0rs");
+  check(klMemcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int),
+           klMemcpyHostToDevice),
+        "klMemcpy num_nucs");
+  check(klMemcpy(mats, d.mats.data(), d.mats.size() * sizeof(int),
+           klMemcpyHostToDevice),
+        "klMemcpy mats");
+  check(klMemcpy(concs, d.concs.data(), d.concs.size() * sizeof(double),
+           klMemcpyHostToDevice),
+        "klMemcpy concs");
+  check(klMemset(hash, 0, sizeof(std::uint64_t)), "klMemset hash");
 
   const Options opt = d.opt;
   const std::int64_t n = opt.lookups;
@@ -139,7 +149,8 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   attrs.profile = t.profile;
   attrs.cost = cost_for(d, t);
   const DeviceData dd{poles, windows, k0rs, num_nucs, mats, concs};
-  launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
+  check(
+      launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
          nullptr, attrs, [=] {
            const std::int64_t i =
                static_cast<std::int64_t>(global_thread_id_x());
@@ -150,16 +161,17 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
                                       dd.mats, dd.concs, opt, scratch);
            xor_into(hash, mix64(static_cast<std::uint64_t>(i) ^
                                 (static_cast<std::uint64_t>(arg) + 1)));
-         });
-  klDeviceSynchronize();
+         }),
+      "rsbench_event launch");
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::uint64_t h = 0;
-  klMemcpy(&h, hash, sizeof(h), klMemcpyDeviceToHost);
+  check(klMemcpy(&h, hash, sizeof(h), klMemcpyDeviceToHost), "klMemcpy D2H");
   for (void* p :
        {static_cast<void*>(poles), static_cast<void*>(windows),
         static_cast<void*>(k0rs), static_cast<void*>(num_nucs),
         static_cast<void*>(mats), static_cast<void*>(concs),
         static_cast<void*>(hash)})
-    klFree(p);
+    check(klFree(p), "klFree");
   return h;
 }
 
@@ -173,14 +185,14 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* mats = ompx::malloc_n<int>(d.mats.size());
   auto* concs = ompx::malloc_n<double>(d.concs.size());
   auto* hash = ompx::malloc_n<std::uint64_t>(1);
-  OMPX_CHECK(ompx_memcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole)));
-  OMPX_CHECK(ompx_memcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window)));
-  OMPX_CHECK(ompx_memcpy(k0rs, d.pseudo_k0rs.data(),
+  OMPX_REQUIRE(ompx_memcpy(poles, d.poles.data(), d.poles.size() * sizeof(Pole)));
+  OMPX_REQUIRE(ompx_memcpy(windows, d.windows.data(), d.windows.size() * sizeof(Window)));
+  OMPX_REQUIRE(ompx_memcpy(k0rs, d.pseudo_k0rs.data(),
               d.pseudo_k0rs.size() * sizeof(double)));
-  OMPX_CHECK(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
-  OMPX_CHECK(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
-  OMPX_CHECK(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
-  OMPX_CHECK(ompx_memset(hash, 0, sizeof(std::uint64_t)));
+  OMPX_REQUIRE(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
+  OMPX_REQUIRE(ompx_memset(hash, 0, sizeof(std::uint64_t)));
 
   const Options opt = d.opt;
   const std::int64_t n = opt.lookups;

@@ -84,20 +84,23 @@ simt::CompilerProfile profile_for(Version v, const simt::Device& dev) {
 std::vector<int> run_kl(const SimulationData& d, simt::Device& dev,
                         Version v) {
   using namespace kl;
-  klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1);
+  check(klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1),
+        "klSetDevice");
   const std::int64_t n = d.opt.n;
   int *din = nullptr, *dout = nullptr;
-  klMalloc(&din, d.input.size() * sizeof(int));
-  klMalloc(&dout, n * sizeof(int));
-  klMemcpy(din, d.input.data(), d.input.size() * sizeof(int),
-           klMemcpyHostToDevice);
+  check(klMalloc(&din, d.input.size() * sizeof(int)), "klMalloc din");
+  check(klMalloc(&dout, n * sizeof(int)), "klMalloc dout");
+  check(klMemcpy(din, d.input.data(), d.input.size() * sizeof(int),
+                 klMemcpyHostToDevice),
+        "klMemcpy H2D");
 
   KernelAttrs attrs;
   attrs.name = "stencil1d";
   attrs.profile = profile_for(v, dev);
   attrs.cost = tiled_cost();
   for (int it = 0; it < d.opt.iterations; ++it) {
-    launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
+    check(
+        launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
            nullptr, attrs, [=] {
              int* tile = shared_array<int>(kBlock + 2 * kRadius);
              const std::int64_t g =
@@ -116,13 +119,15 @@ std::vector<int> run_kl(const SimulationData& d, simt::Device& dev,
                for (int o = -kRadius; o <= kRadius; ++o) acc += tile[l + o];
                dout[g] = acc;
              }
-           });
+           }),
+        "stencil1d launch");
   }
-  klDeviceSynchronize();
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::vector<int> out(n);
-  klMemcpy(out.data(), dout, n * sizeof(int), klMemcpyDeviceToHost);
-  klFree(din);
-  klFree(dout);
+  check(klMemcpy(out.data(), dout, n * sizeof(int), klMemcpyDeviceToHost),
+        "klMemcpy D2H");
+  check(klFree(din), "klFree din");
+  check(klFree(dout), "klFree dout");
   return out;
 }
 
@@ -131,7 +136,7 @@ std::vector<int> run_ompx(const SimulationData& d, simt::Device& dev) {
   const std::int64_t n = d.opt.n;
   auto* din = ompx::malloc_n<int>(d.input.size());
   auto* dout = ompx::malloc_n<int>(n);
-  OMPX_CHECK(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(din, d.input.data(), d.input.size() * sizeof(int)));
 
   ompx::LaunchSpec spec;
   spec.num_teams = {static_cast<unsigned>(simt::ceil_div(n, kBlock))};
@@ -161,7 +166,7 @@ std::vector<int> run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<int> out(n);
-  OMPX_CHECK(ompx_memcpy(out.data(), dout, n * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(out.data(), dout, n * sizeof(int)));
   ompx::free_on(dev, din);
   ompx::free_on(dev, dout);
   return out;

@@ -101,14 +101,19 @@ simt::CompilerProfile profile_for(Version v, const simt::Device& dev) {
 
 std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   using namespace kl;
-  klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1);
+  check(klSetDevice(dev.config().vendor == simt::Vendor::kNvidia ? 0 : 1),
+        "klSetDevice");
   const int sites = d.opt.lattice_sites;
   Matrix *da = nullptr, *db = nullptr, *dc = nullptr;
-  klMalloc(&da, d.a.size() * sizeof(Matrix));
-  klMalloc(&db, d.b.size() * sizeof(Matrix));
-  klMalloc(&dc, d.a.size() * sizeof(Matrix));
-  klMemcpy(da, d.a.data(), d.a.size() * sizeof(Matrix), klMemcpyHostToDevice);
-  klMemcpy(db, d.b.data(), d.b.size() * sizeof(Matrix), klMemcpyHostToDevice);
+  check(klMalloc(&da, d.a.size() * sizeof(Matrix)), "klMalloc da");
+  check(klMalloc(&db, d.b.size() * sizeof(Matrix)), "klMalloc db");
+  check(klMalloc(&dc, d.a.size() * sizeof(Matrix)), "klMalloc dc");
+  check(klMemcpy(da, d.a.data(), d.a.size() * sizeof(Matrix),
+                 klMemcpyHostToDevice),
+        "klMemcpy da");
+  check(klMemcpy(db, d.b.data(), d.b.size() * sizeof(Matrix),
+                 klMemcpyHostToDevice),
+        "klMemcpy db");
 
   KernelAttrs attrs;
   attrs.name = "su3_mult";
@@ -117,21 +122,25 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   attrs.cost = su3_cost();
   const unsigned bs = static_cast<unsigned>(d.opt.threads_per_block);
   for (int it = 0; it < d.opt.iterations; ++it) {
-    launch({static_cast<unsigned>(simt::ceil_div(sites, bs))}, {bs}, 0,
+    check(
+        launch({static_cast<unsigned>(simt::ceil_div(sites, bs))}, {bs}, 0,
            nullptr, attrs, [=] {
              const int s = static_cast<int>(global_thread_id_x());
              if (s >= sites) return;
              for (int dir = 0; dir < 4; ++dir)
                dc[static_cast<std::size_t>(s) * 4 + dir] = mult_su3_nn(
                    da[static_cast<std::size_t>(s) * 4 + dir], db[dir]);
-           });
+           }),
+        "su3_mult launch");
   }
-  klDeviceSynchronize();
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::vector<Matrix> c(d.a.size());
-  klMemcpy(c.data(), dc, c.size() * sizeof(Matrix), klMemcpyDeviceToHost);
-  klFree(da);
-  klFree(db);
-  klFree(dc);
+  check(klMemcpy(c.data(), dc, c.size() * sizeof(Matrix),
+                 klMemcpyDeviceToHost),
+        "klMemcpy D2H");
+  check(klFree(da), "klFree da");
+  check(klFree(db), "klFree db");
+  check(klFree(dc), "klFree dc");
   return checksum_of(c);
 }
 
@@ -141,8 +150,8 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* da = ompx::malloc_n<Matrix>(d.a.size());
   auto* db = ompx::malloc_n<Matrix>(d.b.size());
   auto* dc = ompx::malloc_n<Matrix>(d.a.size());
-  OMPX_CHECK(ompx_memcpy(da, d.a.data(), d.a.size() * sizeof(Matrix)));
-  OMPX_CHECK(ompx_memcpy(db, d.b.data(), d.b.size() * sizeof(Matrix)));
+  OMPX_REQUIRE(ompx_memcpy(da, d.a.data(), d.a.size() * sizeof(Matrix)));
+  OMPX_REQUIRE(ompx_memcpy(db, d.b.data(), d.b.size() * sizeof(Matrix)));
 
   ompx::LaunchSpec spec;
   const unsigned bs = static_cast<unsigned>(d.opt.threads_per_block);
@@ -163,7 +172,7 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
     });
   }
   std::vector<Matrix> c(d.a.size());
-  OMPX_CHECK(ompx_memcpy(c.data(), dc, c.size() * sizeof(Matrix)));
+  OMPX_REQUIRE(ompx_memcpy(c.data(), dc, c.size() * sizeof(Matrix)));
   ompx::free_on(dev, da);
   ompx::free_on(dev, db);
   ompx::free_on(dev, dc);

@@ -80,25 +80,33 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
     throw std::runtime_error("xsbench: klSetDevice failed");
 
   DeviceData dd{};
-  klMalloc(&dd.energy, d.energy.size() * sizeof(double));
-  klMalloc(&dd.xs, d.xs.size() * sizeof(double));
-  klMalloc(&dd.num_nucs, d.num_nucs.size() * sizeof(int));
-  klMalloc(&dd.mats, d.mats.size() * sizeof(int));
-  klMalloc(&dd.concs, d.concs.size() * sizeof(double));
-  klMemcpy(dd.energy, d.energy.data(), d.energy.size() * sizeof(double),
-           klMemcpyHostToDevice);
-  klMemcpy(dd.xs, d.xs.data(), d.xs.size() * sizeof(double),
-           klMemcpyHostToDevice);
-  klMemcpy(dd.num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int),
-           klMemcpyHostToDevice);
-  klMemcpy(dd.mats, d.mats.data(), d.mats.size() * sizeof(int),
-           klMemcpyHostToDevice);
-  klMemcpy(dd.concs, d.concs.data(), d.concs.size() * sizeof(double),
-           klMemcpyHostToDevice);
+  check(klMalloc(&dd.energy, d.energy.size() * sizeof(double)),
+        "klMalloc energy");
+  check(klMalloc(&dd.xs, d.xs.size() * sizeof(double)), "klMalloc xs");
+  check(klMalloc(&dd.num_nucs, d.num_nucs.size() * sizeof(int)),
+        "klMalloc num_nucs");
+  check(klMalloc(&dd.mats, d.mats.size() * sizeof(int)), "klMalloc mats");
+  check(klMalloc(&dd.concs, d.concs.size() * sizeof(double)),
+        "klMalloc concs");
+  check(klMemcpy(dd.energy, d.energy.data(), d.energy.size() * sizeof(double),
+           klMemcpyHostToDevice),
+        "klMemcpy energy");
+  check(klMemcpy(dd.xs, d.xs.data(), d.xs.size() * sizeof(double),
+           klMemcpyHostToDevice),
+        "klMemcpy xs");
+  check(klMemcpy(dd.num_nucs, d.num_nucs.data(),
+                 d.num_nucs.size() * sizeof(int), klMemcpyHostToDevice),
+        "klMemcpy num_nucs");
+  check(klMemcpy(dd.mats, d.mats.data(), d.mats.size() * sizeof(int),
+           klMemcpyHostToDevice),
+        "klMemcpy mats");
+  check(klMemcpy(dd.concs, d.concs.data(), d.concs.size() * sizeof(double),
+           klMemcpyHostToDevice),
+        "klMemcpy concs");
 
   std::uint64_t* d_hash = nullptr;
-  klMalloc(&d_hash, sizeof(std::uint64_t));
-  klMemset(d_hash, 0, sizeof(std::uint64_t));
+  check(klMalloc(&d_hash, sizeof(std::uint64_t)), "klMalloc hash");
+  check(klMemset(d_hash, 0, sizeof(std::uint64_t)), "klMemset hash");
 
   const std::int64_t n = d.opt.lookups;
   const int gp = d.opt.n_gridpoints, mx = d.opt.max_nucs_per_mat,
@@ -109,7 +117,8 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
   attrs.profile = profile_for(v);
   attrs.cost = cost_for(d);
   const DeviceData cd = dd;
-  launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
+  check(
+      launch({static_cast<unsigned>(simt::ceil_div(n, kBlock))}, {kBlock}, 0,
          nullptr, attrs, [=] {
            const std::int64_t i =
                static_cast<std::int64_t>(global_thread_id_x());
@@ -128,14 +137,15 @@ std::uint64_t run_kl(const SimulationData& d, simt::Device& dev, Version v) {
              if (prev == seen) break;
              seen = prev;
            }
-         });
-  klDeviceSynchronize();
+         }),
+      "xsbench_event launch");
+  check(klDeviceSynchronize(), "klDeviceSynchronize");
   std::uint64_t h = 0;
-  klMemcpy(&h, d_hash, sizeof(h), klMemcpyDeviceToHost);
+  check(klMemcpy(&h, d_hash, sizeof(h), klMemcpyDeviceToHost), "klMemcpy D2H");
   for (void* p : {static_cast<void*>(dd.energy), static_cast<void*>(dd.xs),
                   static_cast<void*>(dd.num_nucs), static_cast<void*>(dd.mats),
                   static_cast<void*>(dd.concs), static_cast<void*>(d_hash)})
-    klFree(p);
+    check(klFree(p), "klFree");
   return h;
 }
 
@@ -149,12 +159,12 @@ std::uint64_t run_ompx(const SimulationData& d, simt::Device& dev) {
   auto* mats = ompx::malloc_n<int>(d.mats.size());
   auto* concs = ompx::malloc_n<double>(d.concs.size());
   auto* hash = ompx::malloc_n<std::uint64_t>(1);
-  OMPX_CHECK(ompx_memcpy(energy, d.energy.data(), d.energy.size() * sizeof(double)));
-  OMPX_CHECK(ompx_memcpy(xs, d.xs.data(), d.xs.size() * sizeof(double)));
-  OMPX_CHECK(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
-  OMPX_CHECK(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
-  OMPX_CHECK(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
-  OMPX_CHECK(ompx_memset(hash, 0, sizeof(std::uint64_t)));
+  OMPX_REQUIRE(ompx_memcpy(energy, d.energy.data(), d.energy.size() * sizeof(double)));
+  OMPX_REQUIRE(ompx_memcpy(xs, d.xs.data(), d.xs.size() * sizeof(double)));
+  OMPX_REQUIRE(ompx_memcpy(num_nucs, d.num_nucs.data(), d.num_nucs.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(mats, d.mats.data(), d.mats.size() * sizeof(int)));
+  OMPX_REQUIRE(ompx_memcpy(concs, d.concs.data(), d.concs.size() * sizeof(double)));
+  OMPX_REQUIRE(ompx_memset(hash, 0, sizeof(std::uint64_t)));
 
   const std::int64_t n = d.opt.lookups;
   const int gp = d.opt.n_gridpoints, mx = d.opt.max_nucs_per_mat,

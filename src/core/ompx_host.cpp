@@ -29,6 +29,7 @@ void sync_for_host_op(simt::Device& dev) {
 }  // namespace
 
 void* malloc_on(simt::Device& dev, std::size_t bytes) {
+  dev.check_not_lost("ompx malloc");
   return dev.memory().allocate(bytes);
 }
 
@@ -52,6 +53,10 @@ void memcpy_on(simt::Device& dev, void* dst, const void* src,
   // accounting, memcheck false negatives).
   simt::Device* dst_dev = simt::resolve_device(dst);
   simt::Device* src_dev = simt::resolve_device(src);
+  if (dst_dev != nullptr) dst_dev->check_not_lost("ompx memcpy");
+  if (src_dev != nullptr) src_dev->check_not_lost("ompx memcpy");
+  if (dst_dev == nullptr && src_dev == nullptr)
+    dev.check_not_lost("ompx memcpy");
   if (dst_dev != nullptr) sync_for_host_op(*dst_dev);
   if (src_dev != nullptr && src_dev != dst_dev) sync_for_host_op(*src_dev);
   if (dst_dev == nullptr && src_dev == nullptr) sync_for_host_op(dev);
@@ -80,6 +85,7 @@ void memcpy_on(simt::Device& dev, void* dst, const void* src,
 void memset_on(simt::Device& dev, void* ptr, int value, std::size_t bytes) {
   simt::Device* owner = simt::resolve_device(ptr);
   simt::Device& target = owner != nullptr ? *owner : dev;
+  target.check_not_lost("ompx memset");
   sync_for_host_op(target);
   target.memory().set(ptr, value, bytes);
 }
@@ -142,6 +148,18 @@ ompx_result_t guarded(Fn&& fn) {
   try {
     fn();
     return record_result(OMPX_SUCCESS, nullptr);
+  } catch (const simt::DeviceLostError& e) {
+    return record_result(OMPX_ERROR_DEVICE_LOST, e.what());
+  } catch (const simt::TimeoutError& e) {
+    return record_result(OMPX_ERROR_TIMEOUT, e.what());
+  } catch (const simt::DeviceOOMError& e) {
+    // Before the generic bad_alloc clause: device-capacity exhaustion is
+    // distinct from a failed host allocation.
+    return record_result(OMPX_ERROR_OUT_OF_MEMORY, e.what());
+  } catch (const ompx::result_error& e) {
+    // A nested OMPX_REQUIRE (host callback re-entering the API); keep
+    // the original code.
+    return record_result(e.result(), e.what());
   } catch (const std::bad_alloc& e) {
     return record_result(OMPX_ERROR_MEMORY_ALLOCATION, e.what());
   } catch (const std::invalid_argument& e) {
@@ -182,7 +200,59 @@ simt::Graph* checked_graph(const char* who, ompx_graph_t handle) {
   return g;
 }
 
+/// Live stream / event for a C-API handle, or null (with the thread's
+/// last result set). Same contract as checked_graph: destroyed and
+/// foreign handles get OMPX_ERROR_INVALID_VALUE, never a dereference.
+simt::Stream* checked_stream(const char* who, ompx_stream_t handle) {
+  auto* s = static_cast<simt::Stream*>(handle);
+  if (s == nullptr || !simt::stream_alive(s)) {
+    const std::string msg =
+        std::string(who) + ": invalid or destroyed stream handle";
+    record_result(OMPX_ERROR_INVALID_VALUE, msg.c_str());
+    return nullptr;
+  }
+  return s;
+}
+
+simt::Event* checked_event(const char* who, ompx_event_t handle) {
+  auto* e = static_cast<simt::Event*>(handle);
+  if (e == nullptr || !simt::event_alive(e)) {
+    const std::string msg =
+        std::string(who) + ": invalid or destroyed event handle";
+    record_result(OMPX_ERROR_INVALID_VALUE, msg.c_str());
+    return nullptr;
+  }
+  return e;
+}
+
 }  // namespace
+
+namespace ompx {
+
+namespace detail {
+void throw_result_error(const char* expr, ompx_result_t result) {
+  std::string msg = std::string(expr) + " -> " + ompx_result_string(result);
+  const char* detail = ompx_last_result_detail();
+  if (detail != nullptr && detail[0] != '\0')
+    msg += std::string(" (") + detail + ")";
+  throw result_error(result, msg);
+}
+}  // namespace detail
+
+FaultScope::FaultScope(const std::string& spec)
+    : had_previous_(simt::FaultInjector::instance().active()),
+      previous_spec_(simt::FaultInjector::instance().spec()) {
+  simt::FaultInjector::instance().enable(spec);
+}
+
+FaultScope::~FaultScope() {
+  if (had_previous_)
+    simt::FaultInjector::instance().enable(previous_spec_);
+  else
+    simt::FaultInjector::instance().disable();
+}
+
+}  // namespace ompx
 
 extern "C" {
 
@@ -193,6 +263,9 @@ const char* ompx_result_string(ompx_result_t result) {
     case OMPX_ERROR_MEMORY_ALLOCATION: return "memory allocation failure";
     case OMPX_ERROR_INVALID_DEVICE: return "invalid device index";
     case OMPX_ERROR_LAUNCH_FAILURE: return "launch failure";
+    case OMPX_ERROR_OUT_OF_MEMORY: return "device out of memory";
+    case OMPX_ERROR_DEVICE_LOST: return "device lost";
+    case OMPX_ERROR_TIMEOUT: return "watchdog timeout";
     case OMPX_ERROR_UNKNOWN: return "unknown error";
   }
   return "unrecognized ompx_result_t";
@@ -298,27 +371,23 @@ ompx_stream_t ompx_stream_create() {
 }
 
 ompx_result_t ompx_stream_destroy(ompx_stream_t stream) {
-  return guarded([&] {
-    if (stream == nullptr) return;
-    auto* s = static_cast<simt::Stream*>(stream);
-    s->device().destroy_stream(s);
-  });
+  if (stream == nullptr) return record_result(OMPX_SUCCESS, nullptr);
+  simt::Stream* s = checked_stream("ompx_stream_destroy", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->device().destroy_stream(s); });
 }
 
 ompx_result_t ompx_stream_synchronize(ompx_stream_t stream) {
-  return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_stream_synchronize: null stream");
-    static_cast<simt::Stream*>(stream)->synchronize();
-  });
+  simt::Stream* s = checked_stream("ompx_stream_synchronize", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->synchronize(); });
 }
 
 ompx_result_t ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
                                 ompx_stream_t stream) {
+  simt::Stream* s = checked_stream("ompx_memcpy_async", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
   return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_memcpy_async: null stream");
-    auto* s = static_cast<simt::Stream*>(stream);
     // Direction inference is registry-wide, like ompx_memcpy. A true
     // cross-device pair cannot be expressed as a single-stream op;
     // execute it as a synchronous peer copy ordered after the stream's
@@ -346,29 +415,23 @@ ompx_result_t ompx_memcpy_async(void* dst, const void* src, std::size_t bytes,
 
 ompx_result_t ompx_memset_async(void* ptr, int value, std::size_t bytes,
                                 ompx_stream_t stream) {
-  return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_memset_async: null stream");
-    static_cast<simt::Stream*>(stream)->memset_async(ptr, value, bytes);
-  });
+  simt::Stream* s = checked_stream("ompx_memset_async", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->memset_async(ptr, value, bytes); });
 }
 
 void* ompx_malloc_async(std::size_t bytes, ompx_stream_t stream) {
+  simt::Stream* s = checked_stream("ompx_malloc_async", stream);
+  if (s == nullptr) return nullptr;
   void* p = nullptr;
-  guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_malloc_async: null stream");
-    p = static_cast<simt::Stream*>(stream)->malloc_async(bytes);
-  });
+  guarded([&] { p = s->malloc_async(bytes); });
   return p;
 }
 
 ompx_result_t ompx_free_async(void* ptr, ompx_stream_t stream) {
-  return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_free_async: null stream");
-    static_cast<simt::Stream*>(stream)->free_async(ptr);
-  });
+  simt::Stream* s = checked_stream("ompx_free_async", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->free_async(ptr); });
 }
 
 ompx_result_t ompx_mempool_get_stats(int device, ompx_mempool_stats_t* stats) {
@@ -401,19 +464,16 @@ ompx_result_t ompx_mempool_trim(int device) {
 }
 
 ompx_result_t ompx_stream_begin_capture(ompx_stream_t stream) {
-  return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_stream_begin_capture: null stream");
-    static_cast<simt::Stream*>(stream)->begin_capture();
-  });
+  simt::Stream* s = checked_stream("ompx_stream_begin_capture", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->begin_capture(); });
 }
 
 ompx_result_t ompx_stream_end_capture(ompx_stream_t stream,
                                       ompx_graph_t* graph) {
+  simt::Stream* s = checked_stream("ompx_stream_end_capture", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
   return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_stream_end_capture: null stream");
-    auto* s = static_cast<simt::Stream*>(stream);
     if (graph == nullptr) {
       // End the capture anyway (discarding it) so the stream is usable,
       // then report the bad out-param.
@@ -426,9 +486,10 @@ ompx_result_t ompx_stream_end_capture(ompx_stream_t stream,
 }
 
 int ompx_stream_is_capturing(ompx_stream_t stream) {
+  if (stream == nullptr || !simt::stream_alive(static_cast<simt::Stream*>(stream)))
+    return 0;
   int out = 0;
   guarded([&] {
-    if (stream == nullptr) return;
     out = static_cast<simt::Stream*>(stream)->capturing() ? 1 : 0;
   });
   return out;
@@ -443,11 +504,9 @@ ompx_result_t ompx_graph_instantiate(ompx_graph_t graph) {
 ompx_result_t ompx_graph_launch(ompx_graph_t graph, ompx_stream_t stream) {
   simt::Graph* g = checked_graph("ompx_graph_launch", graph);
   if (g == nullptr) return OMPX_ERROR_INVALID_VALUE;
-  return guarded([&] {
-    if (stream == nullptr)
-      throw std::invalid_argument("ompx_graph_launch: null stream");
-    static_cast<simt::Stream*>(stream)->launch_graph(*g);
-  });
+  simt::Stream* s = checked_stream("ompx_graph_launch", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->launch_graph(*g); });
 }
 
 ompx_result_t ompx_graph_destroy(ompx_graph_t graph) {
@@ -506,9 +565,15 @@ ompx_result_t ompx_launch_kernel(void (*fn)(void*), void* arg,
     p.block = block != nullptr ? simt::Dim3{block[0], block[1], block[2]}
                                : simt::Dim3{1, 1, 1};
     p.name = "ompx_launch_kernel";
-    simt::Stream* s = stream != nullptr
-                          ? static_cast<simt::Stream*>(stream)
-                          : &ompx::default_device().default_stream();
+    simt::Stream* s;
+    if (stream != nullptr) {
+      s = static_cast<simt::Stream*>(stream);
+      if (!simt::stream_alive(s))
+        throw std::invalid_argument(
+            "ompx_launch_kernel: invalid or destroyed stream handle");
+    } else {
+      s = &ompx::default_device().default_stream();
+    }
     s->launch(p, [fn, arg] { fn(arg); });
   });
 }
@@ -520,47 +585,43 @@ ompx_event_t ompx_event_create() {
 }
 
 ompx_result_t ompx_event_destroy(ompx_event_t event) {
-  return guarded([&] {
-    if (event == nullptr) return;
-    auto* e = static_cast<simt::Event*>(event);
-    e->device().destroy_event(e);
-  });
+  if (event == nullptr) return record_result(OMPX_SUCCESS, nullptr);
+  simt::Event* e = checked_event("ompx_event_destroy", event);
+  if (e == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { e->device().destroy_event(e); });
 }
 
 ompx_result_t ompx_event_record(ompx_event_t event, ompx_stream_t stream) {
-  return guarded([&] {
-    if (event == nullptr || stream == nullptr)
-      throw std::invalid_argument("ompx_event_record: null handle");
-    static_cast<simt::Stream*>(stream)->record(
-        *static_cast<simt::Event*>(event));
-  });
+  simt::Event* e = checked_event("ompx_event_record", event);
+  if (e == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  simt::Stream* s = checked_stream("ompx_event_record", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->record(*e); });
 }
 
 ompx_result_t ompx_event_synchronize(ompx_event_t event) {
-  return guarded([&] {
-    if (event == nullptr)
-      throw std::invalid_argument("ompx_event_synchronize: null event");
-    static_cast<simt::Event*>(event)->synchronize();
-  });
+  simt::Event* e = checked_event("ompx_event_synchronize", event);
+  if (e == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { e->synchronize(); });
 }
 
 ompx_result_t ompx_stream_wait_event(ompx_stream_t stream,
                                      ompx_event_t event) {
-  return guarded([&] {
-    if (event == nullptr || stream == nullptr)
-      throw std::invalid_argument("ompx_stream_wait_event: null handle");
-    static_cast<simt::Stream*>(stream)->wait(
-        *static_cast<simt::Event*>(event));
-  });
+  simt::Stream* s = checked_stream("ompx_stream_wait_event", stream);
+  if (s == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  simt::Event* e = checked_event("ompx_stream_wait_event", event);
+  if (e == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { s->wait(*e); });
 }
 
 float ompx_event_elapsed_ms(ompx_event_t start, ompx_event_t stop) {
+  simt::Event* e0 = checked_event("ompx_event_elapsed_ms", start);
+  if (e0 == nullptr) return -1.0f;
+  simt::Event* e1 = checked_event("ompx_event_elapsed_ms", stop);
+  if (e1 == nullptr) return -1.0f;
   float out = -1.0f;
   guarded([&] {
-    if (start == nullptr || stop == nullptr)
-      throw std::invalid_argument("ompx_event_elapsed_ms: null event");
-    out = static_cast<float>(static_cast<simt::Event*>(stop)->modeled_ms() -
-                             static_cast<simt::Event*>(start)->modeled_ms());
+    out = static_cast<float>(e1->modeled_ms() - e0->modeled_ms());
   });
   return out;
 }
@@ -645,6 +706,40 @@ void ompx_check_failed(const char* expr, const char* file, int line,
                static_cast<int>(result));
   std::abort();
 }
+
+ompx_result_t ompx_fault_enable(const char* spec) {
+  return guarded([&] {
+    if (spec == nullptr) {
+      simt::FaultInjector::instance().disable();
+      return;
+    }
+    simt::FaultInjector::instance().enable(spec);
+  });
+}
+
+ompx_result_t ompx_fault_disable(void) {
+  return guarded([&] { simt::FaultInjector::instance().disable(); });
+}
+
+int ompx_fault_active(void) {
+  return simt::FaultInjector::instance().active() ? 1 : 0;
+}
+
+unsigned long long ompx_fault_injected_count(void) {
+  return simt::FaultInjector::instance().injected_count();
+}
+
+ompx_result_t ompx_device_reset(int device) {
+  simt::Device* dev = checked_device("ompx_device_reset", device);
+  if (dev == nullptr) return OMPX_ERROR_INVALID_DEVICE;
+  return guarded([&] { dev->reset(); });
+}
+
+ompx_result_t ompx_set_watchdog_ms(double ms) {
+  return guarded([&] { simt::set_watchdog_ms(ms); });
+}
+
+double ompx_get_watchdog_ms(void) { return simt::watchdog_ms(); }
 
 ompx_result_t ompx_set_exec_policy(const char* policy) {
   return guarded([&] {

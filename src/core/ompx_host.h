@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 #include "core/ompx_launch.h"
 #include "simt/simt.h"
@@ -42,9 +44,14 @@ extern "C" {
 typedef enum ompx_result_t {
   OMPX_SUCCESS = 0,
   OMPX_ERROR_INVALID_VALUE = 1,
-  OMPX_ERROR_MEMORY_ALLOCATION = 2,
+  OMPX_ERROR_MEMORY_ALLOCATION = 2, /* host-side allocation failed */
   OMPX_ERROR_INVALID_DEVICE = 3,
   OMPX_ERROR_LAUNCH_FAILURE = 4,
+  OMPX_ERROR_OUT_OF_MEMORY = 5, /* device memory exhausted (cudaErrorMemoryAllocation) */
+  OMPX_ERROR_DEVICE_LOST = 6,   /* device marked lost; reset to recover
+                                   (cudaErrorDevicesUnavailable) */
+  OMPX_ERROR_TIMEOUT = 7,       /* watchdog expired a kernel or stream op
+                                   (cudaErrorLaunchTimeout) */
   OMPX_ERROR_UNKNOWN = 999,
 } ompx_result_t;
 
@@ -261,6 +268,34 @@ void ompx_check_failed(const char* expr, const char* file, int line,
 /// launch has completed yet (or info is null).
 int ompx_get_last_launch_info(ompx_launch_info_t* info);
 
+/// Deterministic fault injection over the engine's failure chokepoints
+/// (see simt/fault.h for the spec grammar: site[:key=value,...][;...]
+/// with sites oom | host_oom | stall | peer | graph | device_lost and
+/// triggers after=N / every=N / p=F[+seed=S]). Also armed at process
+/// start by OMPX_FAULT. Enabling replaces the previous spec; a
+/// malformed spec returns OMPX_ERROR_INVALID_VALUE and leaves the
+/// previous configuration in force. Null disables, like
+/// ompx_fault_disable().
+ompx_result_t ompx_fault_enable(const char* spec);
+ompx_result_t ompx_fault_disable(void);
+/// 1 while a fault spec is armed, 0 otherwise.
+int ompx_fault_active(void);
+/// Total faults injected since the spec was (re)armed.
+unsigned long long ompx_fault_injected_count(void);
+
+/// Clears a device's lost state and drains its pending failed work so
+/// the process can keep using it — the cudaDeviceReset-shaped recovery
+/// path after OMPX_ERROR_DEVICE_LOST. Streams the watchdog timed out
+/// stay dead; destroy and recreate them.
+ompx_result_t ompx_device_reset(int device);
+
+/// Kernel watchdog budget in milliseconds (OMPX_WATCHDOG_MS at process
+/// start). <= 0 disables. Applies to both the *modeled* duration of a
+/// launch and the *wall-clock* duration of any stream op; an overrun
+/// fails with OMPX_ERROR_TIMEOUT and kills only the offending stream.
+ompx_result_t ompx_set_watchdog_ms(double ms);
+double ompx_get_watchdog_ms(void);
+
 }  // extern "C"
 
 /// Result check for the host C ABI (the cudaCheck idiom). Statement
@@ -275,6 +310,53 @@ int ompx_get_last_launch_info(ompx_launch_info_t* info);
   } while (0)
 
 namespace ompx {
+
+/// A failed ompx_* call, carried as an exception by OMPX_REQUIRE. Lets
+/// C++ hosts (the benchmark apps) turn C-ABI failures into unwinding —
+/// an injected fault propagates out of the app as a catchable error
+/// instead of aborting the process the way OMPX_CHECK does.
+class result_error : public std::runtime_error {
+ public:
+  result_error(ompx_result_t result, const std::string& what)
+      : std::runtime_error(what), result_(result) {}
+  [[nodiscard]] ompx_result_t result() const { return result_; }
+
+ private:
+  ompx_result_t result_;
+};
+
+namespace detail {
+[[noreturn]] void throw_result_error(const char* expr, ompx_result_t result);
+}  // namespace detail
+
+}  // namespace ompx
+
+/// Like OMPX_CHECK, but throws ompx::result_error (with the thread's
+/// last-result detail) instead of aborting. Statement position only;
+/// evaluates `expr` once.
+#define OMPX_REQUIRE(expr)                                                \
+  do {                                                                    \
+    const ompx_result_t ompx_require_result_ = (expr);                    \
+    if (ompx_require_result_ != OMPX_SUCCESS)                             \
+      ompx::detail::throw_result_error(#expr, ompx_require_result_);      \
+  } while (0)
+
+namespace ompx {
+
+/// RAII fault-injection window: arms `spec` on construction, restores
+/// whatever was armed before (or disarms) on destruction. Exception
+/// safe — the spec cannot leak past the scope.
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& spec);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  bool had_previous_;
+  std::string previous_spec_;
+};
 
 void* malloc_on(simt::Device& dev, std::size_t bytes);
 /// Frees `ptr` on its *owning* device (resolved registry-wide); `dev`

@@ -26,7 +26,13 @@ klError guarded(F&& f) {
   try {
     f();
     return klSuccess;
+  } catch (const simt::DeviceLostError& e) {
+    return record_error(klErrorDeviceLost, e.what());
+  } catch (const simt::TimeoutError& e) {
+    return record_error(klErrorTimeout, e.what());
   } catch (const std::bad_alloc& e) {
+    // Includes simt::DeviceOOMError: device-capacity exhaustion keeps
+    // reporting klErrorMemoryAllocation, like cudaErrorMemoryAllocation.
     return record_error(klErrorMemoryAllocation, e.what());
   } catch (const std::invalid_argument& e) {
     return record_error(klErrorInvalidValue, e.what());
@@ -70,6 +76,8 @@ const char* klGetErrorString(klError e) {
     case klErrorInvalidDevice: return "klErrorInvalidDevice";
     case klErrorLaunchFailure: return "klErrorLaunchFailure";
     case klErrorNotReady: return "klErrorNotReady";
+    case klErrorDeviceLost: return "klErrorDeviceLost";
+    case klErrorTimeout: return "klErrorTimeout";
     case klErrorUnknown: return "klErrorUnknown";
   }
   return "klError(?)";
@@ -110,14 +118,42 @@ simt::Device& current_device() {
   return *simt::device_registry()[t_device_index];
 }
 
+namespace {
+
+/// current_device() plus the lost check: every entry point that touches
+/// device state directly fails with klErrorDeviceLost (via guarded)
+/// instead of operating on a lost device.
+simt::Device& usable_device(const char* who) {
+  simt::Device& dev = current_device();
+  dev.check_not_lost(who);
+  return dev;
+}
+
+/// Handle validation against the live registries: a destroyed or
+/// foreign handle is a clean klErrorInvalidValue, never a dereference.
+/// Null is legal where the API gives it default-stream / no-op meaning,
+/// so null passes here and each entry point keeps its own null policy.
+bool bad_stream(klStream_t s) {
+  return s != nullptr && !simt::stream_alive(s);
+}
+bool bad_event(klEvent_t ev) {
+  return ev != nullptr && !simt::event_alive(ev);
+}
+constexpr const char* kBadStream = "invalid or destroyed stream handle";
+constexpr const char* kBadEvent = "invalid or destroyed event handle";
+
+}  // namespace
+
 klError klMalloc(void** ptr, std::size_t bytes) {
   if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
-  return guarded([&] { *ptr = current_device().memory().allocate(bytes); });
+  *ptr = nullptr;  // defensive: never leave the out-param dangling
+  return guarded(
+      [&] { *ptr = usable_device("klMalloc").memory().allocate(bytes); });
 }
 
 klError klFree(void* ptr) {
   return guarded([&] {
-    auto& dev = current_device();
+    auto& dev = usable_device("klFree");
     sync_legacy(dev);  // an in-flight launch may still use the block
     dev.memory().deallocate(ptr);
   });
@@ -126,7 +162,7 @@ klError klFree(void* ptr) {
 klError klMemcpy(void* dst, const void* src, std::size_t bytes,
                  klMemcpyKind kind) {
   return guarded([&] {
-    auto& dev = current_device();
+    auto& dev = usable_device("klMemcpy");
     sync_legacy(dev);
     dev.memory().copy(dst, src, bytes, to_engine(kind));
     if (kind == klMemcpyHostToDevice || kind == klMemcpyDeviceToHost)
@@ -191,7 +227,7 @@ klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
                    std::size_t spitch, std::size_t width, std::size_t height,
                    klMemcpyKind kind) {
   return guarded([&] {
-    auto& dev = current_device();
+    auto& dev = usable_device("klMemcpy2D");
     sync_legacy(dev);
     const std::size_t payload =
         dev.memory().copy_2d(dst, dpitch, src, spitch, width, height,
@@ -203,7 +239,7 @@ klError klMemcpy2D(void* dst, std::size_t dpitch, const void* src,
 
 klError klMemset(void* ptr, int value, std::size_t bytes) {
   return guarded([&] {
-    auto& dev = current_device();
+    auto& dev = usable_device("klMemset");
     sync_legacy(dev);
     dev.memory().set(ptr, value, bytes);
   });
@@ -211,15 +247,18 @@ klError klMemset(void* ptr, int value, std::size_t bytes) {
 
 klError klStreamCreate(klStream_t* stream) {
   if (stream == nullptr) return record_error(klErrorInvalidValue, "null stream");
+  *stream = nullptr;
   return guarded([&] { *stream = current_device().create_stream(); });
 }
 
 klError klStreamDestroy(klStream_t stream) {
   if (stream == nullptr) return klSuccess;
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] { stream->device().destroy_stream(stream); });
 }
 
 klError klStreamSynchronize(klStream_t stream) {
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     (stream != nullptr ? *stream : current_device().default_stream())
         .synchronize();
@@ -228,6 +267,7 @@ klError klStreamSynchronize(klStream_t stream) {
 
 klError klMemcpyAsync(void* dst, const void* src, std::size_t bytes,
                       klMemcpyKind kind, klStream_t stream) {
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     s.memcpy_async(dst, src, bytes, to_engine(kind));
@@ -236,6 +276,7 @@ klError klMemcpyAsync(void* dst, const void* src, std::size_t bytes,
 
 klError klMemsetAsync(void* ptr, int value, std::size_t bytes,
                       klStream_t stream) {
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     s.memset_async(ptr, value, bytes);
@@ -244,6 +285,8 @@ klError klMemsetAsync(void* ptr, int value, std::size_t bytes,
 
 klError klMallocAsync(void** ptr, std::size_t bytes, klStream_t stream) {
   if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
+  *ptr = nullptr;
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     *ptr = s.malloc_async(bytes);
@@ -251,6 +294,7 @@ klError klMallocAsync(void** ptr, std::size_t bytes, klStream_t stream) {
 }
 
 klError klFreeAsync(void* ptr, klStream_t stream) {
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     s.free_async(ptr);
@@ -262,12 +306,14 @@ klError klStreamBeginCapture(klStream_t stream) {
     return record_error(klErrorInvalidValue,
                         "klStreamBeginCapture: the default stream cannot be "
                         "captured; pass a created stream");
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] { stream->begin_capture(); });
 }
 
 klError klStreamEndCapture(klStream_t stream, klGraph_t* graph) {
   if (stream == nullptr)
     return record_error(klErrorInvalidValue, "null stream");
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   if (graph == nullptr) {
     // End the capture anyway (discarding it) so the stream is usable.
     guarded([&] {
@@ -296,6 +342,7 @@ klError klGraphInstantiate(klGraph_t graph) {
 klError klGraphLaunch(klGraph_t graph, klStream_t stream) {
   const klError e = check_graph(graph);
   if (e != klSuccess) return e;
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s =
         stream != nullptr ? *stream : graph->device().default_stream();
@@ -310,13 +357,15 @@ klError klGraphDestroy(klGraph_t graph) {
 
 klError klMallocConstant(void** ptr, std::size_t bytes) {
   if (ptr == nullptr) return record_error(klErrorInvalidValue, "null ptr");
-  return guarded(
-      [&] { *ptr = current_device().constant_memory().allocate(bytes); });
+  *ptr = nullptr;
+  return guarded([&] {
+    *ptr = usable_device("klMallocConstant").constant_memory().allocate(bytes);
+  });
 }
 
 klError klMemcpyToSymbol(void* symbol, const void* src, std::size_t bytes) {
   return guarded([&] {
-    auto& dev = current_device();
+    auto& dev = usable_device("klMemcpyToSymbol");
     sync_legacy(dev);  // in-flight kernels read the old symbol value
     dev.constant_memory().copy(symbol, src, bytes,
                                simt::CopyKind::kHostToDevice);
@@ -325,21 +374,27 @@ klError klMemcpyToSymbol(void* symbol, const void* src, std::size_t bytes) {
 }
 
 klError klFreeConstant(void* ptr) {
-  return guarded([&] { current_device().constant_memory().deallocate(ptr); });
+  return guarded([&] {
+    usable_device("klFreeConstant").constant_memory().deallocate(ptr);
+  });
 }
 
 klError klEventCreate(klEvent_t* ev) {
   if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  *ev = nullptr;
   return guarded([&] { *ev = current_device().create_event(); });
 }
 
 klError klEventDestroy(klEvent_t ev) {
   if (ev == nullptr) return klSuccess;
+  if (bad_event(ev)) return record_error(klErrorInvalidValue, kBadEvent);
   return guarded([&] { ev->device().destroy_event(ev); });
 }
 
 klError klEventRecord(klEvent_t ev, klStream_t stream) {
   if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  if (bad_event(ev)) return record_error(klErrorInvalidValue, kBadEvent);
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     s.record(*ev);
@@ -348,12 +403,15 @@ klError klEventRecord(klEvent_t ev, klStream_t stream) {
 
 klError klEventSynchronize(klEvent_t ev) {
   if (ev == nullptr) return record_error(klErrorInvalidValue, "null event");
+  if (bad_event(ev)) return record_error(klErrorInvalidValue, kBadEvent);
   return guarded([&] { ev->synchronize(); });
 }
 
 klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop) {
   if (ms == nullptr || start == nullptr || stop == nullptr)
     return record_error(klErrorInvalidValue, "null argument");
+  if (bad_event(start) || bad_event(stop))
+    return record_error(klErrorInvalidValue, kBadEvent);
   if (!start->query() || !stop->query())
     return record_error(klErrorNotReady, "event not recorded");
   *ms = static_cast<float>(stop->modeled_ms() - start->modeled_ms());
@@ -362,6 +420,25 @@ klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop) {
 
 klError klDeviceSynchronize() {
   return guarded([&] { current_device().synchronize(); });
+}
+
+klError klDeviceReset() {
+  // Deliberately NOT lost-checked: this is the recovery path.
+  return guarded([&] { current_device().reset(); });
+}
+
+klError klFaultInject(const char* spec) {
+  return guarded([&] {
+    if (spec == nullptr) {
+      simt::FaultInjector::instance().disable();
+      return;
+    }
+    simt::FaultInjector::instance().enable(spec);
+  });
+}
+
+klError klSetWatchdogMs(double ms) {
+  return guarded([&] { simt::set_watchdog_ms(ms); });
 }
 
 klError klProfilerStart() {
@@ -417,6 +494,7 @@ klError klRegisterExecHints(const char* source, int* registered) {
 namespace detail {
 klError launch_erased(const simt::LaunchParams& p, klStream_t stream,
                       simt::KernelFn fn) {
+  if (bad_stream(stream)) return record_error(klErrorInvalidValue, kBadStream);
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     s.launch(p, std::move(fn));

@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "simt/simt.h"
@@ -32,6 +34,8 @@ enum klError : int {
   klErrorInvalidDevice = 3,
   klErrorLaunchFailure = 4,
   klErrorNotReady = 5,
+  klErrorDeviceLost = 6,  // cudaErrorDevicesUnavailable; klDeviceReset recovers
+  klErrorTimeout = 7,     // cudaErrorLaunchTimeout; the offending stream dies
   klErrorUnknown = 999,
 };
 
@@ -148,6 +152,23 @@ klError klEventElapsedTime(float* ms, klEvent_t start, klEvent_t stop);
 
 klError klDeviceSynchronize();
 
+/// cudaDeviceReset-shaped recovery: clears the current device's lost
+/// state (set by an injected device_lost fault) and drains its failed
+/// pending work so later calls succeed. Watchdog-killed streams stay
+/// dead — destroy and recreate them.
+klError klDeviceReset();
+
+/// Arms the deterministic fault injector with `spec` (see simt/fault.h:
+/// site[:key=value,...][;...], sites oom | host_oom | stall | peer |
+/// graph | device_lost). Null disables. A malformed spec returns
+/// klErrorInvalidValue and leaves the previous configuration armed.
+klError klFaultInject(const char* spec);
+
+/// Kernel watchdog budget in milliseconds (<= 0 disables; also set by
+/// OMPX_WATCHDOG_MS). Overruns — modeled launch duration or wall-clock
+/// stream-op duration — fail with klErrorTimeout.
+klError klSetWatchdogMs(double ms);
+
 /// Launch telemetry (cudaProfilerStart/Stop-shaped front of the uniform
 /// profiling API; see simt/profiler.h). klProfilerDump writes the
 /// capture as Chrome trace-event JSON.
@@ -177,6 +198,20 @@ klError klSetKernelExecHint(const char* kernel, int convergent,
 /// proven rendezvous-free take the convergent lane loop (atomics
 /// inline) with no per-kernel klSetKernelExecHint call.
 klError klRegisterExecHints(const char* source, int* registered);
+
+/// Throwing result check (the cudaCheck idiom for C++ hosts): converts
+/// a non-success klError into std::runtime_error carrying the error
+/// string and the thread's last-error detail. The benchmark apps wrap
+/// every kl call in this so an injected fault unwinds as a catchable
+/// error instead of being silently dropped.
+inline void check(klError e, const char* what = "kl call") {
+  if (e == klSuccess) return;
+  std::string msg = std::string(what) + ": " + klGetErrorString(e);
+  const char* detail = klGetLastErrorDetail();
+  if (detail != nullptr && detail[0] != '\0')
+    msg += std::string(" (") + detail + ")";
+  throw std::runtime_error(msg);
+}
 
 // ------------------------------------------------------------- launch
 

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "simt/block.h"
+#include "simt/fault.h"
 #include "simt/memory.h"
 #include "simt/profiler.h"
 #include "simt/san.h"
 #include "simt/stream.h"
+#include "simt/watchdog.h"
 
 namespace simt {
 
@@ -179,7 +181,53 @@ Device::~Device() {
   }
 }
 
+void Device::mark_lost(const std::string& reason) {
+  {
+    std::lock_guard lock(lost_mu_);
+    lost_reason_ = reason;
+  }
+  lost_.store(true, std::memory_order_release);
+}
+
+void Device::check_not_lost(const char* who) const {
+  if (!lost_.load(std::memory_order_acquire)) return;
+  std::string reason;
+  {
+    std::lock_guard lock(lost_mu_);
+    reason = lost_reason_;
+  }
+  throw DeviceLostError(std::string(who) + ": device '" + cfg_.name +
+                        "' is lost (" + reason + ")");
+}
+
+void Device::reset() {
+  {
+    std::lock_guard lock(lost_mu_);
+    lost_reason_.clear();
+  }
+  lost_.store(false, std::memory_order_release);
+  // Drain every stream, discarding asynchronous errors as they surface.
+  // synchronize_all returns early when an async error is pending, so
+  // loop until the drain completes with no error left; the queues are
+  // finite, so this terminates.
+  for (;;) {
+    exec_->synchronize_all();
+    try {
+      exec_->check_async_error();
+    } catch (...) {
+      continue;
+    }
+    break;
+  }
+}
+
 void Device::validate(const LaunchParams& p) const {
+  check_not_lost("kernel launch");
+  if (fault_should_fire(FaultSite::kDeviceLost)) {
+    const_cast<Device*>(this)->mark_lost("fault injection at launch of '" +
+                                         std::string(p.name) + "'");
+    check_not_lost("kernel launch");
+  }
   if (p.grid.count() == 0 || p.block.count() == 0)
     throw std::invalid_argument(std::string("launch '") + p.name +
                                 "': empty grid or block");
@@ -219,6 +267,15 @@ LaunchRecord Device::launch_sync(const LaunchParams& caller_params,
   rec.time = model_time(cfg_, params.profile, params.cost, stats,
                         static_cast<std::uint32_t>(params.block.count()),
                         params.dynamic_smem_bytes, costs_);
+  // Modeled-time watchdog (the simulator's cudaErrorLaunchTimeout): a
+  // launch whose modeled duration exceeds the budget fails instead of
+  // being logged, so a runaway kernel surfaces as OMPX_ERROR_TIMEOUT.
+  const double budget_ms = watchdog_ms();
+  if (budget_ms > 0.0 && rec.time.total_ms > budget_ms)
+    throw TimeoutError("kernel '" + rec.name +
+                       "' exceeded the watchdog budget: modeled " +
+                       std::to_string(rec.time.total_ms) + " ms > " +
+                       std::to_string(budget_ms) + " ms");
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
@@ -363,6 +420,7 @@ void Device::destroy_event(Event* event) { exec_->destroy_event(event); }
 unsigned Device::stream_worker_count() const { return exec_->worker_count(); }
 
 void Device::synchronize() {
+  check_not_lost("device synchronize");
   exec_->synchronize_all();
   exec_->check_async_error();
 }
@@ -534,8 +592,13 @@ double peer_copy(Device& dst_dev, void* dst, Device& src_dev, const void* src,
     dst_dev.memory().copy(dst, src, bytes, CopyKind::kDeviceToDevice);
     return static_cast<double>(bytes) / (dst_dev.config().mem_bw_gbps * 1e6);
   }
+  dst_dev.check_not_lost("peer copy destination");
+  src_dev.check_not_lost("peer copy source");
   src_dev.memory().validate_device_range(src, bytes, "peer copy source");
   dst_dev.memory().validate_device_range(dst, bytes, "peer copy destination");
+  if (fault_should_fire(FaultSite::kPeerCopy))
+    throw std::runtime_error("fault injection: peer copy of " +
+                             std::to_string(bytes) + " byte(s) failed");
   std::memmove(dst, src, bytes);
 
   // Direct peer link if either endpoint can reach the other (CUDA

@@ -7,6 +7,7 @@
 // ompx warp APIs must handle, the rest feeds the performance model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -194,6 +195,23 @@ class Device {
   /// Wait for every operation on every stream (cudaDeviceSynchronize),
   /// then rethrow any asynchronous error.
   void synchronize();
+
+  /// Device-loss poisoning (the simulator's cudaErrorDevicesUnavailable):
+  /// once marked lost — by the fault injector's "device_lost" site or a
+  /// test — every subsequent entry point that touches this device throws
+  /// DeviceLostError (mapped to OMPX_ERROR_DEVICE_LOST / klErrorDeviceLost)
+  /// until reset() clears the poison.
+  void mark_lost(const std::string& reason);
+  [[nodiscard]] bool lost() const {
+    return lost_.load(std::memory_order_acquire);
+  }
+  /// Throws DeviceLostError naming `who` when the device is lost.
+  void check_not_lost(const char* who) const;
+  /// cudaDeviceReset-shaped recovery: clears the lost poison, drains
+  /// every stream, and discards any pending asynchronous error so the
+  /// device is usable again. Streams the watchdog timed out stay dead
+  /// (destroy and recreate them).
+  void reset();
   /// Pool threads executing this device's stream ops (see
   /// EngineOptions::stream_workers / OMPX_STREAM_WORKERS).
   [[nodiscard]] unsigned stream_worker_count() const;
@@ -257,6 +275,10 @@ class Device {
 
   mutable std::mutex peers_mu_;
   std::vector<const Device*> peers_;  // peer access enabled toward these
+
+  std::atomic<bool> lost_{false};
+  mutable std::mutex lost_mu_;
+  std::string lost_reason_;
 };
 
 /// Returns the process-wide registry of simulated devices. Index 0 is

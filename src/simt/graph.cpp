@@ -7,6 +7,7 @@
 
 #include "simt/block.h"
 #include "simt/device.h"
+#include "simt/fault.h"
 #include "simt/perf.h"
 #include "simt/profiler.h"
 #include "simt/san.h"
@@ -149,6 +150,10 @@ std::uint64_t Graph::replay_count() const {
 
 void Graph::instantiate_locked() {
   if (instantiated_) return;
+  if (fault_should_fire(FaultSite::kGraphInstantiate))
+    throw std::runtime_error(
+        "fault injection: graph instantiate failed (" +
+        std::to_string(nodes_.size()) + " node(s) discarded)");
   span_names_.assign(nodes_.size(), std::string());
   exec_modes_.assign(nodes_.size(), std::string());
   cached_blocks_.clear();

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "simt/fault.h"
 #include "simt/san.h"
 
 namespace simt {
@@ -34,8 +35,15 @@ DeviceMemory::~DeviceMemory() {
 
 void* DeviceMemory::allocate(std::size_t bytes) {
   if (bytes == 0) return nullptr;
+  if (fault_should_fire(FaultSite::kDeviceAlloc))
+    throw DeviceOOMError("fault injection: device allocation of " +
+                         std::to_string(bytes) + " byte(s) refused");
   std::lock_guard lock(mu_);
-  if (in_use_ + bytes > capacity_) throw std::bad_alloc();
+  if (in_use_ + bytes > capacity_)
+    throw DeviceOOMError(
+        "device out of memory: " + std::to_string(bytes) +
+        " byte(s) requested with " + std::to_string(in_use_) + " of " +
+        std::to_string(capacity_) + " byte(s) in use");
   AllocInfo info;
   info.bytes = bytes;
   // Redzone width is one alignment quantum so the user pointer keeps

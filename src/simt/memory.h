@@ -63,8 +63,9 @@ class DeviceMemory {
   DeviceMemory& operator=(const DeviceMemory&) = delete;
 
   /// Allocates `bytes` of device memory (256-byte aligned, like CUDA).
-  /// Returns nullptr for bytes == 0. Throws std::bad_alloc when the
-  /// device capacity would be exceeded. With kSanMem enabled the block
+  /// Returns nullptr for bytes == 0. Throws DeviceOOMError (a
+  /// std::bad_alloc) when the device capacity would be exceeded or the
+  /// fault injector's "oom" site fires. With kSanMem enabled the block
   /// is bracketed by poisoned redzones (not counted against capacity).
   void* allocate(std::size_t bytes);
 

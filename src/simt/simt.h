@@ -5,6 +5,7 @@
 #include "simt/block.h"
 #include "simt/device.h"
 #include "simt/dim.h"
+#include "simt/fault.h"
 #include "simt/fiber.h"
 #include "simt/graph.h"
 #include "simt/kernel.h"
@@ -15,3 +16,4 @@
 #include "simt/shared_arena.h"
 #include "simt/stream.h"
 #include "simt/warp.h"
+#include "simt/watchdog.h"

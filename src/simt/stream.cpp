@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "simt/device.h"
+#include "simt/fault.h"
 #include "simt/graph.h"
 #include "simt/profiler.h"
+#include "simt/watchdog.h"
 
 namespace simt {
 
@@ -60,9 +65,56 @@ unsigned stream_worker_count(unsigned requested) {
 /// device time (suballocation from a resident pool, not an OS call).
 constexpr double kAllocModelMs = 0.0005;
 
+/// Live-handle registries (same idiom as graph.cpp's): every Stream /
+/// Event registers at construction and unregisters at destruction, so
+/// the C ABIs can reject use-after-destroy handles instead of
+/// dereferencing freed memory.
+std::mutex g_handles_mu;
+std::unordered_set<const void*>& live_streams() {
+  static auto* s = new std::unordered_set<const void*>;  // leaked on purpose
+  return *s;
+}
+std::unordered_set<const void*>& live_events() {
+  static auto* s = new std::unordered_set<const void*>;  // leaked on purpose
+  return *s;
+}
+
+void register_stream_handle(const Stream* s) {
+  std::lock_guard lock(g_handles_mu);
+  live_streams().insert(s);
+}
+void unregister_stream_handle(const Stream* s) {
+  std::lock_guard lock(g_handles_mu);
+  live_streams().erase(s);
+}
+void register_event_handle(const Event* ev) {
+  std::lock_guard lock(g_handles_mu);
+  live_events().insert(ev);
+}
+void unregister_event_handle(const Event* ev) {
+  std::lock_guard lock(g_handles_mu);
+  live_events().erase(ev);
+}
+
 }  // namespace
 
+bool stream_alive(const Stream* s) {
+  if (s == nullptr) return false;
+  std::lock_guard lock(g_handles_mu);
+  return live_streams().count(s) != 0;
+}
+
+bool event_alive(const Event* ev) {
+  if (ev == nullptr) return false;
+  std::lock_guard lock(g_handles_mu);
+  return live_events().count(ev) != 0;
+}
+
 // ---------------------------------------------------------------- Event
+
+Event::Event(StreamExecutor& ex) : ex_(ex) { register_event_handle(this); }
+
+Event::~Event() { unregister_event_handle(this); }
 
 Device& Event::device() const { return ex_.dev_; }
 
@@ -87,6 +139,13 @@ double Event::modeled_ms() const {
 }
 
 // ---------------------------------------------------------------- Stream
+
+Stream::Stream(Device& dev, StreamExecutor& ex, std::uint64_t id)
+    : dev_(dev), ex_(ex), id_(id) {
+  register_stream_handle(this);
+}
+
+Stream::~Stream() { unregister_stream_handle(this); }
 
 void Stream::launch(const LaunchParams& params, KernelFn kernel) {
   launch(params, std::move(kernel), nullptr);
@@ -130,7 +189,15 @@ void* Stream::malloc_async(std::size_t bytes) {
     if (capturing_) {
       // Captured allocation: materialize now so every replay sees the
       // same virtual address; the graph owns the block until destroy.
-      void* p = dev_.memory().allocate(bytes);
+      void* p = nullptr;
+      try {
+        p = dev_.memory().allocate(bytes);
+      } catch (const std::bad_alloc&) {
+        // Pooled blocks are idle capacity; reclaim them and retry once
+        // before reporting device OOM.
+        dev_.mem_pool().trim();
+        p = dev_.memory().allocate(bytes);
+      }
       ex_.capture_->own_allocation(p);
       StreamOp op;
       op.kind = StreamOp::Kind::kAlloc;
@@ -146,7 +213,21 @@ void* Stream::malloc_async(std::size_t bytes) {
   // use it under its new life — the cudaMallocAsync guarantee.
   void* p = dev_.mem_pool().acquire(id_, bytes);
   const bool hit = p != nullptr;
-  if (p == nullptr) p = dev_.memory().allocate(bytes);
+  if (p == nullptr) {
+    try {
+      p = dev_.memory().allocate(bytes);
+    } catch (const std::bad_alloc&) {
+      // Device OOM with pooled blocks parked on other streams: those
+      // blocks are live-but-idle capacity. Wait out pending work (their
+      // last uses), return every pool to the device heap, and retry once
+      // before letting the OOM surface — the cudaMallocAsync fallback.
+      // On an executor thread (graph replay) skip the drain; waiting on
+      // our own pool would deadlock.
+      if (!telemetry_detail::t_in_stream_op) ex_.synchronize_all();
+      dev_.mem_pool().trim();
+      p = dev_.memory().allocate(bytes);
+    }
+  }
   StreamOp op;
   op.kind = StreamOp::Kind::kAlloc;
   op.dst = p;
@@ -252,8 +333,15 @@ void Stream::synchronize() {
   ex_.cv_complete_.wait(lock, [&] {
     return completed_ >= upto || ex_.async_error_ != nullptr;
   });
+  const bool timed_out = timed_out_;
   lock.unlock();
   ex_.check_async_error();
+  // The watchdog's first report goes through async_error_ above; every
+  // later wait on the dead stream still fails deterministically.
+  if (timed_out)
+    throw TimeoutError(
+        "stream synchronize: stream was timed out by the watchdog; destroy "
+        "it and create a new one");
 }
 
 bool Stream::query() const {
@@ -272,10 +360,10 @@ StreamExecutor::StreamExecutor(Device& dev) : dev_(dev) {
   streams_.emplace_back(new Stream(dev_, *this, next_stream_id_++));
   queues_.emplace(streams_.front()->id(), std::deque<Op>{});
   const unsigned n = stream_worker_count(dev_.options().stream_workers);
-  inflight_events_.resize(n, nullptr);
+  slots_.resize(n);
   workers_.reserve(n);
   for (unsigned slot = 0; slot < n; ++slot)
-    workers_.emplace_back([this, slot] { worker_loop(slot); });
+    workers_.emplace_back([this, slot] { worker_loop(slot, 0); });
 }
 
 StreamExecutor::~StreamExecutor() {
@@ -284,12 +372,29 @@ StreamExecutor::~StreamExecutor() {
     shutdown_ = true;
   }
   cv_submit_.notify_all();
+  cv_monitor_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (monitor_.joinable()) monitor_.join();
+  {
+    // Watchdog-abandoned workers run detached; give stragglers a bounded
+    // window to notice their epoch is stale and exit before their
+    // executor disappears out from under them.
+    std::unique_lock lock(mu_);
+    if (!cv_zombie_.wait_for(lock, std::chrono::seconds(30),
+                             [&] { return zombies_ == 0; }))
+      std::fprintf(stderr,
+                   "[simt] warning: %u watchdog-abandoned worker(s) still "
+                   "running at device teardown\n",
+                   zombies_);
+  }
   // An abandoned capture (begin_capture with no end_capture) dies here:
   // ~Graph releases any graph-owned allocations.
 }
 
 Stream* StreamExecutor::create_stream() {
+  dev_.check_not_lost("stream create");
+  if (fault_should_fire(FaultSite::kHostAlloc))
+    throw std::bad_alloc();  // modeled host allocation failure
   std::lock_guard lock(mu_);
   streams_.emplace_back(new Stream(dev_, *this, next_stream_id_++));
   queues_.emplace(streams_.back()->id(), std::deque<Op>{});
@@ -297,6 +402,9 @@ Stream* StreamExecutor::create_stream() {
 }
 
 Event* StreamExecutor::create_event() {
+  dev_.check_not_lost("event create");
+  if (fault_should_fire(FaultSite::kHostAlloc))
+    throw std::bad_alloc();  // modeled host allocation failure
   std::lock_guard lock(mu_);
   events_.emplace_back(new Event(*this));
   events_.back()->uid_ = next_event_uid_++;
@@ -325,6 +433,14 @@ void StreamExecutor::destroy_stream(Stream* s) {
     queues_.erase(s->id_);
     for (auto it = streams_.begin(); it != streams_.end(); ++it) {
       if (it->get() == s) {
+        if (s->timed_out_) {
+          // A watchdog-abandoned worker may still hold a raw pointer to
+          // this stream; park the object instead of freeing it. It dies
+          // with the executor, after the bounded zombie wait. The handle
+          // still reads as destroyed to the C ABIs from here on.
+          unregister_stream_handle(s);
+          abandoned_streams_.push_back(std::move(*it));
+        }
         streams_.erase(it);
         break;
       }
@@ -357,8 +473,10 @@ bool StreamExecutor::event_alive(const Event* ev) const {
 }
 
 bool StreamExecutor::event_referenced_locked(const Event* ev) const {
-  for (const Event* inflight : inflight_events_)
-    if (inflight == ev) return true;
+  for (const SlotState& st : slots_)
+    if (st.event == ev) return true;
+  for (const Event* pinned : zombie_event_pins_)
+    if (pinned == ev) return true;
   for (const auto& [id, q] : queues_)
     for (const Op& op : q)
       if (op.event == ev) return true;
@@ -366,9 +484,18 @@ bool StreamExecutor::event_referenced_locked(const Event* ev) const {
 }
 
 void StreamExecutor::submit(Stream& s, Op op) {
+  dev_.check_not_lost("stream operation");
   {
     std::lock_guard lock(mu_);
     if (shutdown_) throw std::logic_error("submit on shut-down executor");
+    if (s.timed_out_)
+      throw TimeoutError(
+          "stream operation: stream was timed out by the watchdog; destroy "
+          "it and create a new one");
+    // The watchdog thread is lazy: it spins up on the first submit made
+    // while a budget is set, and then lives for the executor's lifetime
+    // (it re-reads the budget every poll, so later changes apply).
+    if (!monitor_started_ && watchdog_ms() > 0.0) start_monitor_locked();
     if (s.capturing_) {
       if (op.kind == Op::Kind::kGraph)
         throw std::invalid_argument(
@@ -405,7 +532,81 @@ Stream* StreamExecutor::pick_ready_locked() {
   return nullptr;
 }
 
-void StreamExecutor::worker_loop(unsigned slot) {
+void StreamExecutor::start_monitor_locked() {
+  if (monitor_started_) return;
+  monitor_started_ = true;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void StreamExecutor::monitor_loop() {
+  std::unique_lock lock(mu_);
+  while (!shutdown_) {
+    const double budget = watchdog_ms();
+    // Poll at a quarter of the budget (clamped to 1..50 ms) so a timeout
+    // is reported well within ~2x the budget; with the watchdog turned
+    // off, idle at 50 ms waiting for it to be turned back on.
+    const double poll_ms =
+        budget > 0.0 ? std::clamp(budget / 4.0, 1.0, 50.0) : 50.0;
+    cv_monitor_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(poll_ms));
+    if (shutdown_) return;
+    if (watchdog_ms() <= 0.0) continue;
+    const double live_budget = watchdog_ms();
+    const auto now = std::chrono::steady_clock::now();
+    for (unsigned slot = 0; slot < slots_.size(); ++slot) {
+      if (!slots_[slot].busy) continue;
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - slots_[slot].start)
+              .count();
+      if (elapsed_ms > live_budget)
+        abandon_slot_locked(slot, elapsed_ms, live_budget);
+    }
+  }
+}
+
+void StreamExecutor::abandon_slot_locked(unsigned slot, double elapsed_ms,
+                                         double budget_ms) {
+  SlotState& st = slots_[slot];
+  Stream* s = st.stream;
+  if (async_error_ == nullptr)
+    async_error_ = std::make_exception_ptr(TimeoutError(
+        "watchdog: op on stream " + std::to_string(s->id_) +
+        " exceeded the wall-clock budget (" + std::to_string(elapsed_ms) +
+        " ms > " + std::to_string(budget_ms) +
+        " ms); the stream is dead, other streams continue"));
+  // The stream is permanently dead: inflight_ stays true so the
+  // scheduler never picks it again, submit() refuses new work, and its
+  // queue drains here so host-side waits return promptly.
+  s->timed_out_ = true;
+  s->completed_++;  // the abandoned in-flight op
+  total_completed_++;
+  executing_--;
+  auto qit = queues_.find(s->id_);
+  if (qit != queues_.end()) {
+    s->completed_ += qit->second.size();
+    total_completed_ += qit->second.size();
+    qit->second.clear();
+  }
+  // Keep the abandoned op's event pinned until the zombie finishes with
+  // it (destroy_event waits on this).
+  if (st.event != nullptr) zombie_event_pins_.push_back(st.event);
+  st.event = nullptr;
+  st.stream = nullptr;
+  st.busy = false;
+  // Bumping the epoch tells the stuck worker — whenever it finally
+  // returns from execute() — that its slot was given away: it must not
+  // touch completion bookkeeping, just unpin and exit. A fresh worker
+  // takes over the slot so the pool keeps its capacity.
+  st.epoch++;
+  zombies_++;
+  workers_[slot].detach();
+  const std::uint64_t epoch = st.epoch;
+  workers_[slot] = std::thread([this, slot, epoch] { worker_loop(slot, epoch); });
+  cv_complete_.notify_all();
+  cv_submit_.notify_all();
+}
+
+void StreamExecutor::worker_loop(unsigned slot, std::uint64_t my_epoch) {
   std::unique_lock lock(mu_);
   while (true) {
     Stream* s = pick_ready_locked();
@@ -449,14 +650,20 @@ void StreamExecutor::worker_loop(unsigned slot) {
     queues_[s->id_].pop_front();
     s->inflight_ = true;
     executing_++;
-    inflight_events_[slot] = op.event;  // pins against destroy_event
+    slots_[slot].event = op.event;  // pins against destroy_event
+    slots_[slot].stream = s;
+    slots_[slot].busy = true;
+    slots_[slot].start = std::chrono::steady_clock::now();
     lock.unlock();
     try {
       execute(*s, op);
     } catch (...) {
       {
         std::lock_guard elock(mu_);
-        if (async_error_ == nullptr) async_error_ = std::current_exception();
+        // A watchdog-abandoned op's late failure is not news: the
+        // TimeoutError was already posted when the slot was given away.
+        if (slots_[slot].epoch == my_epoch && async_error_ == nullptr)
+          async_error_ = std::current_exception();
       }
       // A failed kernel never reached its completion callback; release
       // any ticket waiter with an empty record (the error itself
@@ -469,7 +676,23 @@ void StreamExecutor::worker_loop(unsigned slot) {
       }
     }
     lock.lock();
-    inflight_events_[slot] = nullptr;
+    if (slots_[slot].epoch != my_epoch) {
+      // The watchdog abandoned this slot while the op was running: the
+      // monitor already did the completion bookkeeping and a fresh
+      // worker owns the slot. Unpin the op's event and disappear.
+      if (op.event != nullptr) {
+        auto it = std::find(zombie_event_pins_.begin(),
+                            zombie_event_pins_.end(), op.event);
+        if (it != zombie_event_pins_.end()) zombie_event_pins_.erase(it);
+      }
+      zombies_--;
+      cv_zombie_.notify_all();
+      cv_complete_.notify_all();
+      return;
+    }
+    slots_[slot].event = nullptr;
+    slots_[slot].stream = nullptr;
+    slots_[slot].busy = false;
     s->inflight_ = false;
     s->completed_++;
     total_completed_++;
@@ -482,6 +705,14 @@ void StreamExecutor::worker_loop(unsigned slot) {
 }
 
 void StreamExecutor::execute(Stream& s, Op& op) {
+  if (fault_should_fire(FaultSite::kStreamStall)) {
+    // Injected wall-clock stall: the op sleeps here, on the worker
+    // thread, exactly where a wedged device op would sit. With a
+    // watchdog budget below the stall, the monitor abandons this slot
+    // mid-sleep and this worker exits as a zombie.
+    const double ms = FaultInjector::instance().stall_ms();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
   // Tracing-off cost on this path: this one relaxed load.
   const bool prof = profiling_enabled();
   ScopedStreamOp in_stream_op;

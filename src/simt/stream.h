@@ -19,6 +19,7 @@
 //    submitted ops into a simt::Graph for cheap replay (simt/graph.h).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,6 +44,8 @@ struct LaunchRecord;
 /// wait on it. Create via Device::create_event().
 class Event {
  public:
+  ~Event();  // unregisters from the live-handle registry
+
   /// The device whose executor owns this event.
   [[nodiscard]] Device& device() const;
   /// Host-side wait until the marked point has executed.
@@ -57,7 +60,7 @@ class Event {
   friend class Stream;
   friend class Device;
   friend class Graph;
-  explicit Event(StreamExecutor& ex) : ex_(ex) {}
+  explicit Event(StreamExecutor& ex);
 
   StreamExecutor& ex_;
   bool recorded_ = false;   // an EventRecord op executed
@@ -101,6 +104,8 @@ struct StreamOp {
 /// Device::create_stream(); Device::default_stream() always exists.
 class Stream {
  public:
+  ~Stream();  // unregisters from the live-handle registry
+
   Device& device() { return dev_; }
   [[nodiscard]] std::uint64_t id() const { return id_; }
 
@@ -170,8 +175,7 @@ class Stream {
   friend class StreamExecutor;
   friend class Device;
   friend class Graph;
-  Stream(Device& dev, StreamExecutor& ex, std::uint64_t id)
-      : dev_(dev), ex_(ex), id_(id) {}
+  Stream(Device& dev, StreamExecutor& ex, std::uint64_t id);
 
   Device& dev_;
   StreamExecutor& ex_;
@@ -183,7 +187,16 @@ class Stream {
                                     // head (executor mutex)
   bool capturing_ = false;          // ops redirect into a Graph (executor
                                     // mutex)
+  bool timed_out_ = false;          // the wall-clock watchdog killed this
+                                    // stream; it stays dead (executor mutex)
 };
+
+/// Live-handle registries: true while the pointer refers to a Stream /
+/// Event that has been created and not yet destroyed. The C ABIs use
+/// these to reject use-after-destroy handles with a clean error code
+/// instead of undefined behavior. nullptr returns false.
+[[nodiscard]] bool stream_alive(const Stream* s);
+[[nodiscard]] bool event_alive(const Event* ev);
 
 /// One executor per device: owns the op queues and the worker pool.
 class StreamExecutor {
@@ -235,8 +248,21 @@ class StreamExecutor {
 
   using Op = StreamOp;
 
+  /// One worker slot's in-flight state, watched by the wall-clock
+  /// watchdog monitor. `epoch` is bumped when the monitor abandons the
+  /// slot: the stuck worker sees the mismatch when (if) its op finally
+  /// returns and exits as a zombie instead of touching state its
+  /// replacement now owns.
+  struct SlotState {
+    const Event* event = nullptr;  ///< pins the op's event vs destroy_event
+    Stream* stream = nullptr;      ///< stream whose op is executing
+    std::uint64_t epoch = 0;
+    bool busy = false;
+    std::chrono::steady_clock::time_point start;
+  };
+
   void submit(Stream& s, Op op);
-  void worker_loop(unsigned slot);
+  void worker_loop(unsigned slot, std::uint64_t my_epoch);
   /// Under lock: a stream whose head op can run now and that has no op
   /// already in flight, or nullptr.
   Stream* pick_ready_locked();
@@ -244,11 +270,20 @@ class StreamExecutor {
   void execute(Stream& s, Op& op);  // runs without the lock where possible
   /// Under lock: any queued (or in-flight) op referencing `ev`?
   [[nodiscard]] bool event_referenced_locked(const Event* ev) const;
+  /// Watchdog monitor: polls busy slots against simt::watchdog_ms().
+  void monitor_loop();
+  void start_monitor_locked();
+  /// Under lock: fails `slot`'s stream with TimeoutError, drains its
+  /// queue, and hands the slot to a fresh worker thread (the stuck one
+  /// becomes a zombie that exits when its op returns).
+  void abandon_slot_locked(unsigned slot, double elapsed_ms, double budget_ms);
 
   Device& dev_;
   mutable std::mutex mu_;
   std::condition_variable cv_submit_;   // workers wait for work
   std::condition_variable cv_complete_; // host waits for completion
+  std::condition_variable cv_monitor_;  // wakes the watchdog monitor
+  std::condition_variable cv_zombie_;   // teardown waits for zombies
   std::unordered_map<std::uint64_t, std::deque<Op>> queues_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Event>> events_;
@@ -259,12 +294,21 @@ class StreamExecutor {
   std::uint64_t total_submitted_ = 0;
   std::uint64_t total_completed_ = 0;
   unsigned executing_ = 0;                 // ops currently in flight
-  std::vector<const Event*> inflight_events_;  // per-worker-slot pin
+  std::vector<SlotState> slots_;           // per-worker-slot in-flight state
+  /// Event pins moved out of an abandoned slot; the zombie drops its
+  /// entry when it exits (destroy_event scans these too).
+  std::vector<const Event*> zombie_event_pins_;
+  /// Streams destroyed while timed out are parked here (not freed):
+  /// their zombie worker may still touch them when its op returns.
+  std::vector<std::unique_ptr<Stream>> abandoned_streams_;
+  unsigned zombies_ = 0;
   double destroyed_streams_max_ms_ = 0.0;  // keeps modeled_now_ms monotonic
   // Graph capture: at most one capturing stream per device.
   Stream* capture_stream_ = nullptr;
   std::unique_ptr<Graph> capture_;
   std::vector<std::thread> workers_;
+  std::thread monitor_;
+  bool monitor_started_ = false;
 };
 
 }  // namespace simt

@@ -1,0 +1,29 @@
+// Kernel watchdog budget.
+//
+// One process-wide budget in milliseconds (OMPX_WATCHDOG_MS env,
+// ompx_set_watchdog_ms, klSetWatchdogMs; 0 disables) applied two ways:
+//
+//   * modeled time — Device::launch_sync fails a launch whose modeled
+//     duration exceeds the budget (TimeoutError before the launch is
+//     logged), the simulator analogue of cudaErrorLaunchTimeout;
+//   * wall clock — each StreamExecutor runs a monitor thread that
+//     abandons a worker stuck past the budget on one op (a hung kernel
+//     or an injected stall), fails the stream with TimeoutError, and
+//     drains its queue so host waits return instead of hanging.
+//
+// A stream the wall-clock watchdog killed is permanently timed out:
+// further submissions fail with TimeoutError; destroy it and create a
+// new one. Other streams and devices keep working — graceful
+// degradation, not process death.
+#pragma once
+
+namespace simt {
+
+/// Sets the watchdog budget in milliseconds; values <= 0 disable it.
+void set_watchdog_ms(double ms);
+
+/// The current budget (0 when disabled). Initialized once from
+/// OMPX_WATCHDOG_MS.
+[[nodiscard]] double watchdog_ms();
+
+}  // namespace simt

@@ -1,0 +1,280 @@
+// C-ABI error-contract conformance tests.
+//
+// Every ompx_* / kl* entry point must be exception-free across the C
+// boundary and must honor the written contract: null out-params and
+// bad indices report INVALID_VALUE / INVALID_DEVICE, destroyed handles
+// are caught by the live registry instead of invoking UB, enumeration
+// is two-call with explicit capacity, and the last-result slot is
+// per-thread. These tests pin the contract entry point by entry point.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ompx.h"
+#include "kl/kl.h"
+
+namespace {
+
+using namespace kl;
+
+TEST(ConformanceResults, OmpxResultStringsDistinctAndNonNull) {
+  const ompx_result_t codes[] = {
+      OMPX_SUCCESS,
+      OMPX_ERROR_INVALID_VALUE,
+      OMPX_ERROR_MEMORY_ALLOCATION,
+      OMPX_ERROR_INVALID_DEVICE,
+      OMPX_ERROR_LAUNCH_FAILURE,
+      OMPX_ERROR_OUT_OF_MEMORY,
+      OMPX_ERROR_DEVICE_LOST,
+      OMPX_ERROR_TIMEOUT,
+      OMPX_ERROR_UNKNOWN,
+  };
+  std::vector<std::string> seen;
+  for (ompx_result_t c : codes) {
+    const char* s = ompx_result_string(c);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(std::string(s).empty());
+    for (const auto& prev : seen) EXPECT_NE(prev, s);
+    seen.emplace_back(s);
+  }
+}
+
+TEST(ConformanceResults, KlErrorStringsDistinctAndNonNull) {
+  const klError codes[] = {
+      klSuccess,          klErrorInvalidValue, klErrorMemoryAllocation,
+      klErrorInvalidDevice, klErrorLaunchFailure, klErrorNotReady,
+      klErrorDeviceLost,  klErrorTimeout,      klErrorUnknown,
+  };
+  std::vector<std::string> seen;
+  for (klError c : codes) {
+    const char* s = klGetErrorString(c);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(std::string(s).empty());
+    for (const auto& prev : seen) EXPECT_NE(prev, s);
+    seen.emplace_back(s);
+  }
+}
+
+// The last-result slot is per host thread (cudaGetLastError semantics):
+// a failure on one thread must never be observable from another.
+TEST(ConformanceResults, LastResultIsThreadLocal) {
+  ASSERT_EQ(ompx_get_last_result(), OMPX_SUCCESS);
+  std::thread other([] {
+    // Fail on the other thread only.
+    EXPECT_EQ(ompx_set_device(-1), OMPX_ERROR_INVALID_DEVICE);
+    EXPECT_EQ(ompx_peek_last_result(), OMPX_ERROR_INVALID_DEVICE);
+    EXPECT_EQ(klSetDevice(-7), klErrorInvalidDevice);
+    EXPECT_EQ(klPeekAtLastError(), klErrorInvalidDevice);
+    // get clears, a second get sees success again.
+    EXPECT_EQ(ompx_get_last_result(), OMPX_ERROR_INVALID_DEVICE);
+    EXPECT_EQ(ompx_get_last_result(), OMPX_SUCCESS);
+    EXPECT_EQ(klGetLastError(), klErrorInvalidDevice);
+    EXPECT_EQ(klGetLastError(), klSuccess);
+  });
+  other.join();
+  // This thread's slot never saw the other thread's failures.
+  EXPECT_EQ(ompx_peek_last_result(), OMPX_SUCCESS);
+  EXPECT_EQ(klPeekAtLastError(), klSuccess);
+}
+
+TEST(ConformanceDevice, BadIndicesReportInvalidDevice) {
+  int count = 0;
+  ASSERT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_set_device(-1), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_set_device(ompx_get_num_devices()),
+            OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_device_reset(-3), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(ompx_mempool_trim(1000), OMPX_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(klSetDevice(-1), klErrorInvalidDevice);
+  EXPECT_EQ(klGetDeviceCount(&count), klSuccess);
+  EXPECT_EQ(klSetDevice(count), klErrorInvalidDevice);
+  EXPECT_EQ(klSetDevice(0), klSuccess);
+}
+
+TEST(ConformanceDevice, NullOutParamsReportInvalidValue) {
+  EXPECT_EQ(klGetDevice(nullptr), klErrorInvalidValue);
+  EXPECT_EQ(klGetDeviceCount(nullptr), klErrorInvalidValue);
+  EXPECT_EQ(ompx_device_can_access_peer(nullptr, 0, 1),
+            OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_mempool_get_stats(0, nullptr), OMPX_ERROR_INVALID_VALUE);
+  float ms = 0.0f;
+  EXPECT_EQ(klEventElapsedTime(&ms, nullptr, nullptr), klErrorInvalidValue);
+  EXPECT_EQ(klEventElapsedTime(nullptr, nullptr, nullptr),
+            klErrorInvalidValue);
+}
+
+TEST(ConformanceStream, NullHandleContract) {
+  // Destroying null is a CUDA-tolerated no-op; *using* null is an error.
+  EXPECT_EQ(ompx_stream_destroy(nullptr), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_event_destroy(nullptr), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_graph_destroy(nullptr), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_stream_synchronize(nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_synchronize(nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_stream_is_capturing(nullptr), 0);
+  int x = 0;
+  EXPECT_EQ(ompx_memcpy_async(&x, &x, sizeof x, nullptr),
+            OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_malloc_async(16, nullptr), nullptr);
+  EXPECT_EQ(ompx_peek_last_result(), OMPX_ERROR_INVALID_VALUE);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceStream, UseAfterDestroyIsCaughtOmpx) {
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  ompx_event_t e = ompx_event_create();
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(ompx_event_record(e, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_event_destroy(e), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+
+  // Every later use of the dead handles must fail cleanly with
+  // INVALID_VALUE — no crash, no UB, and a usable detail string.
+  EXPECT_EQ(ompx_stream_synchronize(s), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_stream_destroy(s), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_record(e, nullptr), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_event_synchronize(e), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_stream_wait_event(nullptr, e), OMPX_ERROR_INVALID_VALUE);
+  int x = 0;
+  EXPECT_EQ(ompx_memset_async(&x, 0, sizeof x, s), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_stream_begin_capture(s), OMPX_ERROR_INVALID_VALUE);
+  const std::string detail = ompx_last_result_detail();
+  EXPECT_NE(detail.find("invalid or destroyed"), std::string::npos);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceStream, UseAfterDestroyIsCaughtKl) {
+  klStream_t s = nullptr;
+  ASSERT_EQ(klStreamCreate(&s), klSuccess);
+  ASSERT_NE(s, nullptr);
+  klEvent_t e = nullptr;
+  ASSERT_EQ(klEventCreate(&e), klSuccess);
+  ASSERT_EQ(klEventRecord(e, s), klSuccess);
+  ASSERT_EQ(klStreamSynchronize(s), klSuccess);
+  ASSERT_EQ(klEventDestroy(e), klSuccess);
+  ASSERT_EQ(klStreamDestroy(s), klSuccess);
+
+  EXPECT_EQ(klStreamSynchronize(s), klErrorInvalidValue);
+  EXPECT_EQ(klStreamDestroy(s), klErrorInvalidValue);
+  EXPECT_EQ(klEventSynchronize(e), klErrorInvalidValue);
+  EXPECT_EQ(klEventRecord(e), klErrorInvalidValue);
+  int x = 0;
+  EXPECT_EQ(klMemsetAsync(&x, 0, sizeof x, s), klErrorInvalidValue);
+  EXPECT_EQ(klStreamBeginCapture(s), klErrorInvalidValue);
+  const std::string detail = klGetLastErrorDetail();
+  EXPECT_NE(detail.find("invalid or destroyed"), std::string::npos);
+  (void)klGetLastError();
+}
+
+TEST(ConformanceGraph, TwoCallEnumerationHonorsCapacity) {
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  void* buf = ompx_malloc(256);
+  ASSERT_NE(buf, nullptr);
+  ASSERT_EQ(ompx_stream_begin_capture(s), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_stream_is_capturing(s), 1);
+  ASSERT_EQ(ompx_memset_async(buf, 0, 256, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_memset_async(buf, 1, 128, s), OMPX_SUCCESS);
+  ompx_graph_t g = nullptr;
+  ASSERT_EQ(ompx_stream_end_capture(s, &g), OMPX_SUCCESS);
+  ASSERT_NE(g, nullptr);
+
+  std::size_t count = 0;
+  ASSERT_EQ(ompx_graph_node_count(g, &count), OMPX_SUCCESS);
+  ASSERT_EQ(count, 2u);
+  // Capacity smaller than the node count: fill what fits, report it.
+  ompx_graph_node_info_t one[1];
+  std::size_t written = 99;
+  ASSERT_EQ(ompx_graph_get_nodes(g, one, 1, &written), OMPX_SUCCESS);
+  EXPECT_EQ(written, 1u);
+  // Zero capacity with a null array is a valid "probe" call.
+  ASSERT_EQ(ompx_graph_get_nodes(g, nullptr, 0, &written), OMPX_SUCCESS);
+  EXPECT_EQ(written, 0u);
+  // Null written pointer is the caller's bug, reported not crashed.
+  EXPECT_EQ(ompx_graph_get_nodes(g, one, 1, nullptr),
+            OMPX_ERROR_INVALID_VALUE);
+
+  ASSERT_EQ(ompx_graph_destroy(g), OMPX_SUCCESS);
+  // Use after destroy: caught by the live-handle registry.
+  EXPECT_EQ(ompx_graph_node_count(g, &count), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_graph_launch(g, s), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_free(buf), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceGraph, EndCaptureNullOutParamDiscardsCapture) {
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(ompx_stream_begin_capture(s), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_stream_end_capture(s, nullptr), OMPX_ERROR_INVALID_VALUE);
+  // The stream is usable again: the discarded capture did not wedge it.
+  EXPECT_EQ(ompx_stream_is_capturing(s), 0);
+  EXPECT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceWatchdog, BudgetRoundTripsAndDisables) {
+  const double saved = ompx_get_watchdog_ms();
+  ASSERT_EQ(ompx_set_watchdog_ms(12.5), OMPX_SUCCESS);
+  EXPECT_DOUBLE_EQ(ompx_get_watchdog_ms(), 12.5);
+  ASSERT_EQ(klSetWatchdogMs(250.0), klSuccess);
+  EXPECT_DOUBLE_EQ(ompx_get_watchdog_ms(), 250.0);
+  // <= 0 disables.
+  ASSERT_EQ(ompx_set_watchdog_ms(0.0), OMPX_SUCCESS);
+  EXPECT_DOUBLE_EQ(ompx_get_watchdog_ms(), 0.0);
+  ASSERT_EQ(ompx_set_watchdog_ms(-1.0), OMPX_SUCCESS);
+  EXPECT_LE(ompx_get_watchdog_ms(), 0.0);
+  ASSERT_EQ(ompx_set_watchdog_ms(saved), OMPX_SUCCESS);
+}
+
+TEST(ConformanceFault, SpecValidationAndStatus) {
+  ASSERT_EQ(ompx_fault_active(), 0);
+  // Malformed specs are rejected with INVALID_VALUE and leave the
+  // injector disarmed.
+  EXPECT_EQ(ompx_fault_enable("bogus_site"), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_fault_enable("oom:after="), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_fault_enable("oom:p=1.5"), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_fault_enable("oom:after=2junk"), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(ompx_fault_active(), 0);
+  (void)ompx_get_last_result();
+
+  // A valid spec arms; disable disarms; null spec also disarms.
+  ASSERT_EQ(ompx_fault_enable("oom:after=1000000"), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_fault_active(), 1);
+  ASSERT_EQ(ompx_fault_disable(), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_fault_active(), 0);
+  ASSERT_EQ(ompx_fault_enable("stall:ms=1,every=1000000"), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_fault_active(), 1);
+  ASSERT_EQ(ompx_fault_enable(nullptr), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_fault_active(), 0);
+
+  // kl mirrors the same validation.
+  EXPECT_EQ(klFaultInject("nope"), klErrorInvalidValue);
+  (void)klGetLastError();
+  ASSERT_EQ(klFaultInject("graph:after=1000000"), klSuccess);
+  EXPECT_EQ(ompx_fault_active(), 1);
+  ASSERT_EQ(klFaultInject(nullptr), klSuccess);
+  EXPECT_EQ(ompx_fault_active(), 0);
+}
+
+TEST(ConformanceFault, FaultScopeRestoresPreviousSpec) {
+  ASSERT_EQ(ompx_fault_active(), 0);
+  {
+    ompx::FaultScope outer("oom:after=1000000");
+    EXPECT_EQ(ompx_fault_active(), 1);
+    {
+      ompx::FaultScope inner("graph:after=1000000");
+      EXPECT_EQ(ompx_fault_active(), 1);
+    }
+    // Inner scope restored the outer spec, not "disabled".
+    EXPECT_EQ(ompx_fault_active(), 1);
+  }
+  EXPECT_EQ(ompx_fault_active(), 0);
+}
+
+}  // namespace
