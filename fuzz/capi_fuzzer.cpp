@@ -7,6 +7,7 @@
 // Every input ends with full cleanup so leaks are real leaks.
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/ompx.h"
@@ -46,6 +47,7 @@ const char* const kFaultSpecs[] = {
 constexpr std::size_t kMaxOps = 64;
 constexpr std::size_t kMaxStreams = 4;
 constexpr std::size_t kMaxBuffers = 8;
+constexpr std::size_t kMaxClients = 3;
 
 }  // namespace
 
@@ -59,13 +61,17 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   std::vector<ompx_event_t> dead_events;
   std::vector<ompx_graph_t> graphs;
   std::vector<void*> buffers;
+  // malloc_async blocks kept live past the call, paired with the
+  // stream that owns them — the substrate for cross-API free probes.
+  std::vector<std::pair<void*, ompx_stream_t>> async_buffers;
+  std::vector<ompx_client_t> clients;
 
   auto pick = [&](auto& v) -> decltype(v.front()) {
     return v[in.next() % v.size()];
   };
 
   for (std::size_t op = 0; op < kMaxOps && !in.done(); ++op) {
-    switch (in.next() % 24) {
+    switch (in.next() % 28) {
       case 0:  // small device allocation (may fail under oom faults)
         if (buffers.size() < kMaxBuffers) {
           void* p = ompx_malloc(16 + in.next() * 8);
@@ -211,6 +217,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         (void)ompx_fault_active();
         (void)ompx_fault_injected_count();
         (void)ompx_get_watchdog_ms();
+        (void)ompx_serve_quantum();
+        {
+          ompx_mempool_stats_t mp;
+          (void)ompx_mempool_get_stats(static_cast<int>(in.next() % 3), &mp);
+        }
         break;
       case 23:  // deliberate contract violations
         (void)ompx_memcpy(nullptr, nullptr, 8);
@@ -219,6 +230,75 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         (void)ompx_graph_get_nodes(nullptr, nullptr, 0, nullptr);
         (void)ompx_device_reset(-1);
         (void)klEventElapsedTime(nullptr, nullptr, nullptr);
+        break;
+      case 24:  // async allocation kept live across later ops
+        if (!streams.empty() && async_buffers.size() < kMaxBuffers) {
+          ompx_stream_t s = pick(streams);
+          void* p = ompx_malloc_async(32 + in.next(), s);
+          if (p != nullptr) async_buffers.emplace_back(p, s);
+        }
+        break;
+      case 25:  // mismatched-allocator frees: rejected, never corrupting
+        if (!buffers.empty() && !streams.empty())
+          (void)ompx_free_async(pick(buffers), pick(streams));
+        if (!async_buffers.empty()) {
+          const std::size_t i = in.next() % async_buffers.size();
+          void* p = async_buffers[i].first;
+          ompx_result_t r = OMPX_ERROR_UNKNOWN;
+          switch (in.next() % 3) {
+            case 0:  // plain frees of a stream-owned block
+              r = ompx_free(p);
+              (void)klFree(p);
+              break;
+            case 1:  // some stream (the owner only by luck)
+              r = ompx_free_async(p, pick(streams));
+              break;
+            default:  // the documented path
+              r = ompx_free_async(p, async_buffers[i].second);
+              break;
+          }
+          if (r == OMPX_SUCCESS)
+            async_buffers.erase(async_buffers.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      case 26:  // serving clients: create / launch / alloc / destroy
+        if (clients.size() < kMaxClients && in.next() % 2 == 0) {
+          ompx_client_limits_t lim{};
+          lim.memory_quota_bytes = 1u << (10u + in.next() % 6u);
+          lim.max_pending = 1u + in.next() % 4u;
+          lim.priority = static_cast<int>(in.next() % 3u);
+          lim.weight = 1u + in.next() % 4u;
+          ompx_client_t c =
+              ompx_client_create(static_cast<int>(in.next() % 3u) - 1,
+                                 in.next() % 2 ? &lim : nullptr);
+          if (c != nullptr) clients.push_back(c);
+        } else if (!clients.empty()) {
+          const std::size_t i = in.next() % clients.size();
+          (void)ompx_client_destroy(clients[i]);
+          // Stale-handle probes after destroy: must fail cleanly.
+          ompx_client_stats_t st;
+          (void)ompx_client_get_stats(clients[i], &st);
+          (void)ompx_client_synchronize(clients[i]);
+          clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      case 27:  // client traffic (quota + admission rejections included)
+        if (!clients.empty()) {
+          ompx_client_t c = pick(clients);
+          const unsigned grid[3] = {1u + in.next() % 8u, 1, 1};
+          const unsigned block[3] = {32, 1, 1};
+          if (in.next() % 2)
+            (void)ompx_client_launch_kernel(c, &noop_kernel, nullptr, grid,
+                                            block);
+          else
+            (void)ompx_client_launch_async(c, &noop_kernel, nullptr, grid,
+                                           block);
+          void* p = ompx_client_malloc(c, 64u + in.next() * 64u);
+          if (p != nullptr && in.next() % 2) (void)ompx_client_free(c, p);
+          // Leaked-on-purpose allocations are reclaimed by destroy.
+          (void)ompx_serve_set_quantum(1u + in.next() % 64u);
+        }
         break;
     }
   }
@@ -241,6 +321,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     (void)ompx_stream_destroy(s);
   }
   for (void* p : buffers) (void)ompx_free(p);
+  // Stream destroys above released the async-origin claims, so the
+  // plain free is now the documented way to release survivors.
+  for (auto& ab : async_buffers) (void)ompx_free(ab.first);
+  // destroy_client reclaims whatever the traffic op leaked on purpose.
+  for (ompx_client_t c : clients) (void)ompx_client_destroy(c);
   (void)ompx_device_synchronize();
   (void)ompx_get_last_result();
   (void)klGetLastError();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rewrite/analyze.h"
+#include "serve/serve.h"
 #include "simt/device.h"
 #include "simt/profiler.h"
 #include "simt/stream.h"
@@ -40,6 +41,14 @@ void free_on(simt::Device& dev, void* ptr) {
   // `dev`, whose registry produces the invalid-free diagnostic.
   simt::Device* owner = simt::resolve_device(ptr);
   simt::Device& target = owner != nullptr ? *owner : dev;
+  // Cross-API guard: a malloc_async block may already sit in (or be
+  // destined for) the stream-ordered pool; freeing it here would leave
+  // the pool holding a dangling pointer that trim double-frees.
+  if (ptr != nullptr && target.mem_pool().is_async_live(ptr))
+    throw std::invalid_argument(
+        "ompx_free: pointer was allocated with ompx_malloc_async; use "
+        "ompx_free_async on its stream (a cross-API free would corrupt "
+        "the stream-ordered pool)");
   // An in-flight async launch may still be using the block.
   sync_for_host_op(target);
   target.memory().deallocate(ptr);
@@ -152,6 +161,8 @@ ompx_result_t guarded(Fn&& fn) {
     return record_result(OMPX_ERROR_DEVICE_LOST, e.what());
   } catch (const simt::TimeoutError& e) {
     return record_result(OMPX_ERROR_TIMEOUT, e.what());
+  } catch (const simt::AdmissionError& e) {
+    return record_result(OMPX_ERROR_ADMISSION, e.what());
   } catch (const simt::DeviceOOMError& e) {
     // Before the generic bad_alloc clause: device-capacity exhaustion is
     // distinct from a failed host allocation.
@@ -266,6 +277,7 @@ const char* ompx_result_string(ompx_result_t result) {
     case OMPX_ERROR_OUT_OF_MEMORY: return "device out of memory";
     case OMPX_ERROR_DEVICE_LOST: return "device lost";
     case OMPX_ERROR_TIMEOUT: return "watchdog timeout";
+    case OMPX_ERROR_ADMISSION: return "admission rejected";
     case OMPX_ERROR_UNKNOWN: return "unknown error";
   }
   return "unrecognized ompx_result_t";
@@ -450,6 +462,8 @@ ompx_result_t ompx_mempool_get_stats(int device, ompx_mempool_stats_t* stats) {
     stats->bytes_reused = s.bytes_reused;
     stats->pooled_blocks = s.pooled_blocks;
     stats->pooled_bytes = s.pooled_bytes;
+    stats->reclaimed_blocks = s.reclaimed_blocks;
+    stats->reclaimed_bytes = s.reclaimed_bytes;
   });
 }
 
@@ -461,6 +475,148 @@ ompx_result_t ompx_mempool_trim(int device) {
     dev->synchronize();
     dev->mem_pool().trim();
   });
+}
+
+/* ------------------------------------------------ serving (MPS-style) */
+
+namespace {
+
+/// Live client for a C-API handle, or null (with the thread's last
+/// result set) — the stream_alive pattern applied to tenants.
+serve::ClientContext* checked_client(const char* who, ompx_client_t client) {
+  auto* c = static_cast<serve::ClientContext*>(client);
+  if (c == nullptr || !serve::Server::instance().is_live(c)) {
+    const std::string msg =
+        std::string(who) + ": invalid or destroyed client handle";
+    record_result(OMPX_ERROR_INVALID_VALUE, msg.c_str());
+    return nullptr;
+  }
+  return c;
+}
+
+simt::LaunchParams client_launch_params(const unsigned grid[3],
+                                        const unsigned block[3]) {
+  simt::LaunchParams p;
+  p.grid = grid != nullptr ? simt::Dim3{grid[0], grid[1], grid[2]}
+                           : simt::Dim3{1, 1, 1};
+  p.block = block != nullptr ? simt::Dim3{block[0], block[1], block[2]}
+                             : simt::Dim3{1, 1, 1};
+  p.name = "ompx_client_launch";
+  return p;
+}
+
+}  // namespace
+
+ompx_client_t ompx_client_create(int device,
+                                 const ompx_client_limits_t* limits) {
+  simt::Device* dev = nullptr;
+  if (device >= 0) {
+    dev = checked_device("ompx_client_create", device);
+    if (dev == nullptr) return nullptr;
+  }
+  serve::ClientLimits l;
+  if (limits != nullptr) {
+    l.memory_quota_bytes = limits->memory_quota_bytes;
+    l.max_pending = limits->max_pending;
+    l.priority = limits->priority;
+    l.weight = limits->weight;
+  }
+  void* out = nullptr;
+  guarded([&] { out = serve::Server::instance().create_client(dev, l); });
+  return out;
+}
+
+ompx_result_t ompx_client_destroy(ompx_client_t client) {
+  serve::ClientContext* c = checked_client("ompx_client_destroy", client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { serve::Server::instance().destroy_client(c); });
+}
+
+void* ompx_client_malloc(ompx_client_t client, std::size_t bytes) {
+  serve::ClientContext* c = checked_client("ompx_client_malloc", client);
+  if (c == nullptr) return nullptr;
+  void* p = nullptr;
+  guarded([&] { p = c->malloc(bytes); });
+  return p;
+}
+
+ompx_result_t ompx_client_free(ompx_client_t client, void* ptr) {
+  serve::ClientContext* c = checked_client("ompx_client_free", client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { c->free(ptr); });
+}
+
+ompx_result_t ompx_client_launch_kernel(ompx_client_t client,
+                                        void (*fn)(void*), void* arg,
+                                        const unsigned grid[3],
+                                        const unsigned block[3]) {
+  serve::ClientContext* c = checked_client("ompx_client_launch_kernel",
+                                           client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] {
+    if (fn == nullptr)
+      throw std::invalid_argument(
+          "ompx_client_launch_kernel: null kernel function");
+    c->launch(client_launch_params(grid, block), [fn, arg] { fn(arg); });
+  });
+}
+
+ompx_result_t ompx_client_launch_async(ompx_client_t client,
+                                       void (*fn)(void*), void* arg,
+                                       const unsigned grid[3],
+                                       const unsigned block[3]) {
+  serve::ClientContext* c = checked_client("ompx_client_launch_async",
+                                           client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] {
+    if (fn == nullptr)
+      throw std::invalid_argument(
+          "ompx_client_launch_async: null kernel function");
+    c->submit(client_launch_params(grid, block), [fn, arg] { fn(arg); });
+  });
+}
+
+ompx_result_t ompx_client_synchronize(ompx_client_t client) {
+  serve::ClientContext* c = checked_client("ompx_client_synchronize", client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  return guarded([&] { c->synchronize(); });
+}
+
+ompx_result_t ompx_client_get_stats(ompx_client_t client,
+                                    ompx_client_stats_t* stats) {
+  serve::ClientContext* c = checked_client("ompx_client_get_stats", client);
+  if (c == nullptr) return OMPX_ERROR_INVALID_VALUE;
+  if (stats == nullptr) {
+    record_result(OMPX_ERROR_INVALID_VALUE,
+                  "ompx_client_get_stats: null out pointer");
+    return OMPX_ERROR_INVALID_VALUE;
+  }
+  return guarded([&] {
+    const serve::ClientStats s = c->stats();
+    stats->launches = s.launches;
+    stats->launches_failed = s.launches_failed;
+    stats->blocks_executed = s.blocks_executed;
+    stats->quanta = s.quanta;
+    stats->allocs = s.allocs;
+    stats->frees = s.frees;
+    stats->bytes_live = s.bytes_live;
+    stats->bytes_peak = s.bytes_peak;
+    stats->quota_rejections = s.quota_rejections;
+    stats->admission_rejections = s.admission_rejections;
+    stats->timeouts = s.timeouts;
+    stats->device_losses = s.device_losses;
+  });
+}
+
+ompx_result_t ompx_serve_set_quantum(unsigned blocks) {
+  // Floored at one block by the server: a zero quantum could never
+  // make progress.
+  return guarded(
+      [&] { serve::Server::instance().set_quantum_blocks(blocks); });
+}
+
+unsigned ompx_serve_quantum(void) {
+  return serve::Server::instance().quantum_blocks();
 }
 
 ompx_result_t ompx_stream_begin_capture(ompx_stream_t stream) {

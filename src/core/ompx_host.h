@@ -52,6 +52,8 @@ typedef enum ompx_result_t {
                                    (cudaErrorDevicesUnavailable) */
   OMPX_ERROR_TIMEOUT = 7,       /* watchdog expired a kernel or stream op
                                    (cudaErrorLaunchTimeout) */
+  OMPX_ERROR_ADMISSION = 8,     /* serving-layer admission control refused
+                                   the request (client queue depth) */
   OMPX_ERROR_UNKNOWN = 999,
 } ompx_result_t;
 
@@ -135,11 +137,81 @@ typedef struct ompx_mempool_stats_t {
   unsigned long long bytes_reused;   /* total bytes served from the pool */
   unsigned long long pooled_blocks;  /* blocks currently cached */
   unsigned long long pooled_bytes;   /* bytes currently cached */
+  unsigned long long reclaimed_blocks; /* pooled blocks returned to the heap
+                                          by trim / stream destroy (incl.
+                                          timed-out streams) */
+  unsigned long long reclaimed_bytes;  /* bytes so returned */
 } ompx_mempool_stats_t;
 ompx_result_t ompx_mempool_get_stats(int device, ompx_mempool_stats_t* stats);
 /// Releases every cached block back to the device allocator
 /// (cudaMemPoolTrimTo(0) analogue).
 ompx_result_t ompx_mempool_trim(int device);
+
+/// Multi-tenant serving (CUDA MPS shaped; see README "Serving"). A
+/// client context is one tenant's handle onto a shared device: its own
+/// stream, quota-charged allocation accounting, and per-client stats.
+/// The process-wide server time-slices each device among its clients at
+/// block granularity (weighted round-robin within the highest non-empty
+/// priority class), so one client's huge grid cannot starve the rest.
+typedef void* ompx_client_t;
+
+/// All-zero limits mean "unlimited, default share" (weight 0 = 1).
+typedef struct ompx_client_limits_t {
+  unsigned long long memory_quota_bytes; /* 0 = no quota; over-quota
+                                            mallocs fail with
+                                            OMPX_ERROR_OUT_OF_MEMORY */
+  unsigned max_pending;                  /* queue depth; over-depth submits
+                                            fail with OMPX_ERROR_ADMISSION */
+  int priority;                          /* higher classes run first */
+  unsigned weight;                       /* WRR weight within the class */
+} ompx_client_limits_t;
+
+typedef struct ompx_client_stats_t {
+  unsigned long long launches;         /* requests completed OK */
+  unsigned long long launches_failed;  /* requests failed (any cause) */
+  unsigned long long blocks_executed;  /* grid blocks run on the device */
+  unsigned long long quanta;           /* scheduler quanta consumed */
+  unsigned long long allocs;
+  unsigned long long frees;
+  unsigned long long bytes_live;       /* current, not cumulative */
+  unsigned long long bytes_peak;
+  unsigned long long quota_rejections;
+  unsigned long long admission_rejections;
+  unsigned long long timeouts;         /* requests failed by the watchdog */
+  unsigned long long device_losses;    /* requests failed device-lost */
+} ompx_client_stats_t;
+
+/// Creates a client on registry device `device` (-1 = least-loaded).
+/// `limits` may be null. Returns null with the thread's last result set
+/// on failure.
+ompx_client_t ompx_client_create(int device,
+                                 const ompx_client_limits_t* limits);
+/// Drains the client's queued requests, releases any allocations it
+/// leaked, and destroys it.
+ompx_result_t ompx_client_destroy(ompx_client_t client);
+/// Quota-charged device allocation / free. A pointer one client
+/// allocated cannot be freed through another (OMPX_ERROR_INVALID_VALUE).
+void* ompx_client_malloc(ompx_client_t client, std::size_t bytes);
+ompx_result_t ompx_client_free(ompx_client_t client, void* ptr);
+/// Blocking request: runs `fn` once per GPU thread of grid x block via
+/// the fair-share scheduler and waits for it. A watchdog timeout or
+/// device-lost fault fails only this request; sibling clients continue.
+ompx_result_t ompx_client_launch_kernel(ompx_client_t client,
+                                        void (*fn)(void*), void* arg,
+                                        const unsigned grid[3],
+                                        const unsigned block[3]);
+/// Fire-and-forget request; failures surface from ompx_client_synchronize
+/// (first stored error) and in the client's stats.
+ompx_result_t ompx_client_launch_async(ompx_client_t client,
+                                       void (*fn)(void*), void* arg,
+                                       const unsigned grid[3],
+                                       const unsigned block[3]);
+ompx_result_t ompx_client_synchronize(ompx_client_t client);
+ompx_result_t ompx_client_get_stats(ompx_client_t client,
+                                    ompx_client_stats_t* stats);
+/// Preemption quantum in grid blocks (min 1; default 64).
+ompx_result_t ompx_serve_set_quantum(unsigned blocks);
+unsigned ompx_serve_quantum(void);
 
 /// Graph capture and replay (cudaGraph shaped). Between begin_capture
 /// and end_capture, work submitted to the stream is recorded instead of

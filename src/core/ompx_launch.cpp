@@ -239,10 +239,12 @@ LaunchResult shard_launch(const LaunchSpec& spec,
 
   LaunchResult result;
   result.completed = true;
-  if (nshards <= 1) {
-    result.record = primary.launch_sync(base, body);
-    return result;
-  }
+  // A degenerate grid (largest axis smaller than the device count)
+  // simply uses fewer shards — down to one. The single-shard case still
+  // goes through the per-device default stream below, not a direct
+  // launch_sync: a direct launch would bypass async work already queued
+  // on the default stream, so ordering (and the combined record) would
+  // depend on the grid size.
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<simt::LaunchRecord> shards(nshards);

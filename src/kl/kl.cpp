@@ -4,6 +4,7 @@
 #include <string>
 
 #include "rewrite/analyze.h"
+#include "serve/serve.h"
 
 namespace kl {
 
@@ -30,6 +31,8 @@ klError guarded(F&& f) {
     return record_error(klErrorDeviceLost, e.what());
   } catch (const simt::TimeoutError& e) {
     return record_error(klErrorTimeout, e.what());
+  } catch (const simt::AdmissionError& e) {
+    return record_error(klErrorAdmission, e.what());
   } catch (const std::bad_alloc& e) {
     // Includes simt::DeviceOOMError: device-capacity exhaustion keeps
     // reporting klErrorMemoryAllocation, like cudaErrorMemoryAllocation.
@@ -78,6 +81,7 @@ const char* klGetErrorString(klError e) {
     case klErrorNotReady: return "klErrorNotReady";
     case klErrorDeviceLost: return "klErrorDeviceLost";
     case klErrorTimeout: return "klErrorTimeout";
+    case klErrorAdmission: return "klErrorAdmission";
     case klErrorUnknown: return "klErrorUnknown";
   }
   return "klError(?)";
@@ -154,6 +158,11 @@ klError klMalloc(void** ptr, std::size_t bytes) {
 klError klFree(void* ptr) {
   return guarded([&] {
     auto& dev = usable_device("klFree");
+    if (ptr != nullptr && dev.mem_pool().is_async_live(ptr))
+      throw std::invalid_argument(
+          "klFree: pointer was allocated with klMallocAsync; use "
+          "klFreeAsync on its stream (a cross-API free would corrupt the "
+          "stream-ordered pool)");
     sync_legacy(dev);  // an in-flight launch may still use the block
     dev.memory().deallocate(ptr);
   });
@@ -290,6 +299,27 @@ klError klMallocAsync(void** ptr, std::size_t bytes, klStream_t stream) {
   return guarded([&] {
     auto& s = stream != nullptr ? *stream : current_device().default_stream();
     *ptr = s.malloc_async(bytes);
+  });
+}
+
+klError klClientCreate(klClient_t* client, int device) {
+  if (client == nullptr) return record_error(klErrorInvalidValue, "null out");
+  *client = nullptr;
+  const auto& reg = simt::device_registry();
+  if (device >= static_cast<int>(reg.size()))
+    return record_error(klErrorInvalidDevice,
+                        "device index " + std::to_string(device));
+  return guarded([&] {
+    simt::Device* dev =
+        device >= 0 ? reg[static_cast<std::size_t>(device)] : nullptr;
+    *client = serve::Server::instance().create_client(dev);
+  });
+}
+
+klError klClientDestroy(klClient_t client) {
+  return guarded([&] {
+    auto* c = static_cast<serve::ClientContext*>(client);
+    serve::Server::instance().destroy_client(c);
   });
 }
 

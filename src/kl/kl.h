@@ -36,6 +36,7 @@ enum klError : int {
   klErrorNotReady = 5,
   klErrorDeviceLost = 6,  // cudaErrorDevicesUnavailable; klDeviceReset recovers
   klErrorTimeout = 7,     // cudaErrorLaunchTimeout; the offending stream dies
+  klErrorAdmission = 8,   // serving-layer admission control refused the request
   klErrorUnknown = 999,
 };
 
@@ -118,6 +119,15 @@ klError klMallocAsync(T** ptr, std::size_t bytes, klStream_t stream = nullptr) {
   return klMallocAsync(reinterpret_cast<void**>(ptr), bytes, stream);
 }
 klError klFreeAsync(void* ptr, klStream_t stream = nullptr);
+
+/// Multi-tenant client contexts (CUDA MPS shaped; see serve/serve.h).
+/// A client is one tenant's handle onto a shared device: quota-charged
+/// allocation accounting and fair-share block-granularity scheduling
+/// against sibling clients. device -1 places the client on the
+/// least-loaded device. Destroy drains the client's queue first.
+using klClient_t = void*;
+klError klClientCreate(klClient_t* client, int device = -1);
+klError klClientDestroy(klClient_t client);
 
 /// Graph capture and replay (cudaGraph / cudaGraphExec collapsed into
 /// one handle, like hipGraph in practice). Work submitted to the

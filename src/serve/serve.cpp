@@ -1,0 +1,526 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "simt/fault.h"
+#include "simt/stream.h"
+#include "simt/watchdog.h"
+
+namespace serve {
+namespace {
+
+std::uint32_t& dim_axis(simt::Dim3& d, int axis) {
+  return axis == 0 ? d.x : axis == 1 ? d.y : d.z;
+}
+
+/// Chunk-into-request accumulation, the time-sliced sibling of the
+/// shard_launch combine: stats sum; modeled time sums too (chunks run
+/// sequentially on one device, not concurrently across devices);
+/// occupancy is blocks-weighted by the caller.
+void accumulate(simt::LaunchRecord& into, const simt::LaunchRecord& rec) {
+  into.stats.blocks += rec.stats.blocks;
+  into.stats.threads += rec.stats.threads;
+  into.stats.block_barriers += rec.stats.block_barriers;
+  into.stats.warp_collectives += rec.stats.warp_collectives;
+  into.stats.warp_syncs += rec.stats.warp_syncs;
+  into.stats.atomics += rec.stats.atomics;
+  into.stats.parallel_handshakes += rec.stats.parallel_handshakes;
+  into.stats.workshare_dispatches += rec.stats.workshare_dispatches;
+  into.stats.globalized_bytes += rec.stats.globalized_bytes;
+  into.stats.fibers_created += rec.stats.fibers_created;
+  into.stats.fiber_reuses += rec.stats.fiber_reuses;
+  into.stats.sched_steals += rec.stats.sched_steals;
+  into.stats.sched_lane_loops += rec.stats.sched_lane_loops;
+  into.stats.sched_deflations += rec.stats.sched_deflations;
+  into.time.compute_ms += rec.time.compute_ms;
+  into.time.memory_ms += rec.time.memory_ms;
+  into.time.overhead_ms += rec.time.overhead_ms;
+  into.time.total_ms += rec.time.total_ms;
+}
+
+}  // namespace
+
+/// One client launch making its way through the scheduler. The chunking
+/// fields are touched only by the owning device's scheduler thread; the
+/// completion fields are guarded by Server::mu_.
+struct Request {
+  ClientContext* client = nullptr;
+  simt::LaunchParams params;
+  simt::KernelFn body;
+  std::uint64_t id = 0;
+
+  // Chunk progress (scheduler thread only).
+  bool started = false;
+  int axis = 0;
+  std::uint32_t total = 0;            ///< extent along the split axis
+  std::uint32_t next = 0;             ///< next chunk's begin along the axis
+  std::uint32_t blocks_per_unit = 1;  ///< grid blocks per unit of the axis
+  simt::LaunchRecord combined;
+  double occ_weighted = 0.0;
+  double modeled_ms = 0.0;
+  std::chrono::steady_clock::time_point t0;
+
+  // Completion (Server::mu_).
+  bool done = false;
+  std::exception_ptr error;
+};
+
+// ------------------------------------------------------- ClientContext
+
+ClientContext::ClientContext(Server& server, simt::Device& dev,
+                             ClientLimits limits, std::uint64_t id)
+    : server_(server), dev_(dev), limits_(limits), id_(id) {
+  stream_ = dev.create_stream();
+}
+
+ClientContext::~ClientContext() {
+  if (stream_ != nullptr) {
+    // A timed-out stream is parked by the executor; either way the
+    // handle must not leak past the client.
+    try {
+      dev_.destroy_stream(stream_);
+    } catch (...) {
+    }
+    stream_ = nullptr;
+  }
+}
+
+void* ClientContext::malloc(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  {
+    std::lock_guard lock(server_.mu_);
+    if (limits_.memory_quota_bytes != 0 &&
+        stats_.bytes_live + bytes > limits_.memory_quota_bytes) {
+      stats_.quota_rejections++;
+      throw simt::DeviceOOMError(
+          "client " + std::to_string(id_) + ": allocation of " +
+          std::to_string(bytes) + " bytes exceeds the memory quota (" +
+          std::to_string(stats_.bytes_live) + " of " +
+          std::to_string(limits_.memory_quota_bytes) + " bytes in use)");
+    }
+    // Charge before allocating so two racing allocations cannot both
+    // slip under the quota.
+    stats_.bytes_live += bytes;
+    stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+    stats_.allocs++;
+  }
+  void* p = nullptr;
+  try {
+    p = dev_.memory().allocate(bytes);
+  } catch (...) {
+    std::lock_guard lock(server_.mu_);
+    stats_.bytes_live -= bytes;
+    stats_.allocs--;
+    throw;
+  }
+  std::lock_guard lock(server_.mu_);
+  owned_[p] = bytes;
+  return p;
+}
+
+void ClientContext::free(void* ptr) {
+  if (ptr == nullptr) return;
+  std::size_t bytes = 0;
+  {
+    std::lock_guard lock(server_.mu_);
+    auto it = owned_.find(ptr);
+    if (it == owned_.end())
+      throw std::invalid_argument(
+          "client " + std::to_string(id_) +
+          ": pointer was not allocated by this client (tenant isolation "
+          "forbids cross-client frees)");
+    bytes = it->second;
+    owned_.erase(it);
+  }
+  dev_.memory().deallocate(ptr);
+  std::lock_guard lock(server_.mu_);
+  stats_.frees++;
+  stats_.bytes_live -= bytes;
+}
+
+// Only the shape is validated at submit time (an empty grid would break
+// the chunking arithmetic). Device-level validation — launch limits,
+// lost-device state, injected faults — happens when the scheduler runs
+// the request, where the failure is classified against the client's
+// stats and a lost device is reset without the submitting thread racing
+// the worker. That matches CUDA: most launch errors surface
+// asynchronously.
+static void check_shape(const simt::LaunchParams& p) {
+  if (p.grid.count() == 0 || p.block.count() == 0)
+    throw std::invalid_argument(std::string("launch '") + p.name +
+                                "': empty grid or block");
+}
+
+std::uint64_t ClientContext::submit(simt::LaunchParams params,
+                                    simt::KernelFn body) {
+  check_shape(params);
+  auto r = std::make_shared<Request>();
+  r->client = this;
+  r->params = params;
+  r->body = std::move(body);
+  std::lock_guard lock(server_.mu_);
+  server_.submit_locked(*this, r);
+  return r->id;
+}
+
+simt::LaunchRecord ClientContext::launch(simt::LaunchParams params,
+                                         simt::KernelFn body) {
+  check_shape(params);
+  auto r = std::make_shared<Request>();
+  r->client = this;
+  r->params = params;
+  r->body = std::move(body);
+  std::unique_lock lock(server_.mu_);
+  server_.submit_locked(*this, r);
+  server_.cv_done_.wait(lock, [&] { return r->done; });
+  if (r->error) {
+    // The blocking caller consumes this failure; don't surface it a
+    // second time from a later synchronize().
+    if (first_error_ == r->error) first_error_ = nullptr;
+    std::rethrow_exception(r->error);
+  }
+  return r->combined;
+}
+
+void ClientContext::synchronize() {
+  std::unique_lock lock(server_.mu_);
+  server_.cv_done_.wait(lock, [&] { return pending_.empty(); });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+ClientStats ClientContext::stats() const {
+  std::lock_guard lock(server_.mu_);
+  return stats_;
+}
+
+// --------------------------------------------------------------- Server
+
+Server& Server::instance() {
+  // Touch the registry first: the sim devices are intentionally leaked,
+  // so constructing the server after them keeps every scheduler thread's
+  // device alive through static destruction.
+  simt::device_registry();
+  static Server s;
+  return s;
+}
+
+Server::Server() = default;
+
+Server::~Server() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    // Whatever is still queued fails cleanly instead of hanging a
+    // waiter: shutdown is an admission decision like any other.
+    for (auto& [raw, client] : clients_) {
+      for (auto& r : client->pending_) {
+        if (r->done) continue;
+        r->error = std::make_exception_ptr(
+            simt::AdmissionError("serve: server shut down with the request "
+                                 "still queued"));
+        r->done = true;
+      }
+      client->pending_.clear();
+    }
+    cv_done_.notify_all();
+    for (auto& s : scheds_) s->cv_work.notify_all();
+  }
+  for (auto& s : scheds_)
+    if (s->worker.joinable()) s->worker.join();
+  // Destroy surviving clients (leaked handles): release their device
+  // allocations, then the contexts themselves.
+  for (auto& [raw, client] : clients_) {
+    for (auto& [p, bytes] : client->owned_)
+      try {
+        client->dev_.memory().deallocate(const_cast<void*>(p));
+      } catch (...) {
+      }
+  }
+  clients_.clear();
+}
+
+Server::DeviceSched& Server::sched_for(simt::Device& dev) {
+  for (auto& s : scheds_)
+    if (s->dev == &dev) return *s;
+  scheds_.push_back(std::make_unique<DeviceSched>());
+  DeviceSched& s = *scheds_.back();
+  s.dev = &dev;
+  s.worker = std::thread([this, &s] { scheduler_loop(s); });
+  return s;
+}
+
+ClientContext* Server::create_client(simt::Device* dev,
+                                     const ClientLimits& limits) {
+  ClientLimits l = limits;
+  if (l.weight == 0) l.weight = 1;
+  std::lock_guard lock(mu_);
+  if (stopping_)
+    throw std::invalid_argument("serve: server is shutting down");
+  simt::Device* target = dev;
+  if (target == nullptr) {
+    // Least-loaded placement across the registry fleet.
+    std::size_t best = 0;
+    for (simt::Device* d : simt::device_registry()) {
+      std::size_t n = 0;
+      for (auto& s : scheds_)
+        if (s->dev == d) n = s->clients.size();
+      if (target == nullptr || n < best) {
+        target = d;
+        best = n;
+      }
+    }
+    if (target == nullptr)
+      throw std::invalid_argument("serve: no devices registered");
+  }
+  auto client = std::unique_ptr<ClientContext>(
+      new ClientContext(*this, *target, l, next_client_id_++));
+  DeviceSched& sched = sched_for(*target);
+  sched.clients.push_back(client.get());
+  ClientContext* raw = client.get();
+  clients_[raw] = std::move(client);
+  return raw;
+}
+
+void Server::destroy_client(ClientContext* client) {
+  std::unique_lock lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end())
+    throw std::invalid_argument(
+        "serve: not a live client handle (already destroyed?)");
+  // Teardown ordering: drain the queue first (the scheduler may be
+  // mid-quantum on this client's request), then unhook from the
+  // rotation, then release memory.
+  cv_done_.wait(lock, [&] { return client->pending_.empty(); });
+  for (auto& s : scheds_) {
+    auto pos = std::find(s->clients.begin(), s->clients.end(), client);
+    if (pos != s->clients.end()) s->clients.erase(pos);
+  }
+  std::unique_ptr<ClientContext> owned = std::move(it->second);
+  clients_.erase(it);
+  auto leaked = std::move(owned->owned_);
+  lock.unlock();
+  for (auto& [p, bytes] : leaked)
+    try {
+      owned->dev_.memory().deallocate(const_cast<void*>(p));
+    } catch (...) {
+    }
+  // ~ClientContext destroys the client's stream.
+}
+
+bool Server::is_live(const ClientContext* client) const {
+  std::lock_guard lock(mu_);
+  return clients_.count(client) != 0;
+}
+
+std::size_t Server::client_count() const {
+  std::lock_guard lock(mu_);
+  return clients_.size();
+}
+
+void Server::set_quantum_blocks(std::uint32_t blocks) {
+  std::lock_guard lock(mu_);
+  quantum_blocks_ = std::max(1u, blocks);
+}
+
+std::uint32_t Server::quantum_blocks() const {
+  std::lock_guard lock(mu_);
+  return quantum_blocks_;
+}
+
+void Server::submit_locked(ClientContext& client,
+                           const std::shared_ptr<Request>& r) {
+  if (stopping_)
+    throw simt::AdmissionError("serve: server is shutting down");
+  if (client.limits_.max_pending != 0 &&
+      client.pending_.size() >= client.limits_.max_pending) {
+    client.stats_.admission_rejections++;
+    throw simt::AdmissionError(
+        "client " + std::to_string(client.id_) + ": queue depth limit " +
+        std::to_string(client.limits_.max_pending) +
+        " reached; retry after pending requests drain");
+  }
+  r->id = next_request_id_++;
+  // An idle client re-entering the rotation must not replay the share
+  // it "saved" while idle: start from the busiest sibling's progress.
+  if (client.pending_.empty()) {
+    double floor = client.wrr_progress_;
+    for (auto& s : scheds_) {
+      if (s->dev != &client.dev_) continue;
+      for (ClientContext* c : s->clients)
+        if (c != &client && !c->pending_.empty())
+          floor = std::max(floor, c->wrr_progress_);
+    }
+    client.wrr_progress_ = floor;
+  }
+  client.pending_.push_back(r);
+  for (auto& s : scheds_)
+    if (s->dev == &client.dev_) s->cv_work.notify_all();
+}
+
+std::shared_ptr<Request> Server::pick_locked(DeviceSched& sched) {
+  // Strict priority across classes; within the winning class, the
+  // client with the least weighted progress runs next (weighted
+  // round-robin that is deterministic and starvation-free).
+  ClientContext* best = nullptr;
+  for (ClientContext* c : sched.clients) {
+    if (c->pending_.empty()) continue;
+    if (best == nullptr || c->limits_.priority > best->limits_.priority ||
+        (c->limits_.priority == best->limits_.priority &&
+         c->wrr_progress_ < best->wrr_progress_))
+      best = c;
+  }
+  return best != nullptr ? best->pending_.front() : nullptr;
+}
+
+void Server::scheduler_loop(DeviceSched& sched) {
+  for (;;) {
+    std::shared_ptr<Request> r;
+    {
+      std::unique_lock lock(mu_);
+      sched.cv_work.wait(
+          lock, [&] { return stopping_ || (r = pick_locked(sched)) != nullptr; });
+      if (r == nullptr) return;  // stopping, queues drained
+    }
+    run_quantum(sched, r);
+  }
+}
+
+void Server::run_quantum(DeviceSched& sched,
+                         const std::shared_ptr<Request>& r) {
+  simt::Device& dev = *sched.dev;
+  ClientContext* client = r->client;
+
+  if (!r->started) {
+    const std::uint32_t extents[3] = {r->params.grid.x, r->params.grid.y,
+                                      r->params.grid.z};
+    r->axis = 0;
+    if (extents[1] > extents[r->axis]) r->axis = 1;
+    if (extents[2] > extents[r->axis]) r->axis = 2;
+    r->total = extents[r->axis];
+    const std::uint64_t grid_blocks = static_cast<std::uint64_t>(extents[0]) *
+                                      extents[1] * extents[2];
+    r->blocks_per_unit =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(
+            1, grid_blocks / std::max<std::uint32_t>(1, r->total)));
+    r->combined.name = r->params.name;
+    r->combined.grid = r->params.grid;
+    r->combined.block = r->params.block;
+    r->t0 = std::chrono::steady_clock::now();
+    r->started = true;
+  }
+
+  std::uint32_t quantum;
+  {
+    std::lock_guard lock(mu_);
+    quantum = quantum_blocks_;
+  }
+  const std::uint32_t remaining = r->total - r->next;
+  const std::uint32_t chunk = std::min(
+      remaining,
+      std::max<std::uint32_t>(1, quantum / r->blocks_per_unit));
+
+  simt::LaunchParams p = r->params;
+  p.log = false;  // only the combined record enters the launch log
+  p.logical_grid = r->params.grid;
+  dim_axis(p.grid, r->axis) = chunk;
+  dim_axis(p.grid_offset, r->axis) = r->next;
+
+  simt::LaunchRecord rec;
+  std::exception_ptr err;
+  bool lost = false;
+  try {
+    dev.check_not_lost("serve launch");
+    rec = dev.launch_sync(p, r->body);
+  } catch (const simt::DeviceLostError&) {
+    err = std::current_exception();
+    lost = true;
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  bool timed_out = false;
+  if (!err) {
+    if (r->combined.stats.blocks == 0) {
+      r->combined.exec_mode = rec.exec_mode;
+      r->combined.stats.runtime_init = rec.stats.runtime_init;
+      r->combined.stats.generic_mode = rec.stats.generic_mode;
+      r->combined.stats.spill_in_shared = rec.stats.spill_in_shared;
+    }
+    accumulate(r->combined, rec);
+    r->occ_weighted +=
+        rec.time.occupancy * static_cast<double>(rec.stats.blocks);
+    r->modeled_ms += rec.time.total_ms;
+    r->next += chunk;
+    // The modeled watchdog is a per-launch budget: time-slicing must not
+    // let a runaway kernel dodge it by being metered in small chunks.
+    const double budget_ms = simt::watchdog_ms();
+    if (budget_ms > 0.0 && r->modeled_ms > budget_ms) {
+      err = std::make_exception_ptr(simt::TimeoutError(
+          "serve: kernel '" + std::string(r->params.name) +
+          "' exceeded the watchdog budget across its time slices"));
+      timed_out = true;
+    }
+  } else if (!lost) {
+    // Single-chunk watchdog overruns arrive as TimeoutError too.
+    try {
+      std::rethrow_exception(err);
+    } catch (const simt::TimeoutError&) {
+      timed_out = true;
+    } catch (...) {
+    }
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    client->stats_.quanta++;
+    client->wrr_progress_ +=
+        1.0 / static_cast<double>(std::max(1u, client->limits_.weight));
+    if (!err) client->stats_.blocks_executed += rec.stats.blocks;
+
+    // The request may have been failed under our feet by server
+    // shutdown; don't double-complete it.
+    const bool still_queued =
+        !client->pending_.empty() && client->pending_.front() == r && !r->done;
+    if (still_queued && (err || r->next >= r->total)) {
+      if (err) {
+        client->stats_.launches_failed++;
+        if (timed_out) client->stats_.timeouts++;
+        if (lost) client->stats_.device_losses++;
+        r->error = err;
+        if (!client->first_error_) client->first_error_ = err;
+      } else {
+        if (r->combined.stats.blocks != 0)
+          r->combined.time.occupancy =
+              r->occ_weighted / static_cast<double>(r->combined.stats.blocks);
+        r->combined.wall_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - r->t0)
+                                  .count();
+        client->stats_.launches++;
+      }
+      r->done = true;
+      client->pending_.pop_front();
+      cv_done_.notify_all();
+    }
+  }
+
+  if (!err && r->done) dev.append_launch_record(r->combined);
+
+  if (lost) {
+    // Graceful degradation: one tenant's poisoned chunk must not take
+    // the device away from its siblings.
+    try {
+      dev.reset();
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace serve

@@ -86,6 +86,15 @@ class TimeoutError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The serving layer's admission control refused a request (per-client
+/// queue depth exceeded); maps to OMPX_ERROR_ADMISSION / klErrorAdmission.
+/// Lives in simt (not serve) so the core C ABI can translate it without
+/// depending on the service layer.
+class AdmissionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace fault_detail {
 /// Global injection switch; non-zero while a spec is armed.
 extern constinit std::atomic<std::uint32_t> g_armed;

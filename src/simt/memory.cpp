@@ -327,17 +327,50 @@ void StreamMemPool::release(std::uint64_t stream_id, void* ptr,
 
 void StreamMemPool::trim() {
   std::lock_guard lock(mu_);
-  for (auto& [id, pool] : pools_)
-    for (auto& [bytes, ptr] : pool) mem_.deallocate(ptr);
+  for (auto& [id, pool] : pools_) {
+    for (auto& [bytes, ptr] : pool) {
+      mem_.deallocate(ptr);
+      stats_.reclaimed_blocks++;
+      stats_.reclaimed_bytes += bytes;
+    }
+  }
   pools_.clear();
 }
 
 void StreamMemPool::trim_stream(std::uint64_t stream_id) {
   std::lock_guard lock(mu_);
+  // The stream is going away: release its async-origin claims so any
+  // still-live malloc_async blocks become plain-freeable (ompx_free)
+  // instead of being stranded behind a dead stream.
+  for (auto ait = async_live_.begin(); ait != async_live_.end();) {
+    if (ait->second == stream_id)
+      ait = async_live_.erase(ait);
+    else
+      ++ait;
+  }
   auto it = pools_.find(stream_id);
   if (it == pools_.end()) return;
-  for (auto& [bytes, ptr] : it->second) mem_.deallocate(ptr);
+  for (auto& [bytes, ptr] : it->second) {
+    mem_.deallocate(ptr);
+    stats_.reclaimed_blocks++;
+    stats_.reclaimed_bytes += bytes;
+  }
   pools_.erase(it);
+}
+
+void StreamMemPool::note_async_live(const void* ptr, std::uint64_t stream_id) {
+  std::lock_guard lock(mu_);
+  async_live_[ptr] = stream_id;
+}
+
+void StreamMemPool::note_async_dead(const void* ptr) {
+  std::lock_guard lock(mu_);
+  async_live_.erase(ptr);
+}
+
+bool StreamMemPool::is_async_live(const void* ptr) const {
+  std::lock_guard lock(mu_);
+  return async_live_.count(ptr) != 0;
 }
 
 MemPoolStats StreamMemPool::stats() const {

@@ -23,6 +23,7 @@
 #include <map>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace simt {
@@ -154,6 +155,8 @@ struct MemPoolStats {
   std::uint64_t bytes_reused = 0;  ///< payload bytes served from the pool
   std::uint64_t pooled_blocks = 0; ///< blocks currently cached
   std::uint64_t pooled_bytes = 0;  ///< bytes currently cached
+  std::uint64_t reclaimed_blocks = 0;  ///< pooled blocks returned to the heap
+  std::uint64_t reclaimed_bytes = 0;   ///< bytes returned by trim/trim_stream
 };
 
 /// The stream-ordered allocator's free pool (cudaMallocAsync semantics).
@@ -188,6 +191,20 @@ class StreamMemPool {
   void trim();
   void trim_stream(std::uint64_t stream_id);
 
+  /// Async-origin registry: every pointer currently live to a client
+  /// that came from malloc_async, keyed back to its stream. The free
+  /// paths consult it so a cross-API free (ompx_free of a malloc_async
+  /// block, free_async of a plain ompx_malloc block) is rejected with a
+  /// clean error instead of corrupting the pool — a pooled block that a
+  /// later plain free also deallocates would dangle until trim
+  /// double-frees it. trim_stream releases the stream's entries: once
+  /// the owning stream is destroyed (including a timed-out stream the
+  /// watchdog killed), its surviving blocks become plain-freeable, so
+  /// they are never stranded.
+  void note_async_live(const void* ptr, std::uint64_t stream_id);
+  void note_async_dead(const void* ptr);
+  [[nodiscard]] bool is_async_live(const void* ptr) const;
+
   [[nodiscard]] MemPoolStats stats() const;
   void reset_stats();
 
@@ -196,6 +213,7 @@ class StreamMemPool {
   mutable std::mutex mu_;
   // stream id -> exact-size free lists (size -> block), LIFO per size.
   std::unordered_map<std::uint64_t, std::multimap<std::size_t, void*>> pools_;
+  std::unordered_map<const void*, std::uint64_t> async_live_;  ///< ptr -> stream
   MemPoolStats stats_;
 };
 

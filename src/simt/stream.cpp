@@ -233,17 +233,35 @@ void* Stream::malloc_async(std::size_t bytes) {
   op.dst = p;
   op.bytes = bytes;
   op.pool_hit = hit;
-  ex_.submit(*this, std::move(op));
+  try {
+    ex_.submit(*this, std::move(op));
+  } catch (...) {
+    // Enqueue refused (timed-out stream, injected fault): return the
+    // block to the heap before surfacing the error, or it is stranded
+    // outside both the pool and the caller — a silent leak.
+    dev_.memory().deallocate(p);
+    throw;
+  }
+  dev_.mem_pool().note_async_live(p, id_);
   return p;
 }
 
 void Stream::free_async(void* ptr) {
   if (ptr == nullptr) return;
   const std::size_t bytes = dev_.memory().allocation_size(ptr);
-  if (bytes == 0)
+  if (bytes == 0) {
+    // A peer device's pointer gets a routing diagnostic; anything else
+    // is an invalid free against this device's registry.
+    Device* owner = resolve_device(ptr);
+    if (owner != nullptr && owner != &dev_)
+      throw std::invalid_argument(
+          "free_async: pointer belongs to device '" + owner->config().name +
+          "'; stream-ordered frees must target a stream on the owning "
+          "device");
     throw std::invalid_argument(
         "free_async: pointer is not the base of a live allocation on this "
         "stream's device");
+  }
   {
     std::lock_guard lock(ex_.mu_);
     if (capturing_) {
@@ -260,12 +278,21 @@ void Stream::free_async(void* ptr) {
       return;
     }
   }
-  dev_.mem_pool().release(id_, ptr, bytes);
+  if (!dev_.mem_pool().is_async_live(ptr))
+    throw std::invalid_argument(
+        "free_async: pointer was not allocated with malloc_async; use "
+        "ompx_free for plain ompx_malloc blocks (a cross-API free would "
+        "corrupt the stream-ordered pool)");
   StreamOp op;
   op.kind = StreamOp::Kind::kFree;
   op.dst = ptr;
   op.bytes = bytes;
+  // Enqueue before pooling: if the stream refuses the op (timed out),
+  // the allocation stays live and the caller's error is accurate —
+  // pooling first would hand out a block whose free "failed".
   ex_.submit(*this, std::move(op));
+  dev_.mem_pool().note_async_dead(ptr);
+  dev_.mem_pool().release(id_, ptr, bytes);
 }
 
 void Stream::host_fn(std::function<void()> fn) {

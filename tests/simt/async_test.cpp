@@ -28,6 +28,7 @@
 #include "apps/su3/su3.h"
 #include "apps/xsbench/xsbench.h"
 #include "core/ompx.h"
+#include "simt/simt.h"
 
 namespace {
 
@@ -232,6 +233,66 @@ TEST_F(Async, AsyncAllocReusesFromTheStreamPool) {
 
   EXPECT_EQ(ompx_mempool_get_stats(0, nullptr), OMPX_ERROR_INVALID_VALUE);
   EXPECT_EQ(ompx_mempool_get_stats(-7, &after), OMPX_ERROR_INVALID_DEVICE);
+}
+
+TEST_F(Async, StreamDestroyCountsReclaimedBlocks) {
+  // Blocks parked for reuse are returned to the heap when the stream
+  // dies, and the trim is visible in the stats (regression: pooled
+  // blocks of an abandoned stream used to vanish from the accounting).
+  ompx_mempool_stats_t before{};
+  ASSERT_EQ(ompx_mempool_get_stats(0, &before), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  constexpr std::size_t kBytes = 8192;
+  void* a = ompx_malloc_async(kBytes, s);
+  void* b = ompx_malloc_async(kBytes, s);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(ompx_free_async(a, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_free_async(b, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  ompx_mempool_stats_t after{};
+  ASSERT_EQ(ompx_mempool_get_stats(0, &after), OMPX_SUCCESS);
+  EXPECT_GE(after.reclaimed_blocks, before.reclaimed_blocks + 2);
+  EXPECT_GE(after.reclaimed_bytes, before.reclaimed_bytes + 2 * kBytes);
+}
+
+TEST_F(Async, TimedOutStreamLeaksNothingAndReleasesItsBlocks) {
+  // The --fault=stall + watchdog seam: once the watchdog kills a
+  // stream, malloc_async on it must fail cleanly WITHOUT leaking the
+  // backing allocation (regression: the allocation was made before the
+  // enqueue was refused), free_async must leave the block live, and
+  // destroying the dead stream hands surviving blocks back to the
+  // plain allocator so they are never stranded.
+  simt::Device& dev = simt::sim_a100();
+  ASSERT_EQ(ompx_set_watchdog_ms(100.0), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  void* early = ompx_malloc_async(4096, s);
+  ASSERT_NE(early, nullptr);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  {
+    // A 1.5 s stall against a 100 ms budget wedges the stream for good.
+    ompx::FaultScope fault("stall:after=0,ms=1500");
+    ASSERT_EQ(ompx_memset_async(early, 0, 4096, s), OMPX_SUCCESS);
+    EXPECT_EQ(ompx_stream_synchronize(s), OMPX_ERROR_TIMEOUT);
+  }
+  const std::uint64_t live = dev.memory().bytes_in_use();
+  EXPECT_EQ(ompx_malloc_async(256, s), nullptr);
+  EXPECT_EQ(ompx_get_last_result(), OMPX_ERROR_TIMEOUT);
+  EXPECT_EQ(dev.memory().bytes_in_use(), live)
+      << "refused malloc_async leaked its backing allocation";
+  // free_async on the dead stream cannot enqueue: the block stays live.
+  EXPECT_EQ(ompx_free_async(early, s), OMPX_ERROR_TIMEOUT);
+  EXPECT_EQ(dev.memory().bytes_in_use(), live);
+  // Stream destroy releases the async claim: the survivor is now
+  // plain-freeable (documented escape hatch), and nothing remains.
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_free(early), OMPX_SUCCESS);
+  EXPECT_EQ(dev.memory().bytes_in_use(), live - 4096);
+  ASSERT_EQ(ompx_set_watchdog_ms(0.0), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ TEST(ConformanceResults, OmpxResultStringsDistinctAndNonNull) {
       OMPX_ERROR_OUT_OF_MEMORY,
       OMPX_ERROR_DEVICE_LOST,
       OMPX_ERROR_TIMEOUT,
+      OMPX_ERROR_ADMISSION,
       OMPX_ERROR_UNKNOWN,
   };
   std::vector<std::string> seen;
@@ -45,7 +46,8 @@ TEST(ConformanceResults, KlErrorStringsDistinctAndNonNull) {
   const klError codes[] = {
       klSuccess,          klErrorInvalidValue, klErrorMemoryAllocation,
       klErrorInvalidDevice, klErrorLaunchFailure, klErrorNotReady,
-      klErrorDeviceLost,  klErrorTimeout,      klErrorUnknown,
+      klErrorDeviceLost,  klErrorTimeout,      klErrorAdmission,
+      klErrorUnknown,
   };
   std::vector<std::string> seen;
   for (klError c : codes) {
@@ -260,6 +262,88 @@ TEST(ConformanceFault, SpecValidationAndStatus) {
   EXPECT_EQ(ompx_fault_active(), 1);
   ASSERT_EQ(klFaultInject(nullptr), klSuccess);
   EXPECT_EQ(ompx_fault_active(), 0);
+}
+
+// Cross-API free audit: mixing the plain and stream-ordered allocator
+// families must be rejected with a clean INVALID_VALUE, never by
+// corrupting the pool (a block parked for reuse that a plain free also
+// released would dangle until trim double-frees it).
+TEST(ConformanceCrossApiFree, AsyncFreeOfPlainPointerIsRejected) {
+  ASSERT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  ompx_mempool_stats_t before{};
+  ASSERT_EQ(ompx_mempool_get_stats(0, &before), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+
+  void* plain = ompx_malloc(4096);
+  ASSERT_NE(plain, nullptr);
+  EXPECT_EQ(ompx_free_async(plain, s), OMPX_ERROR_INVALID_VALUE);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  // The rejection left the pool untouched: nothing was parked, so a
+  // same-size malloc_async cannot alias the still-live plain block.
+  ompx_mempool_stats_t after{};
+  ASSERT_EQ(ompx_mempool_get_stats(0, &after), OMPX_SUCCESS);
+  EXPECT_EQ(after.frees, before.frees);
+  void* other = ompx_malloc_async(4096, s);
+  ASSERT_NE(other, nullptr);
+  EXPECT_NE(other, plain);
+  // The allocation is still live and freeable through its own API.
+  EXPECT_EQ(ompx_free(plain), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_free_async(other, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceCrossApiFree, PlainFreeOfAsyncPointerIsRejected) {
+  ASSERT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  void* p = ompx_malloc_async(2048, s);
+  ASSERT_NE(p, nullptr);
+  // While the stream owns the block, both plain frees must refuse —
+  // ompx and kl are the same registry underneath.
+  EXPECT_EQ(ompx_free(p), OMPX_ERROR_INVALID_VALUE);
+  EXPECT_EQ(klFree(p), klErrorInvalidValue);
+  // The correct path still works after the rejections.
+  EXPECT_EQ(ompx_free_async(p, s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
+  (void)klGetLastError();
+}
+
+TEST(ConformanceCrossApiFree, StreamDestroyReleasesAsyncOwnership) {
+  // A malloc_async block that outlives its stream is not stranded:
+  // destroying the stream releases the async claim, so the plain free
+  // becomes the documented way to release it.
+  ASSERT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  void* p = ompx_malloc_async(1024, s);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  EXPECT_EQ(ompx_free(p), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
+}
+
+TEST(ConformanceCrossApiFree, PeerPointerIsRoutedToItsOwnDevice) {
+  // free_async on a stream of the wrong device: the registry resolves
+  // the true owner and refuses with INVALID_VALUE instead of touching
+  // the wrong device's pool.
+  ASSERT_EQ(ompx_set_device(1), OMPX_SUCCESS);
+  void* peer = ompx_malloc(512);
+  ASSERT_NE(peer, nullptr);
+  ASSERT_EQ(ompx_set_device(0), OMPX_SUCCESS);
+  ompx_stream_t s = ompx_stream_create();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ompx_free_async(peer, s), OMPX_ERROR_INVALID_VALUE);
+  ASSERT_EQ(ompx_stream_synchronize(s), OMPX_SUCCESS);
+  ASSERT_EQ(ompx_stream_destroy(s), OMPX_SUCCESS);
+  // Still live; the owning device frees it.
+  EXPECT_EQ(ompx_free(peer), OMPX_SUCCESS);
+  (void)ompx_get_last_result();
 }
 
 TEST(ConformanceFault, FaultScopeRestoresPreviousSpec) {

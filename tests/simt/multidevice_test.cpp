@@ -5,8 +5,11 @@
 // all six Fig. 8 application kernels.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "apps/harness.h"
@@ -308,6 +311,74 @@ TEST_F(MultiDevice, ShardLaunchSplitsTheLargestGridAxis) {
     if (ompx::thread_id() == 0) s[ompx::block_id(ompx::dim_y)] = 1;
   });
   for (int v : seen) ASSERT_EQ(v, 1);  // all 6 y-blocks executed once
+}
+
+// --- degenerate grids (regression: the single-shard special case) ---------
+
+TEST_F(MultiDevice, DegenerateOneBlockGridShardsSafely) {
+  // A 1x1x1 grid with a 4-way shard request: one shard, no empty
+  // shards, no division by zero — and the combined record is still the
+  // one the launch log sees.
+  ompx::set_shard_devices(4);  // clamps to the registry (2 devices)
+  std::vector<int> tids(32, -1);
+  auto* t = tids.data();
+  ompx::LaunchSpec spec;
+  spec.num_teams = {1};
+  spec.thread_limit = {32};
+  spec.name = "shard_one_block";
+  const ompx::LaunchResult r =
+      ompx::launch(spec, [t] { t[ompx::thread_id()] = ompx::thread_id(); });
+  ompx::set_shard_devices(1);
+  EXPECT_TRUE(r.completed);
+  for (int i = 0; i < 32; ++i) ASSERT_EQ(tids[i], i);
+  EXPECT_EQ(r.record.stats.blocks, 1u);
+  EXPECT_EQ(r.record.stats.threads, 32u);
+  EXPECT_EQ(r.record.grid.x, 1u);
+  EXPECT_GT(r.record.time.total_ms, 0.0);
+  EXPECT_EQ(sim_a100().last_launch().name, std::string("shard_one_block"));
+}
+
+TEST_F(MultiDevice, GridSmallerThanDeviceListUsesFewerShards) {
+  // 3 blocks over a 2-device list: shards of 2 + 1, every block exactly
+  // once, and the combined record covers all 3.
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  auto* hp = hits.data();
+  ompx::LaunchSpec spec;
+  spec.num_teams = {3};
+  spec.thread_limit = {16};
+  spec.name = "shard_three_blocks";
+  std::vector<simt::Device*> devs{&sim_a100(), &sim_mi250()};
+  const ompx::LaunchResult r = ompx::shard_launch(spec, devs, [hp] {
+    if (ompx::thread_id() == 0) hp[ompx::block_id(ompx::dim_x)].fetch_add(1);
+  });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1) << "block " << i;
+  EXPECT_EQ(r.record.stats.blocks, 3u);
+  EXPECT_EQ(r.record.stats.threads, 3u * 16u);
+}
+
+TEST_F(MultiDevice, SingleShardLaunchOrdersBehindPendingStreamWork) {
+  // Regression: the degenerate path used to bypass the per-device
+  // default stream with a direct launch_sync, so a one-block sharded
+  // launch could overtake async work already queued on the stream. It
+  // must observe the queued host op's write.
+  int flag = 0;
+  simt::Stream& st = sim_a100().default_stream();
+  st.host_fn([&flag] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    flag = 7;
+  });
+  int seen = -1;
+  auto* sp = &seen;
+  auto* fp = &flag;
+  ompx::LaunchSpec spec;
+  spec.num_teams = {1};
+  spec.thread_limit = {1};
+  spec.name = "shard_ordering";
+  std::vector<simt::Device*> devs{&sim_a100()};
+  ompx::shard_launch(spec, devs, [sp, fp] { *sp = *fp; });
+  EXPECT_EQ(seen, 7) << "sharded launch overtook queued stream work";
+  sim_a100().synchronize();
 }
 
 TEST_F(MultiDevice, ShardedFig8AppsMatchSingleDeviceChecksums) {
